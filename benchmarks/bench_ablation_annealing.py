@@ -1,0 +1,103 @@
+"""Ablation A2: annealer schedule sensitivity.
+
+How do the cooling floor (epsilon), the cooling divisor and restarts
+trade solution quality against JQ evaluations?  The paper fixes
+epsilon = 1e-8 and divisor 2; this ablation shows how much of that
+budget is actually needed on 11-worker pools where the optimum is
+known exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import ExperimentResult, SweepSeries
+from repro.selection import (
+    AnnealingSelector,
+    ExhaustiveSelector,
+    JQObjective,
+)
+from repro.simulation import SyntheticPoolConfig, generate_pool
+
+POOLS = 8
+BUDGET = 0.3
+
+
+@pytest.fixture(scope="module")
+def pools():
+    rngs = [np.random.default_rng(s) for s in range(POOLS)]
+    return [
+        generate_pool(SyntheticPoolConfig(num_workers=11), rng)
+        for rng in rngs
+    ]
+
+
+@pytest.fixture(scope="module")
+def optima(pools):
+    selector = ExhaustiveSelector(JQObjective())
+    return [selector.select(pool, BUDGET).jq for pool in pools]
+
+
+def _mean_gap_and_evals(pools, optima, **annealer_kwargs):
+    gaps, evals = [], []
+    for i, (pool, opt) in enumerate(zip(pools, optima)):
+        selector = AnnealingSelector(JQObjective(), **annealer_kwargs)
+        result = selector.select(pool, BUDGET, rng=np.random.default_rng(i))
+        gaps.append(max(opt - result.jq, 0.0))
+        evals.append(result.evaluations)
+    return float(np.mean(gaps)), float(np.mean(evals))
+
+
+def test_epsilon_sensitivity(benchmark, emit, pools, optima):
+    epsilons = (1e-2, 1e-4, 1e-6, 1e-8)
+
+    def sweep():
+        gaps, evals = [], []
+        for eps in epsilons:
+            gap, ev = _mean_gap_and_evals(pools, optima, epsilon=eps)
+            gaps.append(gap)
+            evals.append(ev)
+        return ExperimentResult(
+            experiment_id="ablation-sa-epsilon",
+            title="SA cooling floor: optimality gap vs JQ evaluations",
+            x_label="epsilon",
+            xs=tuple(epsilons),
+            series=(
+                SweepSeries("mean gap", tuple(gaps)),
+                SweepSeries("mean evals", tuple(evals)),
+            ),
+            notes=f"{POOLS} pools, N=11, B={BUDGET}",
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(result.render(5))
+    gaps = result.series_by_name("mean gap").values
+    evals = result.series_by_name("mean evals").values
+    assert evals[-1] > evals[0]  # colder floor costs more work
+    assert gaps[-1] <= gaps[0] + 1e-9  # and does not hurt quality
+
+
+def test_restart_sensitivity(benchmark, emit, pools, optima):
+    restart_counts = (1, 2, 4)
+
+    def sweep():
+        gaps, evals = [], []
+        for r in restart_counts:
+            gap, ev = _mean_gap_and_evals(pools, optima, restarts=r)
+            gaps.append(gap)
+            evals.append(ev)
+        return ExperimentResult(
+            experiment_id="ablation-sa-restarts",
+            title="SA restarts: optimality gap vs JQ evaluations",
+            x_label="restarts",
+            xs=tuple(float(r) for r in restart_counts),
+            series=(
+                SweepSeries("mean gap", tuple(gaps)),
+                SweepSeries("mean evals", tuple(evals)),
+            ),
+            notes=f"{POOLS} pools, N=11, B={BUDGET}",
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(result.render(5))
+    gaps = result.series_by_name("mean gap").values
+    assert gaps[-1] <= gaps[0] + 1e-9  # restarts never hurt

@@ -1,0 +1,57 @@
+"""Ablation A3: where exact enumeration loses to the bucket estimator.
+
+Exact BV-JQ is O(2^n); the estimator is O(numBuckets * n^2).  This
+ablation locates the practical crossover, justifying the library's
+``exact_cutoff`` default (12 in the selection objective).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import ExperimentResult, SweepSeries
+from repro.quality import estimate_jq, exact_jq_bv
+
+SIZES = (6, 10, 14, 18)
+
+
+def test_exact_vs_bucket_crossover(benchmark, emit):
+    rng = np.random.default_rng(0)
+    juries = {
+        n: np.clip(rng.normal(0.7, 0.2, n), 0.05, 0.95) for n in SIZES
+    }
+
+    def sweep():
+        exact_times, bucket_times, errors = [], [], []
+        for n in SIZES:
+            q = juries[n]
+            start = time.perf_counter()
+            exact = exact_jq_bv(q, max_size=20)
+            exact_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            approx = estimate_jq(q)
+            bucket_times.append(time.perf_counter() - start)
+            errors.append(abs(exact - approx))
+        return ExperimentResult(
+            experiment_id="ablation-crossover",
+            title="Exact enumeration vs bucket estimator",
+            x_label="n",
+            xs=tuple(float(n) for n in SIZES),
+            series=(
+                SweepSeries("exact (s)", tuple(exact_times)),
+                SweepSeries("bucket (s)", tuple(bucket_times)),
+                SweepSeries("|error|", tuple(errors)),
+            ),
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(result.render(6))
+    exact_times = result.series_by_name("exact (s)").values
+    bucket_times = result.series_by_name("bucket (s)").values
+    errors = result.series_by_name("|error|").values
+    # Exponential blowup: exact at n=18 costs far more than at n=6.
+    assert exact_times[-1] > exact_times[0]
+    # The estimator stays fast and accurate at the largest size.
+    assert bucket_times[-1] < exact_times[-1]
+    assert errors[-1] < 0.01

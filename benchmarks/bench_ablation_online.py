@@ -1,0 +1,69 @@
+"""Ablation A5: online stopping versus fixed-jury spending.
+
+An extension experiment beyond the paper: for juries of high-quality
+workers, how much budget does the confidence-target stopping rule save
+relative to consulting the entire fixed jury, and at what accuracy?
+The sweep varies the confidence target; the fixed jury is the
+reference at the right edge (target -> 1 consults everyone).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Worker
+from repro.experiments.reporting import ExperimentResult, SweepSeries
+from repro.online import run_online
+
+TARGETS = (0.8, 0.9, 0.95, 0.99)
+JURY_SIZE = 9
+WORKER_QUALITY = 0.8
+TRIALS = 300
+
+
+def test_online_stopping_savings(benchmark, emit):
+    workers = [Worker(f"w{i}", WORKER_QUALITY, 1.0) for i in range(JURY_SIZE)]
+
+    def sweep():
+        rng = np.random.default_rng(0)
+        votes_used, accuracy = [], []
+        for target in TARGETS:
+            used, correct = [], 0
+            for _ in range(TRIALS):
+                truth = int(rng.random() < 0.5)
+                outcome = run_online(
+                    workers,
+                    lambda w: truth if rng.random() < w.quality else 1 - truth,
+                    confidence_target=target,
+                )
+                used.append(outcome.votes_used)
+                correct += int(outcome.answer == truth)
+            votes_used.append(float(np.mean(used)))
+            accuracy.append(correct / TRIALS)
+        return ExperimentResult(
+            experiment_id="ablation-online",
+            title=(
+                f"Online stopping: votes used and accuracy vs target "
+                f"(jury of {JURY_SIZE} x q={WORKER_QUALITY})"
+            ),
+            x_label="confidence target",
+            xs=tuple(TARGETS),
+            series=(
+                SweepSeries("mean votes used", tuple(votes_used)),
+                SweepSeries("accuracy", tuple(accuracy)),
+            ),
+            notes=f"{TRIALS} trials per point, fixed jury would use "
+            f"{JURY_SIZE} votes each",
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(result.render())
+    votes = result.series_by_name("mean votes used").values
+    accuracy = result.series_by_name("accuracy").values
+    # Higher targets cost more votes and buy more accuracy.
+    assert votes[-1] > votes[0]
+    assert accuracy[-1] >= accuracy[0] - 0.02
+    # Even the strictest target beats the fixed jury's spend.
+    assert votes[-1] < JURY_SIZE
+    # Accuracy respects the target (the posterior is calibrated).
+    for target, acc in zip(TARGETS, accuracy):
+        assert acc >= target - 0.05

@@ -1,0 +1,78 @@
+"""Ablation A1: what Algorithm-2 pruning actually buys.
+
+Beyond the Figure-9(d) wall-clock view, this ablation counts the
+dynamic program's *expansions* (the work unit pruning eliminates) as
+the bucket resolution grows, and contrasts both map variants with the
+vectorized dense implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import ExperimentResult, SweepSeries
+from repro.quality import estimate_jq, estimate_jq_detailed
+
+BUCKET_COUNTS = (25, 50, 100, 200)
+JURY_SIZE = 80
+
+
+@pytest.fixture(scope="module")
+def qualities():
+    rng = np.random.default_rng(0)
+    return np.clip(rng.normal(0.7, np.sqrt(0.05), JURY_SIZE), 0.0, 0.95)
+
+
+def test_pruning_expansion_savings(benchmark, emit, qualities):
+    def sweep():
+        pruned_counts, unpruned_counts, saved = [], [], []
+        for buckets in BUCKET_COUNTS:
+            with_p = estimate_jq_detailed(
+                qualities, num_buckets=buckets, pruning=True
+            )
+            without_p = estimate_jq_detailed(
+                qualities, num_buckets=buckets, pruning=False
+            )
+            assert abs(with_p.jq - without_p.jq) < 1e-9
+            pruned_counts.append(with_p.expansions)
+            unpruned_counts.append(without_p.expansions)
+            saved.append(1.0 - with_p.expansions / without_p.expansions)
+        return ExperimentResult(
+            experiment_id="ablation-pruning",
+            title=f"DP expansions with/without pruning (n={JURY_SIZE})",
+            x_label="numBuckets",
+            xs=tuple(float(b) for b in BUCKET_COUNTS),
+            series=(
+                SweepSeries("expansions (pruned)", tuple(pruned_counts)),
+                SweepSeries("expansions (full)", tuple(unpruned_counts)),
+                SweepSeries("fraction saved", tuple(saved)),
+            ),
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(result.render())
+    saved = result.series_by_name("fraction saved").values
+    assert all(s > 0.2 for s in saved)  # pruning saves real work
+
+
+def test_dense_vs_map_speed(benchmark, emit, qualities):
+    """The dense rewrite is the production path; quantify its edge."""
+    import time
+
+    def measure():
+        start = time.perf_counter()
+        dense = estimate_jq(qualities, num_buckets=50)
+        dense_time = time.perf_counter() - start
+        start = time.perf_counter()
+        mapped = estimate_jq(qualities, num_buckets=50, implementation="map")
+        map_time = time.perf_counter() - start
+        assert abs(dense - mapped) < 1e-9
+        return dense_time, map_time
+
+    dense_time, map_time = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "== ablation-dense: dense vs map implementation "
+        f"(n={JURY_SIZE}, numBuckets=50) ==\n"
+        f"dense: {dense_time * 1e3:.2f} ms   map: {map_time * 1e3:.2f} ms   "
+        f"speedup: {map_time / dense_time:.1f}x"
+    )
+    assert dense_time < map_time

@@ -1,0 +1,74 @@
+"""Figure 10: the (simulated) AMT real-data evaluation.
+
+Paper shape: 10(a)-(c) mirror the synthetic Figure 6 — OPTJS above
+MVJS throughout; 10(d) the predicted-JQ and realized-accuracy curves
+are highly similar and rise with the number of votes z.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig10a,
+    run_fig10b,
+    run_fig10c,
+    run_fig10d,
+    simulate_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return simulate_campaign(seed=2015)
+
+
+def _assert_optjs_wins(result, slack=0.01):
+    opt = result.series_by_name("OPTJS").values
+    mv = result.series_by_name("MVJS").values
+    assert all(o >= m - slack for o, m in zip(opt, mv)), result.render()
+
+
+def test_fig10a_vary_budget(benchmark, emit, campaign):
+    result = benchmark.pedantic(
+        lambda: run_fig10a(campaign=campaign, num_questions=15, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    _assert_optjs_wins(result)
+
+
+def test_fig10b_vary_pool_size(benchmark, emit, campaign):
+    result = benchmark.pedantic(
+        lambda: run_fig10b(campaign=campaign, num_questions=15, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    _assert_optjs_wins(result)
+
+
+def test_fig10c_vary_cost_sd(benchmark, emit, campaign):
+    result = benchmark.pedantic(
+        lambda: run_fig10c(campaign=campaign, num_questions=15, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    _assert_optjs_wins(result)
+
+
+def test_fig10d_jq_predicts_accuracy(benchmark, emit, campaign):
+    result = benchmark.pedantic(
+        lambda: run_fig10d(campaign=campaign, num_questions=200, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    predicted = result.series_by_name("Average JQ").values
+    realized = result.series_by_name("Accuracy").values
+    # The two curves track each other (paper: "highly similar").
+    for p, r in zip(predicted, realized):
+        assert abs(p - r) < 0.08
+    # Both rise from z=3 to z=20.
+    assert predicted[-1] > predicted[0]
+    assert realized[-1] >= realized[0] - 0.02

@@ -1,0 +1,15 @@
+"""Figure 1: regenerate the budget-quality table of the running example.
+
+Expected (paper): budgets 5/10/15/20 -> JQ 75% / 80% / 84.5% / 86.95%.
+The benchmark times one full exhaustive budget-table construction.
+"""
+
+from repro.experiments import FIGURE1_EXPECTED_JQ, run_fig1
+
+
+def test_fig1_budget_quality_table(benchmark, emit):
+    table = benchmark(run_fig1)
+    emit("== fig1: Budget-quality table (workers A-G) ==\n" + table.render())
+    jqs = [row.jq for row in table.rows]
+    for got, expected in zip(jqs, FIGURE1_EXPECTED_JQ):
+        assert abs(got - expected) < 1e-9

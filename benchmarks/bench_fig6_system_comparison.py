@@ -1,0 +1,62 @@
+"""Figure 6: end-to-end OPTJS vs MVJS over synthetic pools.
+
+Paper shape: OPTJS above MVJS at every point of every sweep, with the
+largest margin for low-quality pools (6(a), small mu) and small
+candidate sets (6(c), small N).
+
+Repetitions are scaled down from the paper's 1,000 to keep benchmark
+wall-clock sane; EXPERIMENTS.md records higher-rep reference runs.
+"""
+
+import pytest
+
+from repro.experiments import run_fig6a, run_fig6b, run_fig6c, run_fig6d
+
+REPS = 3
+EPSILON = 1e-6  # SA cooling floor; 1e-8 is the paper's full setting
+
+
+def _assert_optjs_wins(result, slack=0.01):
+    opt = result.series_by_name("OPTJS").values
+    mv = result.series_by_name("MVJS").values
+    assert all(o >= m - slack for o, m in zip(opt, mv)), result.render()
+
+
+def test_fig6a_vary_quality_mean(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig6a(reps=REPS, seed=0, epsilon=EPSILON),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    _assert_optjs_wins(result)
+
+
+def test_fig6b_vary_budget(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig6b(reps=REPS, seed=0, epsilon=EPSILON),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    _assert_optjs_wins(result)
+
+
+def test_fig6c_vary_pool_size(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig6c(reps=REPS, seed=0, epsilon=EPSILON),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    _assert_optjs_wins(result)
+
+
+def test_fig6d_vary_cost_sd(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig6d(reps=REPS, seed=0, epsilon=EPSILON),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    _assert_optjs_wins(result)

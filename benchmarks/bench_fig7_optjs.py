@@ -1,0 +1,32 @@
+"""Figure 7: annealer quality (vs exhaustive optimum) and scaling.
+
+Paper shape: 7(a) the two curves nearly coincide; 7(b) wall-clock grows
+roughly linearly with the pool size N.
+"""
+
+from repro.experiments import run_fig7a, run_fig7b
+
+
+def test_fig7a_sa_vs_optimal(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig7a(reps=4, seed=0), rounds=1, iterations=1
+    )
+    emit(result.render())
+    optimal = result.series_by_name("JQ(J*)").values
+    annealed = result.series_by_name("JQ(J-hat)").values
+    for o, a in zip(optimal, annealed):
+        assert o >= a - 1e-9
+        assert o - a < 0.05
+
+
+def test_fig7b_annealer_scaling(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig7b(pool_sizes=(50, 100, 150, 200), seed=0, epsilon=1e-6),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render(6))
+    for series in result.series:
+        assert all(t > 0 for t in series.values)
+        # Roughly linear: 4x the pool should cost well under 16x time.
+        assert series.values[-1] < 40 * series.values[0] + 1.0

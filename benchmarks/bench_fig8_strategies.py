@@ -1,0 +1,33 @@
+"""Figure 8: JQ of MV / BV / RBV / RMV.
+
+Paper shape: BV dominates at every mu and every jury size; all
+strategies dip at mu = 0.5 but BV stays high; RBV pins at 50%; RMV
+tracks the mean quality and never beats MV for mu >= 0.5.
+"""
+
+from repro.experiments import run_fig8a, run_fig8b
+
+
+def test_fig8a_vary_quality_mean(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig8a(reps=10, seed=0), rounds=1, iterations=1
+    )
+    emit(result.render())
+    bv = result.series_by_name("BV").values
+    for name in ("MV", "RBV", "RMV"):
+        other = result.series_by_name(name).values
+        assert all(b >= o - 1e-9 for b, o in zip(bv, other))
+    assert result.series_by_name("RBV").values == tuple([0.5] * len(bv))
+
+
+def test_fig8b_vary_jury_size(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig8b(reps=10, seed=0), rounds=1, iterations=1
+    )
+    emit(result.render())
+    bv = result.series_by_name("BV").values
+    mv = result.series_by_name("MV").values
+    assert all(b >= m - 1e-9 for b, m in zip(bv, mv))
+    # Both proper strategies improve from n=1 to n=11.
+    assert bv[-1] > bv[0] - 1e-9
+    assert mv[-1] > mv[0]

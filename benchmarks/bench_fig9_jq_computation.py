@@ -1,0 +1,50 @@
+"""Figure 9: the bucket JQ estimator (accuracy and pruning speedup).
+
+Paper shape: 9(a) higher quality variance helps at mu = 0.5; 9(b)
+error collapses as numBuckets grows; 9(c) the error histogram at
+numBuckets = 50 is heavily skewed to ~0 (max within 0.01%); 9(d)
+pruning roughly halves the map-based estimator's runtime.
+"""
+
+from repro.experiments import run_fig9a, run_fig9b, run_fig9c, run_fig9d
+
+
+def test_fig9a_variance_effect(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig9a(reps=10, seed=0), rounds=1, iterations=1
+    )
+    emit(result.render())
+    at_half = {s.name: s.values[0] for s in result.series}
+    assert at_half["var=0.1"] > at_half["var=0.01"]
+
+
+def test_fig9b_error_vs_buckets(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig9b(reps=30, seed=0), rounds=1, iterations=1
+    )
+    emit(result.render(7))
+    errors = result.series[0].values
+    assert errors[-1] <= errors[0] + 1e-12
+    assert errors[-1] < 1e-4
+
+
+def test_fig9c_error_histogram(benchmark, emit):
+    hist = benchmark.pedantic(
+        lambda: run_fig9c(reps=100, seed=0), rounds=1, iterations=1
+    )
+    emit(hist.render())
+    # Paper: maximal error within 0.01% at numBuckets=50.
+    assert hist.counts[-1] == 0
+
+
+def test_fig9d_pruning_speedup(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig9d(sizes=(50, 100, 150, 200), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render(6))
+    with_p = result.series_by_name("with pruning (s)").values
+    without_p = result.series_by_name("without pruning (s)").values
+    # Pruning must help on the larger juries (paper: >2x at n=500).
+    assert with_p[-1] < without_p[-1]

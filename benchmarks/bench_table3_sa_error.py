@@ -1,0 +1,21 @@
+"""Table 3: distribution of the annealer's optimality gap.
+
+Paper shape: the overwhelming majority of runs land in the [0, 0.01]
+percentage-point bin; no run exceeds 3 points.
+"""
+
+from repro.experiments import run_table3
+
+
+def test_table3_gap_distribution(benchmark, emit):
+    hist = benchmark.pedantic(
+        lambda: run_table3(reps=10, seed=0), rounds=1, iterations=1
+    )
+    emit(hist.render())
+    assert hist.total == 60  # 6 budgets x 10 reps
+    # Concentration near zero, tail negligible.  (The paper reports an
+    # empty (3, inf) bin over 10,000 runs; our folded-cost pools create
+    # a few harder swap landscapes, so we tolerate a <=5% tail —
+    # EXPERIMENTS.md discusses the discrepancy.)
+    assert hist.counts[0] >= hist.total * 0.6
+    assert hist.counts[-1] <= hist.total * 0.05

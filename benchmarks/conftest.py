@@ -1,0 +1,39 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+scaled-down repetition count (wall-clock sanity) and *emits the
+rendered series* through the ``emit`` fixture: the table is printed
+through capture (visible with ``pytest -s`` and in piped output) and
+appended to ``benchmarks/results.txt`` so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the reproduced
+numbers on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    """Start each benchmark session with an empty results file."""
+    RESULTS_PATH.write_text("")
+    yield
+
+
+@pytest.fixture
+def emit(capsys):
+    """Emit a rendered experiment table to terminal + results file."""
+
+    def _emit(rendered: str) -> None:
+        with capsys.disabled():
+            print()
+            print(rendered)
+        with RESULTS_PATH.open("a") as fh:
+            fh.write(rendered + "\n\n")
+
+    return _emit

@@ -1,0 +1,98 @@
+"""Adaptive campaigning: budget allocation + early stopping.
+
+Two production-grade extensions layered on the paper's machinery:
+
+1. **Portfolio allocation** (`repro.portfolio`): one budget, many
+   questions, each with its own candidate pool — spend where the
+   marginal Jury Quality per dollar is highest.
+2. **Online stopping** (`repro.online`): within each funded question,
+   consult jurors one at a time and stop as soon as the Bayesian
+   posterior clears a confidence bar, banking the unspent budget.
+
+Run:  python examples/adaptive_campaign.py
+"""
+
+import numpy as np
+
+from repro.core import Worker, WorkerPool
+from repro.online import run_online
+from repro.portfolio import plan_campaign
+
+
+def make_question_pools(rng, num_questions=6):
+    """Heterogeneous questions: some have strong cheap crowds, some
+    only weak expensive ones."""
+    pools = {}
+    for i in range(num_questions):
+        strength = rng.uniform(0.55, 0.85)
+        cost_scale = rng.uniform(0.5, 2.0)
+        pools[f"q{i}"] = WorkerPool(
+            Worker(
+                f"q{i}-w{j}",
+                float(np.clip(rng.normal(strength, 0.08), 0.5, 0.95)),
+                float(rng.uniform(0.3, 1.2) * cost_scale),
+            )
+            for j in range(8)
+        )
+    return pools
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    pools = make_question_pools(rng)
+    budget = 10.0
+
+    # ------------------------------------------------------------------
+    # 1) Allocate the campaign budget across questions.
+    # ------------------------------------------------------------------
+    plan = plan_campaign(pools, budget, rng=rng)
+    print("Campaign plan (greedy marginal-JQ allocation):")
+    print(plan.render())
+    print()
+
+    # ------------------------------------------------------------------
+    # 2) Execute each funded question with early stopping.
+    # ------------------------------------------------------------------
+    print("Execution with online stopping (confidence target 95%):")
+    planned_total = 0.0
+    actual_total = 0.0
+    correct = 0
+    answered = 0
+    for allocation in plan.allocations:
+        if allocation.point is None:
+            continue
+        pool = pools[allocation.task_id]
+        jury = pool.subset(allocation.point.worker_ids)
+        truth = int(rng.random() < 0.5)
+
+        # Consult the planned jurors best-first; stop when confident.
+        ordered = sorted(jury, key=lambda w: -w.quality)
+        outcome = run_online(
+            ordered,
+            lambda w: truth if rng.random() < w.quality else 1 - truth,
+            confidence_target=0.95,
+            budget=allocation.cost,
+        )
+        planned_total += allocation.cost
+        actual_total += outcome.cost
+        answered += 1
+        correct += int(outcome.answer == truth)
+        print(
+            f"  {allocation.task_id}: planned {allocation.cost:5.2f}, "
+            f"spent {outcome.cost:5.2f} on {outcome.votes_used} votes, "
+            f"confidence {outcome.confidence:.2%}, "
+            f"{'correct' if outcome.answer == truth else 'WRONG'}"
+        )
+
+    print()
+    saved = planned_total - actual_total
+    print(
+        f"Planned spend {planned_total:.2f}, actual spend "
+        f"{actual_total:.2f} -> early stopping saved "
+        f"{saved:.2f} ({saved / planned_total:.0%})"
+    )
+    print(f"Accuracy on funded questions: {correct}/{answered}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Budget planning over a realistic marketplace pool.
+
+A task provider faces a 60-worker marketplace (Gaussian qualities and
+folded-Gaussian costs, the Section-6.1.1 generator) and wants to know:
+*how much is quality worth?*  This example sweeps budgets, prints the
+budget-quality frontier, compares the annealer against cheap greedy
+baselines, and shows the marginal value of each extra unit of budget.
+
+Run:  python examples/budget_planning.py
+"""
+
+import numpy as np
+
+from repro.selection import (
+    AnnealingSelector,
+    GreedyQualitySelector,
+    GreedyRatioSelector,
+    JQObjective,
+    budget_quality_table,
+)
+from repro.simulation import SyntheticPoolConfig, generate_pool
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    pool = generate_pool(
+        SyntheticPoolConfig(num_workers=60, quality_mean=0.68, cost_sd=0.25),
+        rng,
+    )
+    print(f"Marketplace: {len(pool)} workers, "
+          f"mean quality {pool.qualities.mean():.3f}, "
+          f"total cost {pool.total_cost:.2f}")
+    print()
+
+    budgets = [0.1, 0.2, 0.4, 0.8, 1.6]
+    table = budget_quality_table(
+        pool, budgets, AnnealingSelector(JQObjective()), rng=rng
+    )
+    print(table.render())
+    print()
+
+    # Marginal value of budget: how much JQ does each doubling buy?
+    print("Marginal analysis:")
+    previous = None
+    for row in table.rows:
+        if previous is not None:
+            gain = row.jq - previous.jq
+            spend = row.budget - previous.budget
+            print(f"  {previous.budget:g} -> {row.budget:g}: "
+                  f"+{gain:.2%} JQ for +{spend:g} budget "
+                  f"({gain / spend:.2%} per unit)")
+        previous = row
+    print()
+
+    # How much does the annealer beat the greedy heuristics by?
+    print("Annealer vs greedy baselines (JQ at each budget):")
+    greedy_q = GreedyQualitySelector(JQObjective())
+    greedy_r = GreedyRatioSelector(JQObjective())
+    header = f"{'B':>6} | {'anneal':>8} | {'greedy-quality':>14} | {'greedy-ratio':>12}"
+    print(header)
+    print("-" * len(header))
+    for budget, row in zip(budgets, table.rows):
+        gq = greedy_q.select(pool, budget).jq
+        gr = greedy_r.select(pool, budget).jq
+        print(f"{budget:>6g} | {row.jq:>8.4f} | {gq:>14.4f} | {gr:>12.4f}")
+    print()
+    print("No solver dominates: simulated annealing is the paper's "
+          "general-purpose engine, but when the pool happens to contain "
+          "a near-perfect affordable worker, greedy-by-quality finds her "
+          "immediately while SA must stumble into the right swap. "
+          "Table 3 of the paper quantifies exactly this gap (< 3%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: the paper's Figure-1 walkthrough, end to end.
+
+Builds the seven-worker candidate pool from the paper's running
+example, prints the budget–quality table, picks the provider's
+"sweet spot" budget, selects the jury, and aggregates a concrete set
+of votes with Bayesian Voting.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import OptimalJurySelectionSystem, Worker, WorkerPool
+
+
+def main() -> None:
+    # The candidate workers of Figure 1: (id, quality, cost).
+    pool = WorkerPool(
+        [
+            Worker("A", 0.77, 9),
+            Worker("B", 0.70, 5),
+            Worker("C", 0.80, 6),
+            Worker("D", 0.65, 7),
+            Worker("E", 0.60, 5),
+            Worker("F", 0.60, 2),
+            Worker("G", 0.75, 3),
+        ]
+    )
+
+    system = OptimalJurySelectionSystem(pool, seed=42)
+
+    print("Task: 'Is Bill Gates now the CEO of Microsoft?'")
+    print()
+    table = system.budget_quality_table([5, 10, 15, 20])
+    print(table.render())
+    print()
+
+    # The provider's heuristic from the paper: stop raising the budget
+    # once the remaining quality gain is below ~2.5%.
+    sweet_spot = table.best_value_row(min_gain=0.025)
+    print(
+        f"Sweet spot: budget {sweet_spot.budget:g} buys jury "
+        f"{{{', '.join(sweet_spot.worker_ids)}}} at JQ "
+        f"{sweet_spot.jq:.2%} for only {sweet_spot.required:g} units."
+    )
+    print()
+
+    # Select under that budget and aggregate some votes.
+    result = system.select_jury(sweet_spot.budget)
+    jury = result.jury
+    print(f"Selected jury: {jury.worker_ids} (cost {jury.cost:g})")
+
+    votes = [1] * len(jury)  # everyone votes "yes"
+    verdict = system.decide(jury, votes)
+    print(
+        f"All jurors vote YES -> answer={'YES' if verdict.answer else 'NO'} "
+        f"with confidence {verdict.confidence:.2%}"
+    )
+
+    votes = [0] + [1] * (len(jury) - 1)  # one dissenter
+    verdict = system.decide(jury, votes)
+    print(
+        f"One dissenter     -> answer={'YES' if verdict.answer else 'NO'} "
+        f"with confidence {verdict.confidence:.2%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

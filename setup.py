@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which must build a wheel) fail.  This
+shim enables ``pip install -e . --no-use-pep517 --no-build-isolation``,
+which goes through ``setup.py develop`` and needs no wheel.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

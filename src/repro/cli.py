@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``jq``             compute Jury Quality for a quality vector
+``select``         solve JSP over a pool CSV under a budget
+``table``          budget-quality table (Figure 1 style) for a pool CSV
+``frontier``       cost-JQ Pareto frontier for a pool CSV
+``simulate-pool``  generate a synthetic Section-6.1.1 pool CSV
+``experiment``     run one of the paper's figure/table drivers
+
+Every command reads/writes plain CSV/JSON (see :mod:`repro.io`), so the
+CLI composes with shell pipelines and spreadsheets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .experiments import (
+    run_fig1,
+    run_fig6a,
+    run_fig6b,
+    run_fig6c,
+    run_fig6d,
+    run_fig7a,
+    run_fig7b,
+    run_fig8a,
+    run_fig8b,
+    run_fig9a,
+    run_fig9b,
+    run_fig9c,
+    run_fig9d,
+    run_table3,
+)
+from .frontier import exact_frontier, sampled_frontier
+from .io import load_pool_csv, save_pool_csv
+from .quality import jury_quality
+from .selection import (
+    AnnealingSelector,
+    ExhaustiveSelector,
+    GreedyQualitySelector,
+    GreedyRatioSelector,
+    JQObjective,
+    MVJSSelector,
+    budget_quality_table,
+)
+from .simulation import SyntheticPoolConfig, generate_pool
+from .voting import make_strategy
+
+_EXPERIMENTS = {
+    "fig1": lambda: run_fig1(),
+    "fig6a": lambda: run_fig6a(reps=3, epsilon=1e-6),
+    "fig6b": lambda: run_fig6b(reps=3, epsilon=1e-6),
+    "fig6c": lambda: run_fig6c(reps=3, epsilon=1e-6),
+    "fig6d": lambda: run_fig6d(reps=3, epsilon=1e-6),
+    "fig7a": lambda: run_fig7a(reps=3),
+    "fig7b": lambda: run_fig7b(),
+    "table3": lambda: run_table3(reps=10),
+    "fig8a": lambda: run_fig8a(reps=10),
+    "fig8b": lambda: run_fig8b(reps=10),
+    "fig9a": lambda: run_fig9a(reps=10),
+    "fig9b": lambda: run_fig9b(reps=20),
+    "fig9c": lambda: run_fig9c(reps=100),
+    "fig9d": lambda: run_fig9d(),
+}
+
+_SELECTORS = {
+    "annealing": lambda obj: AnnealingSelector(obj, restarts=3),
+    "exhaustive": ExhaustiveSelector,
+    "mvjs": lambda obj: MVJSSelector(),
+    "greedy-quality": GreedyQualitySelector,
+    "greedy-ratio": GreedyRatioSelector,
+}
+
+
+def _parse_floats(text: str) -> list[float]:
+    try:
+        return [float(x) for x in text.split(",") if x.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad float list {text!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal jury selection in crowdsourcing (EDBT 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_jq = sub.add_parser("jq", help="compute Jury Quality")
+    p_jq.add_argument("--qualities", type=_parse_floats, required=True,
+                      help="comma-separated worker qualities")
+    p_jq.add_argument("--alpha", type=float, default=0.5,
+                      help="prior Pr(t=0), default 0.5")
+    p_jq.add_argument("--strategy", default="BV",
+                      help="voting strategy name (default BV)")
+    p_jq.add_argument("--method", default="auto",
+                      choices=["auto", "exact", "bucket"])
+    p_jq.add_argument("--num-buckets", type=int, default=50)
+
+    p_select = sub.add_parser("select", help="solve JSP over a pool CSV")
+    p_select.add_argument("--pool", required=True, help="pool CSV path")
+    p_select.add_argument("--budget", type=float, required=True)
+    p_select.add_argument("--alpha", type=float, default=0.5)
+    p_select.add_argument("--selector", default="annealing",
+                          choices=sorted(_SELECTORS))
+    p_select.add_argument("--seed", type=int, default=None)
+
+    p_table = sub.add_parser("table", help="budget-quality table")
+    p_table.add_argument("--pool", required=True)
+    p_table.add_argument("--budgets", type=_parse_floats, required=True)
+    p_table.add_argument("--alpha", type=float, default=0.5)
+    p_table.add_argument("--selector", default="annealing",
+                         choices=sorted(_SELECTORS))
+    p_table.add_argument("--seed", type=int, default=None)
+
+    p_frontier = sub.add_parser("frontier", help="cost-JQ Pareto frontier")
+    p_frontier.add_argument("--pool", required=True)
+    p_frontier.add_argument("--alpha", type=float, default=0.5)
+    p_frontier.add_argument(
+        "--budgets", type=_parse_floats, default=None,
+        help="sample at these budgets (default: exact for small pools)")
+    p_frontier.add_argument("--seed", type=int, default=None)
+
+    p_sim = sub.add_parser("simulate-pool", help="generate a synthetic pool")
+    p_sim.add_argument("--out", required=True, help="output CSV path")
+    p_sim.add_argument("--num-workers", type=int, default=50)
+    p_sim.add_argument("--quality-mean", type=float, default=0.7)
+    p_sim.add_argument("--quality-var", type=float, default=0.05)
+    p_sim.add_argument("--cost-mean", type=float, default=0.05)
+    p_sim.add_argument("--cost-sd", type=float, default=0.2)
+    p_sim.add_argument("--seed", type=int, default=None)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "jq":
+        strategy = make_strategy(args.strategy)
+        jq = jury_quality(
+            args.qualities,
+            strategy,
+            alpha=args.alpha,
+            method=args.method,
+            num_buckets=args.num_buckets,
+        )
+        print(f"JQ({args.strategy.upper()}, alpha={args.alpha:g}) = {jq:.6f}")
+        return 0
+
+    if args.command == "select":
+        pool = load_pool_csv(args.pool)
+        objective = JQObjective(alpha=args.alpha)
+        selector = _SELECTORS[args.selector](objective)
+        result = selector.select(
+            pool, args.budget, rng=np.random.default_rng(args.seed)
+        )
+        ids = ", ".join(result.worker_ids) or "(empty)"
+        print(f"jury: {{{ids}}}")
+        print(f"jq: {result.jq:.6f}")
+        print(f"cost: {result.cost:g} / budget {args.budget:g}")
+        print(f"selector: {result.selector} "
+              f"({result.evaluations} JQ evaluations, "
+              f"{result.elapsed_seconds:.3f}s)")
+        return 0
+
+    if args.command == "table":
+        pool = load_pool_csv(args.pool)
+        objective = JQObjective(alpha=args.alpha)
+        selector = _SELECTORS[args.selector](objective)
+        table = budget_quality_table(
+            pool, args.budgets, selector,
+            rng=np.random.default_rng(args.seed),
+        )
+        print(table.render())
+        return 0
+
+    if args.command == "frontier":
+        pool = load_pool_csv(args.pool)
+        objective = JQObjective(alpha=args.alpha)
+        if args.budgets is None:
+            frontier = exact_frontier(pool, objective)
+        else:
+            frontier = sampled_frontier(
+                pool, args.budgets, objective,
+                rng=np.random.default_rng(args.seed),
+            )
+        kind = "exact" if frontier.exact else "sampled"
+        print(f"# {kind} frontier, {len(frontier.points)} points")
+        print(frontier.render())
+        knee = frontier.knee()
+        print(f"# knee: cost {knee.cost:g} at JQ {knee.jq:.2%}")
+        return 0
+
+    if args.command == "simulate-pool":
+        config = SyntheticPoolConfig(
+            num_workers=args.num_workers,
+            quality_mean=args.quality_mean,
+            quality_var=args.quality_var,
+            cost_mean=args.cost_mean,
+            cost_sd=args.cost_sd,
+        )
+        pool = generate_pool(config, np.random.default_rng(args.seed))
+        save_pool_csv(pool, args.out)
+        print(f"wrote {len(pool)} workers to {args.out}")
+        return 0
+
+    if args.command == "experiment":
+        result = _EXPERIMENTS[args.name]()
+        print(result.render())
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

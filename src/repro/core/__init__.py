@@ -1,0 +1,53 @@
+"""Core data model: workers, juries, tasks, priors and exceptions.
+
+These types are shared by every other subpackage.  See Section 2 of the
+paper for the formal model.
+"""
+
+from .exceptions import (
+    BudgetError,
+    ConfusionMatrixError,
+    EmptyJuryError,
+    EnumerationLimitError,
+    EstimationError,
+    InvalidCostError,
+    InvalidPriorError,
+    InvalidQualityError,
+    InvalidVoteError,
+    ReproError,
+)
+from .jury import Jury, Voting
+from .task import (
+    NO,
+    UNINFORMATIVE_PRIOR,
+    YES,
+    DecisionTask,
+    MultiChoiceTask,
+    validate_prior,
+    validate_prior_vector,
+)
+from .worker import Worker, WorkerPool
+
+__all__ = [
+    "BudgetError",
+    "ConfusionMatrixError",
+    "DecisionTask",
+    "EmptyJuryError",
+    "EnumerationLimitError",
+    "EstimationError",
+    "InvalidCostError",
+    "InvalidPriorError",
+    "InvalidQualityError",
+    "InvalidVoteError",
+    "Jury",
+    "MultiChoiceTask",
+    "NO",
+    "ReproError",
+    "UNINFORMATIVE_PRIOR",
+    "Voting",
+    "Worker",
+    "WorkerPool",
+    "YES",
+    "validate_prior",
+    "validate_prior_vector",
+]

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class.  Validation failures raise the more specific
+subclasses below; plain ``ValueError``/``TypeError`` are reserved for
+obviously-wrong Python usage (e.g. passing a string where a float is
+expected) and are raised by the standard library itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidQualityError(ReproError, ValueError):
+    """A worker quality is outside the closed interval [0, 1]."""
+
+
+class InvalidCostError(ReproError, ValueError):
+    """A worker cost is negative or not finite."""
+
+
+class InvalidPriorError(ReproError, ValueError):
+    """A task prior is outside [0, 1], or a prior vector does not sum to 1."""
+
+
+class InvalidVoteError(ReproError, ValueError):
+    """A vote is outside the task's label domain."""
+
+
+class EmptyJuryError(ReproError, ValueError):
+    """An operation that requires at least one juror received an empty jury."""
+
+
+class BudgetError(ReproError, ValueError):
+    """A budget is negative, or a jury exceeds the given budget."""
+
+
+class EnumerationLimitError(ReproError, RuntimeError):
+    """An exact (exponential) computation was requested for a jury too
+    large to enumerate safely.
+
+    Exact JQ computation enumerates ``l ** n`` votings; this error guards
+    against accidentally requesting such an enumeration for large ``n``.
+    Callers that really want a large enumeration can raise the limit
+    explicitly via the ``max_enumeration`` parameter of the exact
+    functions.
+    """
+
+
+class ConfusionMatrixError(ReproError, ValueError):
+    """A confusion matrix is not square, not row-stochastic, or has
+    entries outside [0, 1]."""
+
+
+class EstimationError(ReproError, RuntimeError):
+    """A quality-estimation routine could not produce an estimate
+    (e.g. EM received an empty answer matrix)."""

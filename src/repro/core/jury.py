@@ -1,0 +1,214 @@
+"""Jury model: a selected subset of workers and their voting record.
+
+A *jury* (Section 2.1) is a set of ``n`` workers drawn from the
+candidate pool ``W``.  The *jury cost* is the sum of its members' costs;
+a jury is *feasible* for budget ``B`` when its cost does not exceed
+``B``.  A :class:`Voting` couples a jury with one concrete vote vector
+``V = (v_1, ..., v_n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .exceptions import BudgetError, EmptyJuryError, InvalidVoteError
+from .worker import Worker, WorkerPool
+
+
+class Jury:
+    """An ordered collection of jurors.
+
+    Order matters only for aligning vote vectors with workers; JQ and
+    cost are order-invariant.  Juries are immutable: the expansion
+    helpers return new juries.
+    """
+
+    __slots__ = ("_workers", "_qualities", "_costs")
+
+    def __init__(self, workers: Iterable[Worker]) -> None:
+        members = tuple(workers)
+        seen: set[str] = set()
+        for worker in members:
+            if not isinstance(worker, Worker):
+                raise TypeError(
+                    f"expected Worker, got {type(worker).__name__}"
+                )
+            if worker.worker_id in seen:
+                raise ValueError(
+                    f"duplicate worker {worker.worker_id!r} in jury"
+                )
+            seen.add(worker.worker_id)
+        self._workers: tuple[Worker, ...] = members
+        self._qualities = np.array([w.quality for w in members], dtype=float)
+        self._costs = np.array([w.cost for w in members], dtype=float)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[Worker]:
+        return iter(self._workers)
+
+    def __getitem__(self, index: int) -> Worker:
+        return self._workers[index]
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Worker):
+            return item in self._workers
+        if isinstance(item, str):
+            return any(w.worker_id == item for w in self._workers)
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Jury):
+            return NotImplemented
+        return frozenset(self._workers) == frozenset(other._workers)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._workers))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ids = ", ".join(w.worker_id for w in self._workers)
+        return f"Jury([{ids}], cost={self.cost:.3g})"
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> tuple[Worker, ...]:
+        return self._workers
+
+    @property
+    def size(self) -> int:
+        """The jury size ``n``."""
+        return len(self._workers)
+
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        return tuple(w.worker_id for w in self._workers)
+
+    @property
+    def qualities(self) -> np.ndarray:
+        """Quality vector ``(q_1, ..., q_n)`` aligned with iteration
+        order.  Returns a copy so callers cannot mutate jury state."""
+        return self._qualities.copy()
+
+    @property
+    def costs(self) -> np.ndarray:
+        """Cost vector aligned with iteration order (copy)."""
+        return self._costs.copy()
+
+    @property
+    def cost(self) -> float:
+        """The jury cost: sum of member costs."""
+        return float(self._costs.sum())
+
+    def is_feasible(self, budget: float) -> bool:
+        """True when the jury cost does not exceed ``budget``."""
+        return self.cost <= float(budget) + 1e-12
+
+    def require_feasible(self, budget: float) -> None:
+        """Raise :class:`BudgetError` when the jury exceeds ``budget``."""
+        if not self.is_feasible(budget):
+            raise BudgetError(
+                f"jury cost {self.cost:.6g} exceeds budget {budget:.6g}"
+            )
+
+    def require_nonempty(self) -> None:
+        """Raise :class:`EmptyJuryError` for the empty jury."""
+        if not self._workers:
+            raise EmptyJuryError("operation requires a non-empty jury")
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+    def with_worker(self, worker: Worker) -> "Jury":
+        """A new jury with ``worker`` appended (Lemma 1 expansion)."""
+        return Jury(self._workers + (worker,))
+
+    def without_worker(self, worker_id: str) -> "Jury":
+        """A new jury with the identified worker removed."""
+        remaining = tuple(w for w in self._workers if w.worker_id != worker_id)
+        if len(remaining) == len(self._workers):
+            raise KeyError(f"worker {worker_id!r} not in jury")
+        return Jury(remaining)
+
+    def replace_worker(self, worker_id: str, replacement: Worker) -> "Jury":
+        """A new jury with one member swapped (the SA neighborhood)."""
+        return self.without_worker(worker_id).with_worker(replacement)
+
+    def as_pool(self) -> WorkerPool:
+        """View the jury as a :class:`WorkerPool`."""
+        return WorkerPool(self._workers)
+
+    @classmethod
+    def from_pool(cls, pool: WorkerPool, indices: Sequence[int] | None = None) -> "Jury":
+        """Build a jury from pool members, optionally by index."""
+        if indices is None:
+            return cls(pool.workers)
+        return cls(pool[i] for i in indices)
+
+
+@dataclass(frozen=True)
+class Voting:
+    """A jury together with one concrete vote vector.
+
+    ``votes[i]`` is the label worker ``jury[i]`` voted for.  For binary
+    tasks votes lie in {0, 1}; for multi-choice tasks in
+    {0, ..., l-1} (``num_labels`` fixes the domain).
+    """
+
+    jury: Jury
+    votes: tuple[int, ...]
+    num_labels: int = 2
+
+    def __post_init__(self) -> None:
+        if len(self.votes) != len(self.jury):
+            raise InvalidVoteError(
+                f"{len(self.votes)} votes for {len(self.jury)} jurors"
+            )
+        for vote in self.votes:
+            if not isinstance(vote, (int, np.integer)) or not (
+                0 <= int(vote) < self.num_labels
+            ):
+                raise InvalidVoteError(
+                    f"vote {vote!r} outside label domain "
+                    f"0..{self.num_labels - 1}"
+                )
+        object.__setattr__(self, "votes", tuple(int(v) for v in self.votes))
+
+    @property
+    def size(self) -> int:
+        return len(self.votes)
+
+    def complement(self) -> "Voting":
+        """The complement voting ``V-bar`` with every binary vote
+        flipped (used by the A0/A1 symmetry argument of Section 4.2)."""
+        if self.num_labels != 2:
+            raise InvalidVoteError("complement is defined for binary votes")
+        flipped = tuple(1 - v for v in self.votes)
+        return Voting(self.jury, flipped, self.num_labels)
+
+    def count(self, label: int) -> int:
+        """Number of votes for ``label``."""
+        return sum(1 for v in self.votes if v == label)
+
+    def likelihood(self, truth: int) -> float:
+        """``Pr(V | t = truth)`` under independent single-quality
+        workers: each worker votes the truth with probability ``q_i``
+        and (for binary tasks) the other label with ``1 - q_i``."""
+        if self.num_labels != 2:
+            raise InvalidVoteError(
+                "single-quality likelihood is defined for binary votes; "
+                "use repro.multiclass for confusion-matrix workers"
+            )
+        qualities = self.jury.qualities
+        votes = np.array(self.votes)
+        correct = votes == truth
+        factors = np.where(correct, qualities, 1.0 - qualities)
+        return float(np.prod(factors))

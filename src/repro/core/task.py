@@ -1,0 +1,169 @@
+"""Task model: decision-making tasks and their priors.
+
+The paper's primary task type (Section 2.1) is the *decision-making
+task*: a yes/no question with a latent ground truth ``t`` in {0, 1} where
+1 means "yes" and 0 means "no".  The task provider may attach a prior
+``alpha = Pr(t = 0)``; with no prior knowledge, ``alpha = 0.5``.
+
+Section 7 generalizes to multiple-choice tasks with ``l`` labels
+{0, ..., l-1} and a prior vector; :class:`MultiChoiceTask` models those.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .exceptions import InvalidPriorError
+
+#: Labels of a decision-making task. 1 encodes "yes", 0 encodes "no".
+YES = 1
+NO = 0
+
+#: Prior used when the task provider expresses no preference.
+UNINFORMATIVE_PRIOR = 0.5
+
+
+def validate_prior(alpha: float) -> float:
+    """Validate a binary prior ``alpha = Pr(t = 0)`` and return it as a
+    float.  Raises :class:`InvalidPriorError` outside [0, 1]."""
+    a = float(alpha)
+    if math.isnan(a) or a < 0.0 or a > 1.0:
+        raise InvalidPriorError(f"prior alpha {alpha!r} must lie in [0, 1]")
+    return a
+
+
+def validate_prior_vector(alphas: Sequence[float]) -> np.ndarray:
+    """Validate a categorical prior vector and return it as an array.
+
+    The vector must have at least two entries, each in [0, 1], summing
+    to 1 (within float tolerance).
+    """
+    vec = np.asarray(alphas, dtype=float)
+    if vec.ndim != 1 or vec.size < 2:
+        raise InvalidPriorError("prior vector must be 1-D with >= 2 entries")
+    if np.any(np.isnan(vec)) or np.any(vec < 0.0) or np.any(vec > 1.0):
+        raise InvalidPriorError(f"prior vector {alphas!r} has entries outside [0, 1]")
+    total = float(vec.sum())
+    if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
+        raise InvalidPriorError(f"prior vector {alphas!r} sums to {total}, expected 1")
+    return vec
+
+
+@dataclass(frozen=True)
+class DecisionTask:
+    """A binary decision-making task.
+
+    Parameters
+    ----------
+    task_id:
+        Unique identifier.
+    question:
+        Human-readable question text (informational only).
+    prior:
+        ``alpha = Pr(t = 0)``, the task provider's belief that the
+        answer is "no".  Defaults to the uninformative 0.5.
+    ground_truth:
+        Optional latent true answer, known only in simulations and for
+        evaluation.  ``None`` when unknown (the normal production case).
+    """
+
+    task_id: str
+    question: str = ""
+    prior: float = UNINFORMATIVE_PRIOR
+    ground_truth: int | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "prior", validate_prior(self.prior))
+        if self.ground_truth is not None and self.ground_truth not in (0, 1):
+            raise ValueError(
+                f"task {self.task_id!r}: ground_truth must be 0, 1 or None"
+            )
+
+    @property
+    def labels(self) -> tuple[int, ...]:
+        """The label domain (0, 1)."""
+        return (NO, YES)
+
+    @property
+    def num_labels(self) -> int:
+        return 2
+
+    @property
+    def prior_vector(self) -> np.ndarray:
+        """The prior as the vector (Pr(t=0), Pr(t=1))."""
+        return np.array([self.prior, 1.0 - self.prior])
+
+    def with_prior(self, alpha: float) -> "DecisionTask":
+        """Copy of this task with a new prior."""
+        return DecisionTask(self.task_id, self.question, alpha, self.ground_truth)
+
+
+@dataclass(frozen=True)
+class MultiChoiceTask:
+    """A multiple-choice task with ``l >= 2`` labels (Section 7).
+
+    Parameters
+    ----------
+    task_id:
+        Unique identifier.
+    num_labels:
+        The number of choices ``l``; labels are ``0 .. l-1``.
+    question:
+        Human-readable question text.
+    prior:
+        Optional prior vector ``(alpha_0, ..., alpha_{l-1})`` summing to
+        1.  Defaults to uniform.
+    ground_truth:
+        Optional latent true label for simulation/evaluation.
+    """
+
+    task_id: str
+    num_labels: int
+    question: str = ""
+    prior: tuple[float, ...] | None = None
+    ground_truth: int | None = None
+
+    def __post_init__(self) -> None:
+        if int(self.num_labels) < 2:
+            raise ValueError("num_labels must be >= 2")
+        object.__setattr__(self, "num_labels", int(self.num_labels))
+        if self.prior is None:
+            uniform = tuple([1.0 / self.num_labels] * self.num_labels)
+            object.__setattr__(self, "prior", uniform)
+        else:
+            vec = validate_prior_vector(self.prior)
+            if vec.size != self.num_labels:
+                raise InvalidPriorError(
+                    f"prior vector has {vec.size} entries, task has "
+                    f"{self.num_labels} labels"
+                )
+            object.__setattr__(self, "prior", tuple(float(x) for x in vec))
+        if self.ground_truth is not None:
+            gt = int(self.ground_truth)
+            if gt < 0 or gt >= self.num_labels:
+                raise ValueError(
+                    f"task {self.task_id!r}: ground_truth {gt} outside label "
+                    f"domain 0..{self.num_labels - 1}"
+                )
+            object.__setattr__(self, "ground_truth", gt)
+
+    @property
+    def labels(self) -> tuple[int, ...]:
+        """The label domain ``(0, ..., l-1)``."""
+        return tuple(range(self.num_labels))
+
+    @property
+    def prior_vector(self) -> np.ndarray:
+        return np.array(self.prior, dtype=float)
+
+    def as_decision_task(self) -> DecisionTask:
+        """Downcast an l=2 task to a :class:`DecisionTask`."""
+        if self.num_labels != 2:
+            raise ValueError("only 2-label tasks can become DecisionTask")
+        return DecisionTask(
+            self.task_id, self.question, self.prior[0], self.ground_truth
+        )

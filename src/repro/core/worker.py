@@ -1,0 +1,197 @@
+"""Worker model: a crowd worker with a quality and a cost.
+
+The paper (Section 2.1) models each worker ``j_i`` by
+
+* a quality ``q_i`` in [0, 1] — the probability that the worker's vote
+  equals the task's latent true answer, and
+* a cost ``c_i`` >= 0 — the monetary incentive required for one vote.
+
+Workers are immutable value objects; a :class:`WorkerPool` is an ordered,
+indexable collection of distinct workers with convenience accessors used
+throughout the selection and quality subpackages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .exceptions import InvalidCostError, InvalidQualityError
+
+
+@dataclass(frozen=True, order=True)
+class Worker:
+    """An immutable crowd worker.
+
+    Parameters
+    ----------
+    worker_id:
+        A unique identifier (any string).  Two workers compare equal iff
+        all three fields are equal; ordering is lexicographic on
+        ``(worker_id, quality, cost)`` which gives deterministic sorts.
+    quality:
+        Probability in [0, 1] that the worker answers correctly.
+    cost:
+        Non-negative monetary cost of one vote.  Defaults to 0 (a
+        volunteer worker).
+    """
+
+    worker_id: str
+    quality: float = field(default=0.5)
+    cost: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.worker_id, str) or not self.worker_id:
+            raise ValueError("worker_id must be a non-empty string")
+        q = float(self.quality)
+        c = float(self.cost)
+        if math.isnan(q) or q < 0.0 or q > 1.0:
+            raise InvalidQualityError(
+                f"worker {self.worker_id!r}: quality {self.quality!r} "
+                "must lie in [0, 1]"
+            )
+        if not math.isfinite(c) or c < 0.0:
+            raise InvalidCostError(
+                f"worker {self.worker_id!r}: cost {self.cost!r} "
+                "must be finite and non-negative"
+            )
+        object.__setattr__(self, "quality", q)
+        object.__setattr__(self, "cost", c)
+
+    @property
+    def is_reliable(self) -> bool:
+        """True when quality >= 0.5 (the paper's standing assumption)."""
+        return self.quality >= 0.5
+
+    def flipped(self) -> "Worker":
+        """Return the informationally equivalent worker with quality
+        ``1 - q`` (Section 3.3): a worker who is wrong with probability
+        ``q`` can be reinterpreted as one who is right with probability
+        ``1 - q`` whose votes are negated.
+        """
+        return Worker(self.worker_id, 1.0 - self.quality, self.cost)
+
+    def with_quality(self, quality: float) -> "Worker":
+        """Return a copy of this worker with a different quality."""
+        return Worker(self.worker_id, quality, self.cost)
+
+    def with_cost(self, cost: float) -> "Worker":
+        """Return a copy of this worker with a different cost."""
+        return Worker(self.worker_id, self.quality, cost)
+
+
+class WorkerPool:
+    """An ordered collection of candidate workers (the set ``W``).
+
+    The pool preserves insertion order, enforces unique worker ids, and
+    exposes vectorized views of qualities and costs for the numeric
+    algorithms.
+    """
+
+    def __init__(self, workers: Iterable[Worker] = ()) -> None:
+        self._workers: list[Worker] = []
+        self._by_id: dict[str, Worker] = {}
+        for worker in workers:
+            self.add(worker)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, worker: Worker) -> None:
+        """Append a worker; rejects duplicate ids."""
+        if not isinstance(worker, Worker):
+            raise TypeError(f"expected Worker, got {type(worker).__name__}")
+        if worker.worker_id in self._by_id:
+            raise ValueError(f"duplicate worker id {worker.worker_id!r}")
+        self._workers.append(worker)
+        self._by_id[worker.worker_id] = worker
+
+    def remove(self, worker_id: str) -> Worker:
+        """Remove and return the worker with the given id."""
+        worker = self._by_id.pop(worker_id)
+        self._workers.remove(worker)
+        return worker
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[Worker]:
+        return iter(self._workers)
+
+    def __getitem__(self, index: int) -> Worker:
+        return self._workers[index]
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Worker):
+            return self._by_id.get(item.worker_id) == item
+        if isinstance(item, str):
+            return item in self._by_id
+        return False
+
+    def get(self, worker_id: str) -> Worker:
+        """Return the worker with the given id (KeyError if absent)."""
+        return self._by_id[worker_id]
+
+    @property
+    def workers(self) -> tuple[Worker, ...]:
+        """The workers, in insertion order."""
+        return tuple(self._workers)
+
+    @property
+    def qualities(self) -> np.ndarray:
+        """Vector of worker qualities, in insertion order."""
+        return np.array([w.quality for w in self._workers], dtype=float)
+
+    @property
+    def costs(self) -> np.ndarray:
+        """Vector of worker costs, in insertion order."""
+        return np.array([w.cost for w in self._workers], dtype=float)
+
+    @property
+    def total_cost(self) -> float:
+        """Sum of all workers' costs."""
+        return float(sum(w.cost for w in self._workers))
+
+    # ------------------------------------------------------------------
+    # Derived pools
+    # ------------------------------------------------------------------
+    def sorted_by_quality(self, descending: bool = True) -> "WorkerPool":
+        """A new pool sorted by quality (ties broken by id for
+        determinism)."""
+        key = lambda w: (w.quality, w.worker_id)  # noqa: E731
+        return WorkerPool(sorted(self._workers, key=key, reverse=descending))
+
+    def sorted_by_cost(self, descending: bool = False) -> "WorkerPool":
+        """A new pool sorted by cost (ties broken by id)."""
+        key = lambda w: (w.cost, w.worker_id)  # noqa: E731
+        return WorkerPool(sorted(self._workers, key=key, reverse=descending))
+
+    def affordable(self, budget: float) -> "WorkerPool":
+        """Workers whose individual cost does not exceed ``budget``."""
+        return WorkerPool(w for w in self._workers if w.cost <= budget)
+
+    def reliable(self) -> "WorkerPool":
+        """Workers with quality >= 0.5."""
+        return WorkerPool(w for w in self._workers if w.is_reliable)
+
+    def subset(self, worker_ids: Sequence[str]) -> "WorkerPool":
+        """The sub-pool containing exactly the given ids, in the given
+        order."""
+        return WorkerPool(self._by_id[i] for i in worker_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerPool(n={len(self)}, total_cost={self.total_cost:.3g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorkerPool):
+            return NotImplemented
+        return self._workers == other._workers
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._workers))

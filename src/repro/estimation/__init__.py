@@ -1,0 +1,26 @@
+"""Worker-quality estimation substrate (paper refs [1, 18, 25, 37]).
+
+The paper assumes qualities are "known in advance", derived from
+answering history; this package provides the derivations:
+
+* :func:`empirical_qualities` — accuracy against gold questions (what
+  Section 6.2.1 does on the AMT data).
+* :func:`one_coin_em` — joint truth/quality EM for the scalar model.
+* :func:`dawid_skene` — confusion-matrix EM for multi-choice answers.
+"""
+
+from .answers import Answer, AnswerMatrix
+from .dawid_skene import DawidSkeneResult, dawid_skene
+from .empirical import empirical_qualities, empirical_quality
+from .one_coin import OneCoinResult, one_coin_em
+
+__all__ = [
+    "Answer",
+    "AnswerMatrix",
+    "DawidSkeneResult",
+    "OneCoinResult",
+    "dawid_skene",
+    "empirical_qualities",
+    "empirical_quality",
+    "one_coin_em",
+]

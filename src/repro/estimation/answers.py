@@ -1,0 +1,99 @@
+"""Answer matrices: the raw material of worker-quality estimation.
+
+An :class:`AnswerMatrix` stores which worker answered which task with
+which label, in a sparse (dict-of-dicts) layout: real crowdsourcing
+campaigns are heavily incomplete (in the paper's AMT campaign, half the
+workers answered a single 20-question HIT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..core.exceptions import InvalidVoteError
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One worker's label for one task."""
+
+    worker_id: str
+    task_id: str
+    label: int
+
+    def __post_init__(self) -> None:
+        if self.label < 0:
+            raise InvalidVoteError(f"label {self.label} must be >= 0")
+
+
+class AnswerMatrix:
+    """A sparse worker x task answer store.
+
+    Duplicate (worker, task) pairs are rejected: one vote per worker
+    per task, as in the paper's model.
+    """
+
+    def __init__(self, num_labels: int = 2, answers: Iterable[Answer] = ()) -> None:
+        if num_labels < 2:
+            raise ValueError("num_labels must be >= 2")
+        self.num_labels = num_labels
+        self._by_worker: dict[str, dict[str, int]] = {}
+        self._by_task: dict[str, dict[str, int]] = {}
+        for answer in answers:
+            self.add(answer)
+
+    def add(self, answer: Answer) -> None:
+        if answer.label >= self.num_labels:
+            raise InvalidVoteError(
+                f"label {answer.label} outside 0..{self.num_labels - 1}"
+            )
+        worker_answers = self._by_worker.setdefault(answer.worker_id, {})
+        if answer.task_id in worker_answers:
+            raise ValueError(
+                f"worker {answer.worker_id!r} already answered task "
+                f"{answer.task_id!r}"
+            )
+        worker_answers[answer.task_id] = answer.label
+        self._by_task.setdefault(answer.task_id, {})[
+            answer.worker_id
+        ] = answer.label
+
+    def record(self, worker_id: str, task_id: str, label: int) -> None:
+        """Convenience wrapper around :meth:`add`."""
+        self.add(Answer(worker_id, task_id, label))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        return tuple(self._by_worker)
+
+    @property
+    def task_ids(self) -> tuple[str, ...]:
+        return tuple(self._by_task)
+
+    @property
+    def num_answers(self) -> int:
+        return sum(len(a) for a in self._by_worker.values())
+
+    def answers_by(self, worker_id: str) -> dict[str, int]:
+        """task_id -> label for one worker (copy)."""
+        return dict(self._by_worker.get(worker_id, {}))
+
+    def answers_for(self, task_id: str) -> dict[str, int]:
+        """worker_id -> label for one task (copy)."""
+        return dict(self._by_task.get(task_id, {}))
+
+    def __iter__(self) -> Iterator[Answer]:
+        for worker_id, tasks in self._by_worker.items():
+            for task_id, label in tasks.items():
+                yield Answer(worker_id, task_id, label)
+
+    def __len__(self) -> int:
+        return self.num_answers
+
+    def participation_counts(self) -> dict[str, int]:
+        """worker_id -> number of tasks answered."""
+        return {w: len(tasks) for w, tasks in self._by_worker.items()}

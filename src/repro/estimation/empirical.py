@@ -1,0 +1,70 @@
+"""Empirical quality estimation from labeled history (gold questions).
+
+The paper's real-data experiment (Section 6.2.1) computes each worker's
+quality as "the proportion of correctly answered questions by the
+worker in all her answered questions" against known ground truth —
+the gold-question approach of CDAS [25].  This module implements that
+estimator, with optional Laplace smoothing for thin histories.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.exceptions import EstimationError
+from .answers import AnswerMatrix
+
+
+def empirical_quality(
+    answers: AnswerMatrix,
+    ground_truth: Mapping[str, int],
+    worker_id: str,
+    smoothing: float = 0.0,
+) -> float:
+    """One worker's empirical accuracy against gold labels.
+
+    Parameters
+    ----------
+    answers:
+        The campaign's answer matrix.
+    ground_truth:
+        task_id -> true label, for at least one task the worker
+        answered.
+    worker_id:
+        The worker to score.
+    smoothing:
+        Laplace pseudo-count ``s``: the estimate becomes
+        ``(correct + s) / (answered + 2 s)``, pulling thin histories
+        toward 0.5.  The paper uses ``s = 0``.
+    """
+    history = answers.answers_by(worker_id)
+    graded = {
+        task: label
+        for task, label in history.items()
+        if task in ground_truth
+    }
+    if not graded:
+        raise EstimationError(
+            f"worker {worker_id!r} answered no task with known ground truth"
+        )
+    correct = sum(
+        1 for task, label in graded.items() if label == ground_truth[task]
+    )
+    return (correct + smoothing) / (len(graded) + 2.0 * smoothing)
+
+
+def empirical_qualities(
+    answers: AnswerMatrix,
+    ground_truth: Mapping[str, int],
+    smoothing: float = 0.0,
+) -> dict[str, float]:
+    """Empirical quality of every worker with gradable history."""
+    qualities: dict[str, float] = {}
+    for worker_id in answers.worker_ids:
+        try:
+            qualities[worker_id] = empirical_quality(
+                answers, ground_truth, worker_id, smoothing
+            )
+        except EstimationError:
+            continue
+    return qualities

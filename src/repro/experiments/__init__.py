@@ -1,0 +1,60 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each ``run_*`` returns an :class:`ExperimentResult` (or
+:class:`HistogramResult` / budget table) whose ``render()`` prints the
+series the paper plots.  Benchmarks under ``benchmarks/`` call these
+with scaled-down repetitions; EXPERIMENTS.md records reference runs.
+"""
+
+from .fig1 import (
+    FIGURE1_BUDGETS,
+    FIGURE1_EXPECTED_JQ,
+    FIGURE1_WORKERS,
+    figure1_pool,
+    run_fig1,
+)
+from .fig6 import run_fig6a, run_fig6b, run_fig6c, run_fig6d
+from .fig7 import run_fig7a, run_fig7b, run_table3
+from .fig8 import run_fig8a, run_fig8b
+from .fig9 import run_fig9a, run_fig9b, run_fig9c, run_fig9d
+from .fig10 import (
+    run_fig10a,
+    run_fig10b,
+    run_fig10c,
+    run_fig10d,
+    simulate_campaign,
+)
+from .reporting import ExperimentResult, HistogramResult, SweepSeries
+from .runner import collect_over_reps, mean_over_reps, spawn_rngs
+
+__all__ = [
+    "ExperimentResult",
+    "FIGURE1_BUDGETS",
+    "FIGURE1_EXPECTED_JQ",
+    "FIGURE1_WORKERS",
+    "HistogramResult",
+    "SweepSeries",
+    "collect_over_reps",
+    "figure1_pool",
+    "mean_over_reps",
+    "run_fig1",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig6c",
+    "run_fig6d",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig8a",
+    "run_fig8b",
+    "run_fig9a",
+    "run_fig9b",
+    "run_fig9c",
+    "run_fig9d",
+    "run_fig10a",
+    "run_fig10b",
+    "run_fig10c",
+    "run_fig10d",
+    "run_table3",
+    "simulate_campaign",
+    "spawn_rngs",
+]

@@ -1,0 +1,57 @@
+"""Figure 1: the running example and its budget–quality table.
+
+Seven named workers A-G with the paper's (quality, cost) pairs; the
+expected table (from the paper's Figure 1) is::
+
+    Budget  Optimal Jury     Quality  Required
+    5       {F, G}           75%      5
+    10      {C, G}           80%      9
+    15      {B, C, G}        84.5%    14
+    20     {A, C, F, G}      86.95%   20
+
+(Budget 10 admits several 80% juries — any pair containing C — so the
+selected ids may differ while the JQ matches.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.worker import Worker, WorkerPool
+from ..selection.base import JQObjective
+from ..selection.budget_table import BudgetQualityTable, budget_quality_table
+from ..selection.exhaustive import ExhaustiveSelector
+
+#: The paper's worker roster: (id, quality, cost).
+FIGURE1_WORKERS = (
+    ("A", 0.77, 9.0),
+    ("B", 0.70, 5.0),
+    ("C", 0.80, 6.0),
+    ("D", 0.65, 7.0),
+    ("E", 0.60, 5.0),
+    ("F", 0.60, 2.0),
+    ("G", 0.75, 3.0),
+)
+
+#: The budgets of the Figure-1 table.
+FIGURE1_BUDGETS = (5.0, 10.0, 15.0, 20.0)
+
+#: The JQ column of the paper's table, for verification.
+FIGURE1_EXPECTED_JQ = (0.75, 0.80, 0.845, 0.8695)
+
+
+def figure1_pool() -> WorkerPool:
+    """The seven-worker candidate pool of Figure 1."""
+    return WorkerPool(Worker(w, q, c) for w, q, c in FIGURE1_WORKERS)
+
+
+def run_fig1(seed: int | None = 0) -> BudgetQualityTable:
+    """Regenerate the Figure-1 budget–quality table exactly (the pool
+    is small enough for exhaustive search)."""
+    selector = ExhaustiveSelector(JQObjective())
+    return budget_quality_table(
+        figure1_pool(),
+        FIGURE1_BUDGETS,
+        selector,
+        rng=np.random.default_rng(seed),
+    )

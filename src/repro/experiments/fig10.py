@@ -1,0 +1,216 @@
+"""Figure 10: the (simulated) real-data evaluation.
+
+One AMT campaign (see :mod:`repro.simulation.amt` for the calibration
+to the paper's published statistics) supplies per-question candidate
+sets of the 20 workers who answered each question, with empirically
+estimated qualities — exactly the Section-6.2.2 setup.
+
+* 10(a): OPTJS vs MVJS average JQ, varying the budget.
+* 10(b): same, varying the candidate-set size N (first N answerers).
+* 10(c): same, varying the synthetic-cost standard deviation.
+* 10(d): is JQ a good prediction?  Average *predicted* JQ of the first
+  z answerers versus the *realized* accuracy of Bayesian Voting on
+  their actual votes, as z grows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..quality.bucket import estimate_jq
+from ..selection.annealing import AnnealingSelector
+from ..selection.base import JQObjective
+from ..selection.mvjs import MVJSSelector
+from ..simulation.amt import AMTConfig, AMTSimulator, Campaign
+from ..voting.bayesian import BayesianVoting
+from .reporting import ExperimentResult, SweepSeries
+
+DEFAULT_BUDGETS = (0.2, 0.4, 0.6, 0.8, 1.0)
+DEFAULT_POOL_SIZES = (4, 8, 12, 16, 20)
+DEFAULT_COST_SDS = (0.1, 0.25, 0.5, 0.75, 1.0)
+DEFAULT_Z_VALUES = (3, 6, 9, 12, 15, 18, 20)
+
+
+def simulate_campaign(seed: int | None = 0) -> Campaign:
+    """One simulated AMT campaign with the paper's configuration."""
+    return AMTSimulator(AMTConfig(), np.random.default_rng(seed)).run()
+
+
+def _system_comparison(
+    campaign: Campaign,
+    budget: float,
+    num_questions: int,
+    seed: int | None,
+    cost_sd: float = 0.2,
+    pool_limit: int | None = None,
+    epsilon: float = 1e-6,
+) -> tuple[float, float]:
+    """Average (OPTJS, MVJS) JQ over a sample of questions."""
+    qualities = campaign.estimated_qualities()
+    rng = np.random.default_rng(seed)
+    task_ids = sorted(campaign.tasks)
+    chosen = rng.choice(len(task_ids), size=min(num_questions, len(task_ids)),
+                        replace=False)
+    optjs_scores = []
+    mvjs_scores = []
+    for i in chosen:
+        task_id = task_ids[int(i)]
+        pool = campaign.candidate_pool(
+            task_id, qualities, cost_sd=cost_sd, rng=rng, limit=pool_limit
+        )
+        if len(pool) == 0:
+            continue
+        optjs = AnnealingSelector(JQObjective(), epsilon=epsilon)
+        mvjs = MVJSSelector(epsilon=epsilon)
+        optjs_scores.append(optjs.select(pool, budget, rng=rng).jq)
+        mvjs_scores.append(mvjs.select(pool, budget, rng=rng).jq)
+    return float(np.mean(optjs_scores)), float(np.mean(mvjs_scores))
+
+
+def run_fig10a(
+    campaign: Campaign | None = None,
+    budgets: Sequence[float] = DEFAULT_BUDGETS,
+    num_questions: int = 40,
+    seed: int | None = 0,
+) -> ExperimentResult:
+    """OPTJS vs MVJS on the campaign, varying the budget."""
+    if campaign is None:
+        campaign = simulate_campaign(seed)
+    opt, mv = [], []
+    for index, budget in enumerate(budgets):
+        o, m = _system_comparison(
+            campaign, float(budget), num_questions, (seed or 0) + index
+        )
+        opt.append(o)
+        mv.append(m)
+    return ExperimentResult(
+        experiment_id="fig10a",
+        title="Real-data (simulated AMT): OPTJS vs MVJS, varying budget",
+        x_label="B",
+        xs=tuple(float(b) for b in budgets),
+        series=(SweepSeries("OPTJS", tuple(opt)), SweepSeries("MVJS", tuple(mv))),
+        notes=f"questions/point={num_questions}, seed={seed}",
+    )
+
+
+def run_fig10b(
+    campaign: Campaign | None = None,
+    pool_sizes: Sequence[int] = DEFAULT_POOL_SIZES,
+    budget: float = 0.5,
+    num_questions: int = 40,
+    seed: int | None = 0,
+) -> ExperimentResult:
+    """OPTJS vs MVJS, varying the per-question candidate-set size."""
+    if campaign is None:
+        campaign = simulate_campaign(seed)
+    opt, mv = [], []
+    for index, n in enumerate(pool_sizes):
+        o, m = _system_comparison(
+            campaign,
+            budget,
+            num_questions,
+            (seed or 0) + index,
+            pool_limit=int(n),
+        )
+        opt.append(o)
+        mv.append(m)
+    return ExperimentResult(
+        experiment_id="fig10b",
+        title="Real-data (simulated AMT): OPTJS vs MVJS, varying N",
+        x_label="N",
+        xs=tuple(float(n) for n in pool_sizes),
+        series=(SweepSeries("OPTJS", tuple(opt)), SweepSeries("MVJS", tuple(mv))),
+        notes=f"B={budget}, questions/point={num_questions}, seed={seed}",
+    )
+
+
+def run_fig10c(
+    campaign: Campaign | None = None,
+    cost_sds: Sequence[float] = DEFAULT_COST_SDS,
+    budget: float = 0.5,
+    num_questions: int = 40,
+    seed: int | None = 0,
+) -> ExperimentResult:
+    """OPTJS vs MVJS, varying the synthetic-cost standard deviation."""
+    if campaign is None:
+        campaign = simulate_campaign(seed)
+    opt, mv = [], []
+    for index, sd in enumerate(cost_sds):
+        o, m = _system_comparison(
+            campaign,
+            budget,
+            num_questions,
+            (seed or 0) + index,
+            cost_sd=float(sd),
+        )
+        opt.append(o)
+        mv.append(m)
+    return ExperimentResult(
+        experiment_id="fig10c",
+        title="Real-data (simulated AMT): OPTJS vs MVJS, varying cost std",
+        x_label="cost_sd",
+        xs=tuple(float(s) for s in cost_sds),
+        series=(SweepSeries("OPTJS", tuple(opt)), SweepSeries("MVJS", tuple(mv))),
+        notes=f"B={budget}, questions/point={num_questions}, seed={seed}",
+    )
+
+
+def run_fig10d(
+    campaign: Campaign | None = None,
+    z_values: Sequence[int] = DEFAULT_Z_VALUES,
+    num_questions: int = 200,
+    seed: int | None = 0,
+    num_buckets: int = 200,
+) -> ExperimentResult:
+    """Is JQ a good prediction of realized BV accuracy? (Figure 10(d))
+
+    For each question and each prefix length z of its answer arrival
+    order: the *predicted* JQ of the first z answerers (from their
+    estimated qualities) versus the *realized* correctness of BV on
+    their actual votes.  The paper finds the two curves "highly
+    similar".
+    """
+    if campaign is None:
+        campaign = simulate_campaign(seed)
+    qualities = campaign.estimated_qualities()
+    truth = campaign.ground_truth()
+    strategy = BayesianVoting()
+    rng = np.random.default_rng(seed)
+    task_ids = sorted(campaign.tasks)
+    chosen = rng.choice(
+        len(task_ids), size=min(num_questions, len(task_ids)), replace=False
+    )
+
+    predicted = []
+    realized = []
+    for z in z_values:
+        z = int(z)
+        jq_values = []
+        correct = []
+        for i in chosen:
+            task_id = task_ids[int(i)]
+            prefix = campaign.vote_order[task_id][:z]
+            quality_vec = [qualities[w] for w, _ in prefix if w in qualities]
+            votes = [label for w, label in prefix if w in qualities]
+            if not quality_vec:
+                continue
+            jq_values.append(
+                estimate_jq(quality_vec, num_buckets=num_buckets)
+            )
+            decided = strategy.decide(votes, quality_vec, 0.5)
+            correct.append(1.0 if decided == truth[task_id] else 0.0)
+        predicted.append(float(np.mean(jq_values)))
+        realized.append(float(np.mean(correct)))
+    return ExperimentResult(
+        experiment_id="fig10d",
+        title="Predicted JQ vs realized BV accuracy, varying #votes z",
+        x_label="z",
+        xs=tuple(float(z) for z in z_values),
+        series=(
+            SweepSeries("Average JQ", tuple(predicted)),
+            SweepSeries("Accuracy", tuple(realized)),
+        ),
+        notes=f"questions={num_questions}, seed={seed}",
+    )

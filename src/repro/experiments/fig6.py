@@ -1,0 +1,173 @@
+"""Figure 6: end-to-end system comparison, OPTJS versus MVJS.
+
+Each sub-figure sweeps one generator/selection parameter over fresh
+synthetic pools (Section 6.1.1) and reports the average delivered JQ of
+the two systems: OPTJS selects and aggregates under Bayesian Voting,
+MVJS under Majority Voting — each system is scored under its own
+strategy, matching the end-to-end reading of "measuring the JQ on the
+returned jury sets".
+
+* 6(a): quality mean mu in [0.5, 1]
+* 6(b): budget B in [0.1, 1]
+* 6(c): pool size N in [10, 100]
+* 6(d): cost standard deviation in [0.1, 1]
+
+Defaults use fewer repetitions than the paper's 1,000 (benchmarks need
+sane wall-clock); pass ``reps`` to scale up.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..selection.annealing import AnnealingSelector
+from ..selection.base import JQObjective
+from ..selection.mvjs import MVJSSelector
+from ..simulation.synthetic import SyntheticPoolConfig, generate_pool
+from .reporting import ExperimentResult, SweepSeries
+from .runner import spawn_rngs
+
+DEFAULT_MUS = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+DEFAULT_BUDGETS = (0.1, 0.25, 0.5, 0.75, 1.0)
+DEFAULT_POOL_SIZES = (10, 25, 50, 75, 100)
+DEFAULT_COST_SDS = (0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+def _one_comparison(
+    config: SyntheticPoolConfig,
+    budget: float,
+    rng: np.random.Generator,
+    epsilon: float,
+) -> tuple[float, float]:
+    """(OPTJS JQ, MVJS JQ) on one freshly generated pool."""
+    pool = generate_pool(config, rng)
+    optjs = AnnealingSelector(JQObjective(), epsilon=epsilon)
+    mvjs = MVJSSelector(epsilon=epsilon)
+    opt_result = optjs.select(pool, budget, rng=rng)
+    mv_result = mvjs.select(pool, budget, rng=rng)
+    return opt_result.jq, mv_result.jq
+
+
+def _sweep(
+    experiment_id: str,
+    title: str,
+    x_label: str,
+    xs: Sequence[float],
+    make_config,
+    make_budget,
+    reps: int,
+    seed: int | None,
+    epsilon: float,
+) -> ExperimentResult:
+    opt_means = []
+    mv_means = []
+    for index, x in enumerate(xs):
+        # Each x-point gets independent repetitions, deterministically
+        # derived from (seed, point index).
+        rngs = (
+            spawn_rngs(None, reps)
+            if seed is None
+            else [
+                np.random.default_rng(s)
+                for s in np.random.SeedSequence((seed, index)).spawn(reps)
+            ]
+        )
+        pairs = [
+            _one_comparison(make_config(x), make_budget(x), rng, epsilon)
+            for rng in rngs
+        ]
+        opt_means.append(float(np.mean([p[0] for p in pairs])))
+        mv_means.append(float(np.mean([p[1] for p in pairs])))
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label=x_label,
+        xs=tuple(float(x) for x in xs),
+        series=(
+            SweepSeries("OPTJS", tuple(opt_means)),
+            SweepSeries("MVJS", tuple(mv_means)),
+        ),
+        notes=f"reps={reps}, seed={seed}, sa_epsilon={epsilon:g}",
+    )
+
+
+def run_fig6a(
+    mus: Sequence[float] = DEFAULT_MUS,
+    reps: int = 5,
+    seed: int | None = 0,
+    epsilon: float = 1e-8,
+) -> ExperimentResult:
+    """Vary the worker-quality mean (Figure 6(a))."""
+    return _sweep(
+        "fig6a",
+        "OPTJS vs MVJS, varying quality mean",
+        "mu",
+        mus,
+        lambda mu: SyntheticPoolConfig(quality_mean=float(mu)),
+        lambda mu: 0.5,
+        reps,
+        seed,
+        epsilon,
+    )
+
+
+def run_fig6b(
+    budgets: Sequence[float] = DEFAULT_BUDGETS,
+    reps: int = 5,
+    seed: int | None = 0,
+    epsilon: float = 1e-8,
+) -> ExperimentResult:
+    """Vary the budget (Figure 6(b))."""
+    return _sweep(
+        "fig6b",
+        "OPTJS vs MVJS, varying budget",
+        "B",
+        budgets,
+        lambda b: SyntheticPoolConfig(),
+        lambda b: float(b),
+        reps,
+        seed,
+        epsilon,
+    )
+
+
+def run_fig6c(
+    pool_sizes: Sequence[int] = DEFAULT_POOL_SIZES,
+    reps: int = 5,
+    seed: int | None = 0,
+    epsilon: float = 1e-8,
+) -> ExperimentResult:
+    """Vary the candidate-pool size (Figure 6(c))."""
+    return _sweep(
+        "fig6c",
+        "OPTJS vs MVJS, varying pool size",
+        "N",
+        pool_sizes,
+        lambda n: SyntheticPoolConfig(num_workers=int(n)),
+        lambda n: 0.5,
+        reps,
+        seed,
+        epsilon,
+    )
+
+
+def run_fig6d(
+    cost_sds: Sequence[float] = DEFAULT_COST_SDS,
+    reps: int = 5,
+    seed: int | None = 0,
+    epsilon: float = 1e-8,
+) -> ExperimentResult:
+    """Vary the cost standard deviation (Figure 6(d))."""
+    return _sweep(
+        "fig6d",
+        "OPTJS vs MVJS, varying cost std",
+        "cost_sd",
+        cost_sds,
+        lambda sd: SyntheticPoolConfig(cost_sd=float(sd)),
+        lambda sd: 0.5,
+        reps,
+        seed,
+        epsilon,
+    )

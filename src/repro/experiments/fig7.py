@@ -1,0 +1,178 @@
+"""Figure 7 and Table 3: quality and efficiency of the annealer.
+
+* 7(a): at N = 11 (small enough for exhaustive ground truth), compare
+  ``JQ(J*)`` with ``JQ(J-hat)`` returned by simulated annealing while
+  the budget sweeps [0.05, 0.5].
+* 7(b): annealer wall-clock versus pool size for several budgets
+  (the paper sweeps N in [100, 500]; the default here is scaled down,
+  pass ``pool_sizes`` to reproduce the full range).
+* Table 3: the distribution of the optimality gap
+  ``JQ(J*) - JQ(J-hat)`` (in percentage points) across all repetitions
+  of the 7(a) sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..selection.annealing import AnnealingSelector
+from ..selection.base import JQObjective
+from ..selection.exhaustive import ExhaustiveSelector
+from ..simulation.synthetic import SyntheticPoolConfig, generate_pool
+from .reporting import ExperimentResult, HistogramResult, SweepSeries
+from .runner import spawn_rngs
+
+DEFAULT_7A_BUDGETS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5)
+DEFAULT_7B_POOL_SIZES = (50, 100, 150, 200)
+DEFAULT_7B_BUDGETS = (0.05, 0.5)
+
+#: Table 3's bin edges, in percentage points of JQ difference.
+TABLE3_EDGES = (0.0, 0.01, 0.1, 1.0, 3.0)
+TABLE3_LABELS = (
+    "[0, 0.01]",
+    "(0.01, 0.1]",
+    "(0.1, 1]",
+    "(1, 3]",
+    "(3, +inf)",
+)
+
+
+def _gap_samples(
+    budgets: Sequence[float],
+    reps: int,
+    seed: int | None,
+    pool_size: int,
+    restarts: int,
+) -> tuple[list[float], list[float], list[float]]:
+    """(budgets expanded, optimal JQs, annealed JQs) per repetition.
+
+    ``restarts=3`` is the default for these experiments: the folded
+    Gaussian costs used by our generator (see
+    :func:`repro.simulation.synthetic.generate_costs`) create tighter
+    swap landscapes than the paper's, and multi-start annealing
+    restores the Table-3 gap concentration.
+    """
+    xs: list[float] = []
+    optimal: list[float] = []
+    annealed: list[float] = []
+    objective = JQObjective()
+    for index, budget in enumerate(budgets):
+        rngs = (
+            spawn_rngs(None, reps)
+            if seed is None
+            else [
+                np.random.default_rng(s)
+                for s in np.random.SeedSequence((seed, index)).spawn(reps)
+            ]
+        )
+        for rng in rngs:
+            pool = generate_pool(
+                SyntheticPoolConfig(num_workers=pool_size), rng
+            )
+            exact = ExhaustiveSelector(objective).select(pool, budget)
+            sa = AnnealingSelector(objective, restarts=restarts).select(
+                pool, budget, rng=rng
+            )
+            xs.append(float(budget))
+            optimal.append(exact.jq)
+            annealed.append(sa.jq)
+    return xs, optimal, annealed
+
+
+def run_fig7a(
+    budgets: Sequence[float] = DEFAULT_7A_BUDGETS,
+    reps: int = 5,
+    seed: int | None = 0,
+    pool_size: int = 11,
+    restarts: int = 3,
+) -> ExperimentResult:
+    """SA jury quality versus the exhaustive optimum (Figure 7(a))."""
+    xs, optimal, annealed = _gap_samples(
+        budgets, reps, seed, pool_size, restarts
+    )
+    opt_means = []
+    sa_means = []
+    for budget in budgets:
+        mask = [i for i, x in enumerate(xs) if x == float(budget)]
+        opt_means.append(float(np.mean([optimal[i] for i in mask])))
+        sa_means.append(float(np.mean([annealed[i] for i in mask])))
+    return ExperimentResult(
+        experiment_id="fig7a",
+        title="JQ of optimal jury J* vs annealed jury J-hat",
+        x_label="B",
+        xs=tuple(float(b) for b in budgets),
+        series=(
+            SweepSeries("JQ(J*)", tuple(opt_means)),
+            SweepSeries("JQ(J-hat)", tuple(sa_means)),
+        ),
+        notes=f"N={pool_size}, reps={reps}, seed={seed}",
+    )
+
+
+def run_table3(
+    budgets: Sequence[float] = DEFAULT_7A_BUDGETS,
+    reps: int = 20,
+    seed: int | None = 0,
+    pool_size: int = 11,
+    restarts: int = 3,
+) -> HistogramResult:
+    """Distribution of the SA optimality gap (Table 3)."""
+    _, optimal, annealed = _gap_samples(
+        budgets, reps, seed, pool_size, restarts
+    )
+    gaps_pct = [
+        max(o - a, 0.0) * 100.0 for o, a in zip(optimal, annealed)
+    ]
+    counts = [0] * len(TABLE3_LABELS)
+    for gap in gaps_pct:
+        if gap <= TABLE3_EDGES[1]:
+            counts[0] += 1
+        elif gap <= TABLE3_EDGES[2]:
+            counts[1] += 1
+        elif gap <= TABLE3_EDGES[3]:
+            counts[2] += 1
+        elif gap <= TABLE3_EDGES[4]:
+            counts[3] += 1
+        else:
+            counts[4] += 1
+    return HistogramResult(
+        experiment_id="table3",
+        title="SA optimality gap JQ(J*) - JQ(J-hat), percentage points",
+        bin_labels=TABLE3_LABELS,
+        counts=tuple(counts),
+        notes=f"N={pool_size}, budgets={tuple(budgets)}, reps={reps} each",
+    )
+
+
+def run_fig7b(
+    pool_sizes: Sequence[int] = DEFAULT_7B_POOL_SIZES,
+    budgets: Sequence[float] = DEFAULT_7B_BUDGETS,
+    seed: int | None = 0,
+    epsilon: float = 1e-8,
+) -> ExperimentResult:
+    """Annealer wall-clock versus pool size (Figure 7(b)); one run per
+    point (timing, not quality)."""
+    series = []
+    for budget in budgets:
+        times = []
+        for index, n in enumerate(pool_sizes):
+            rng = np.random.default_rng(
+                np.random.SeedSequence((seed or 0, index)).entropy
+            )
+            pool = generate_pool(SyntheticPoolConfig(num_workers=int(n)), rng)
+            selector = AnnealingSelector(JQObjective(), epsilon=epsilon)
+            start = time.perf_counter()
+            selector.select(pool, float(budget), rng=rng)
+            times.append(time.perf_counter() - start)
+        series.append(SweepSeries(f"B={budget:g} (s)", tuple(times)))
+    return ExperimentResult(
+        experiment_id="fig7b",
+        title="Annealer wall-clock vs pool size",
+        x_label="N",
+        xs=tuple(float(n) for n in pool_sizes),
+        series=tuple(series),
+        notes=f"seed={seed}, sa_epsilon={epsilon:g}",
+    )

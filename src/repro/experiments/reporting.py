@@ -1,0 +1,130 @@
+"""Result containers and ASCII rendering for the experiment drivers.
+
+Every experiment returns an :class:`ExperimentResult`: a set of named
+series over a shared x-axis, plus free-form notes.  ``render()``
+produces the plain-text table the benchmarks print — the library's
+stand-in for the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """One named curve: y-values over the experiment's x-axis."""
+
+    name: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "values", tuple(float(v) for v in self.values)
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A rendered-friendly experiment outcome.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper anchor, e.g. ``"fig6a"`` or ``"table3"``.
+    title:
+        Human-readable description.
+    x_label / xs:
+        The swept parameter and its values.
+    series:
+        One :class:`SweepSeries` per curve, all aligned with ``xs``.
+    notes:
+        Provenance: repetitions, seeds, scaled-down parameters.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    xs: tuple[float, ...]
+    series: tuple[SweepSeries, ...]
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "xs", tuple(float(x) for x in self.xs))
+        for s in self.series:
+            if len(s.values) != len(self.xs):
+                raise ValueError(
+                    f"series {s.name!r} has {len(s.values)} values for "
+                    f"{len(self.xs)} x points"
+                )
+
+    def series_by_name(self, name: str) -> SweepSeries:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def render(self, precision: int = 4) -> str:
+        """Plain-text table: x column plus one column per series."""
+        headers = [self.x_label] + [s.name for s in self.series]
+        rows = []
+        for i, x in enumerate(self.xs):
+            row = [_format_number(x, precision)]
+            row.extend(
+                _format_number(s.values[i], precision) for s in self.series
+            )
+            rows.append(row)
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in rows))
+            for c in range(len(headers))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(
+            " | ".join(h.rjust(w) for h, w in zip(headers, widths))
+        )
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in rows:
+            lines.append(
+                " | ".join(v.rjust(w) for v, w in zip(row, widths))
+            )
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+
+def _format_number(value: float, precision: int) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{precision}f}"
+
+
+@dataclass(frozen=True)
+class HistogramResult:
+    """A binned distribution (Table 3 and Figure 9(c) style)."""
+
+    experiment_id: str
+    title: str
+    bin_labels: tuple[str, ...]
+    counts: tuple[int, ...]
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.bin_labels) != len(self.counts):
+            raise ValueError("bin_labels and counts must align")
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def render(self) -> str:
+        width = max(len(label) for label in self.bin_labels)
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for label, count in zip(self.bin_labels, self.counts):
+            share = count / self.total if self.total else 0.0
+            bar = "#" * round(40 * share)
+            lines.append(f"{label.rjust(width)} | {count:>7d} {bar}")
+        lines.append(f"{'total'.rjust(width)} | {self.total:>7d}")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Shared experiment plumbing: seeding and repetition.
+
+The paper repeats each synthetic experiment 1,000 times and reports
+averages.  The drivers here accept a ``reps`` parameter (benchmarks use
+small defaults to keep wall-clock sane; EXPERIMENTS.md records runs at
+higher reps) and derive *independent, reproducible* per-repetition RNGs
+from one seed via numpy's ``SeedSequence.spawn``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def spawn_rngs(seed: int | None, count: int) -> list[np.random.Generator]:
+    """``count`` statistically independent generators from one seed."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [np.random.default_rng(s) for s in children]
+
+
+def mean_over_reps(
+    fn: Callable[[np.random.Generator], float],
+    reps: int,
+    seed: int | None = None,
+) -> float:
+    """Average ``fn(rng)`` over ``reps`` independent repetitions."""
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    rngs = spawn_rngs(seed, reps)
+    return float(np.mean([fn(rng) for rng in rngs]))
+
+
+def collect_over_reps(
+    fn: Callable[[np.random.Generator], T],
+    reps: int,
+    seed: int | None = None,
+) -> list[T]:
+    """Gather ``fn(rng)`` across ``reps`` independent repetitions."""
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    return [fn(rng) for rng in spawn_rngs(seed, reps)]

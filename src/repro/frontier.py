@@ -1,0 +1,147 @@
+"""Cost-quality Pareto frontiers over juries.
+
+The budget–quality table (Figure 1) samples the cost/JQ trade-off at a
+handful of provider-chosen budgets.  The *frontier* is the full curve:
+every jury that is not dominated — no other jury is simultaneously
+cheaper and higher-JQ.  Small pools admit the exact frontier by
+enumeration; larger pools get a sampled frontier from repeated
+annealing runs.
+
+The frontier subsumes the budget table: the optimal jury for any
+budget B is the most expensive frontier point with cost <= B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .core.exceptions import EnumerationLimitError
+from .core.jury import Jury
+from .core.worker import WorkerPool
+from .selection.annealing import AnnealingSelector
+from .selection.base import JQObjective
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated jury."""
+
+    cost: float
+    jq: float
+    worker_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Frontier:
+    """A cost-ascending, JQ-ascending sequence of non-dominated juries."""
+
+    points: tuple[FrontierPoint, ...]
+    exact: bool
+
+    def best_under(self, budget: float) -> FrontierPoint | None:
+        """The optimal frontier point affordable at ``budget`` (None
+        when even the cheapest point exceeds it)."""
+        best = None
+        for point in self.points:
+            if point.cost <= budget + 1e-12:
+                best = point
+            else:
+                break
+        return best
+
+    def knee(self) -> FrontierPoint:
+        """The point of maximum curvature — the "stop paying here"
+        heuristic.  Computed as the point furthest above the chord
+        from the first to the last frontier point."""
+        if not self.points:
+            raise ValueError("empty frontier")
+        if len(self.points) <= 2:
+            return self.points[-1]
+        costs = np.array([p.cost for p in self.points])
+        jqs = np.array([p.jq for p in self.points])
+        c_span = costs[-1] - costs[0]
+        j_span = jqs[-1] - jqs[0]
+        if c_span <= 0 or j_span <= 0:
+            return self.points[-1]
+        # Height above the chord, in normalized coordinates.
+        t = (costs - costs[0]) / c_span
+        height = (jqs - jqs[0]) / j_span - t
+        return self.points[int(np.argmax(height))]
+
+    def render(self) -> str:
+        header = f"{'Cost':>10} | {'JQ':>8} | Jury"
+        lines = [header, "-" * len(header)]
+        for point in self.points:
+            jury = "{" + ", ".join(point.worker_ids) + "}"
+            lines.append(f"{point.cost:>10.4g} | {point.jq:>7.2%} | {jury}")
+        return "\n".join(lines)
+
+
+def _pareto_filter(
+    candidates: Sequence[tuple[float, float, tuple[str, ...]]],
+) -> tuple[FrontierPoint, ...]:
+    """Keep the non-dominated (cost, jq) pairs, cheapest first."""
+    ordered = sorted(candidates, key=lambda c: (c[0], -c[1]))
+    points: list[FrontierPoint] = []
+    best_jq = -np.inf
+    eps = 1e-12
+    for cost, jq, ids in ordered:
+        if jq > best_jq + eps:
+            points.append(FrontierPoint(cost, jq, ids))
+            best_jq = jq
+    return tuple(points)
+
+
+def exact_frontier(
+    pool: WorkerPool,
+    objective: JQObjective | None = None,
+    max_pool: int = 18,
+) -> Frontier:
+    """The exact Pareto frontier by full enumeration (small pools)."""
+    n = len(pool)
+    if n > max_pool:
+        raise EnumerationLimitError(
+            f"exact frontier enumerates 2^{n} juries; pool size {n} "
+            f"exceeds the limit {max_pool}"
+        )
+    if objective is None:
+        objective = JQObjective()
+    workers = pool.workers
+    costs = pool.costs
+    candidates = []
+    for mask in range(1, 1 << n):
+        members = [i for i in range(n) if mask >> i & 1]
+        jury = Jury(workers[i] for i in members)
+        candidates.append(
+            (float(costs[members].sum()), objective(jury), jury.worker_ids)
+        )
+    return Frontier(_pareto_filter(candidates), exact=True)
+
+
+def sampled_frontier(
+    pool: WorkerPool,
+    budgets: Sequence[float],
+    objective: JQObjective | None = None,
+    rng: np.random.Generator | None = None,
+    restarts: int = 2,
+) -> Frontier:
+    """An approximate frontier from annealing runs at the given budgets.
+
+    Each budget contributes its best jury; dominated results are
+    filtered out, so the returned curve is monotone even when some
+    annealing runs underperform.
+    """
+    if objective is None:
+        objective = JQObjective()
+    if rng is None:
+        rng = np.random.default_rng()
+    selector = AnnealingSelector(objective, restarts=restarts)
+    candidates = []
+    for budget in sorted(float(b) for b in budgets):
+        result = selector.select(pool, budget, rng=rng)
+        if result.jury.size:
+            candidates.append((result.cost, result.jq, result.worker_ids))
+    return Frontier(_pareto_filter(candidates), exact=False)

@@ -1,0 +1,27 @@
+"""Plain-text persistence for pools, answers and budget tables."""
+
+from .serialization import (
+    budget_table_to_json,
+    load_answers_csv,
+    load_pool_csv,
+    load_pool_json,
+    pool_from_json,
+    pool_to_json,
+    save_answers_csv,
+    save_budget_table_json,
+    save_pool_csv,
+    save_pool_json,
+)
+
+__all__ = [
+    "budget_table_to_json",
+    "load_answers_csv",
+    "load_pool_csv",
+    "load_pool_json",
+    "pool_from_json",
+    "pool_to_json",
+    "save_answers_csv",
+    "save_budget_table_json",
+    "save_pool_csv",
+    "save_pool_json",
+]

@@ -1,0 +1,151 @@
+"""Persistence: worker pools, answer matrices and campaigns on disk.
+
+Crowdsourcing pipelines are long-lived — qualities are estimated from
+one campaign and consumed by selections weeks later — so the library
+ships plain-text round-trips:
+
+* worker pools  <-> CSV (``worker_id,quality,cost``)
+* worker pools  <-> JSON
+* answer matrices <-> CSV (``worker_id,task_id,label``)
+* budget-quality tables -> JSON (export only: tables are derived data)
+
+CSV was chosen over pickle deliberately: files are diffable, editable
+by the task provider, and loadable from any language.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+
+
+from ..core.worker import Worker, WorkerPool
+from ..estimation.answers import AnswerMatrix
+from ..selection.budget_table import BudgetQualityTable
+
+PathLike = str | pathlib.Path
+
+
+# ----------------------------------------------------------------------
+# Worker pools
+# ----------------------------------------------------------------------
+def save_pool_csv(pool: WorkerPool, path: PathLike) -> None:
+    """Write a pool as ``worker_id,quality,cost`` rows with a header."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["worker_id", "quality", "cost"])
+        for worker in pool:
+            writer.writerow([worker.worker_id, worker.quality, worker.cost])
+
+
+def load_pool_csv(path: PathLike) -> WorkerPool:
+    """Read a pool written by :func:`save_pool_csv`.
+
+    Raises ``ValueError`` on missing columns or unparsable rows so a
+    malformed file fails loudly rather than producing a silent empty
+    pool.
+    """
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"worker_id", "quality", "cost"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(
+                f"{path}: expected columns {sorted(required)}, "
+                f"got {reader.fieldnames}"
+            )
+        workers = []
+        for line, row in enumerate(reader, start=2):
+            try:
+                workers.append(
+                    Worker(
+                        row["worker_id"],
+                        float(row["quality"]),
+                        float(row["cost"]),
+                    )
+                )
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line}: bad worker row: {exc}") from exc
+    return WorkerPool(workers)
+
+
+def pool_to_json(pool: WorkerPool) -> str:
+    """Serialize a pool to a JSON string."""
+    payload = [
+        {"worker_id": w.worker_id, "quality": w.quality, "cost": w.cost}
+        for w in pool
+    ]
+    return json.dumps({"workers": payload}, indent=2)
+
+
+def pool_from_json(text: str) -> WorkerPool:
+    """Inverse of :func:`pool_to_json`."""
+    data = json.loads(text)
+    if "workers" not in data:
+        raise ValueError("JSON pool payload missing 'workers' key")
+    return WorkerPool(
+        Worker(item["worker_id"], float(item["quality"]), float(item["cost"]))
+        for item in data["workers"]
+    )
+
+
+def save_pool_json(pool: WorkerPool, path: PathLike) -> None:
+    pathlib.Path(path).write_text(pool_to_json(pool))
+
+
+def load_pool_json(path: PathLike) -> WorkerPool:
+    return pool_from_json(pathlib.Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Answer matrices
+# ----------------------------------------------------------------------
+def save_answers_csv(answers: AnswerMatrix, path: PathLike) -> None:
+    """Write ``worker_id,task_id,label`` rows with a header."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["worker_id", "task_id", "label"])
+        for answer in answers:
+            writer.writerow([answer.worker_id, answer.task_id, answer.label])
+
+
+def load_answers_csv(path: PathLike, num_labels: int = 2) -> AnswerMatrix:
+    """Read an answer matrix written by :func:`save_answers_csv`."""
+    matrix = AnswerMatrix(num_labels=num_labels)
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"worker_id", "task_id", "label"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(
+                f"{path}: expected columns {sorted(required)}, "
+                f"got {reader.fieldnames}"
+            )
+        for line, row in enumerate(reader, start=2):
+            try:
+                matrix.record(
+                    row["worker_id"], row["task_id"], int(row["label"])
+                )
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line}: bad answer row: {exc}") from exc
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Budget-quality tables (export only)
+# ----------------------------------------------------------------------
+def budget_table_to_json(table: BudgetQualityTable) -> str:
+    """Serialize a budget table for dashboards / archival."""
+    rows = [
+        {
+            "budget": row.budget,
+            "worker_ids": list(row.worker_ids),
+            "jq": row.jq,
+            "required": row.required,
+        }
+        for row in table.rows
+    ]
+    return json.dumps({"rows": rows}, indent=2)
+
+
+def save_budget_table_json(table: BudgetQualityTable, path: PathLike) -> None:
+    pathlib.Path(path).write_text(budget_table_to_json(table))

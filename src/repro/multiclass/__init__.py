@@ -1,0 +1,40 @@
+"""Section-7 extension: multi-choice tasks and confusion-matrix workers.
+
+* :class:`ConfusionMatrix` / :class:`MultiClassWorker` — the richer
+  worker model of refs [18, 34].
+* :class:`MultiClassBayesianVoting` — the optimal strategy (MAP).
+* :func:`exact_jq_multiclass` / :func:`estimate_jq_multiclass` — JQ
+  computation, exact and bucketed-tuple-key approximate.
+* :func:`select_multiclass_jury` — JSP via the shared annealer.
+"""
+
+from .confusion import ConfusionMatrix, MultiClassWorker
+from .quality import (
+    DEFAULT_MAX_ENUMERATION,
+    estimate_jq_multiclass,
+    exact_jq_multiclass,
+)
+from .selection import (
+    MultiClassJQObjective,
+    MultiClassSelection,
+    select_multiclass_jury,
+)
+from .voting import (
+    MultiClassBayesianVoting,
+    PluralityVoting,
+    RandomizedPluralityVoting,
+)
+
+__all__ = [
+    "ConfusionMatrix",
+    "DEFAULT_MAX_ENUMERATION",
+    "MultiClassBayesianVoting",
+    "MultiClassJQObjective",
+    "MultiClassSelection",
+    "MultiClassWorker",
+    "PluralityVoting",
+    "RandomizedPluralityVoting",
+    "estimate_jq_multiclass",
+    "exact_jq_multiclass",
+    "select_multiclass_jury",
+]

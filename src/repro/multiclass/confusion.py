@@ -1,0 +1,161 @@
+"""Confusion-matrix worker model (Section 7, refs [18, 34]).
+
+A worker answering an ``l``-choice task is described by an ``l x l``
+row-stochastic matrix ``C`` where ``C[j, k] = Pr(vote = k | truth = j)``.
+The single-quality model of the main paper is the special case with
+``q`` on the diagonal and ``(1 - q) / (l - 1)`` spread off-diagonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import ConfusionMatrixError, InvalidCostError
+
+
+class ConfusionMatrix:
+    """An immutable row-stochastic confusion matrix."""
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: Sequence[Sequence[float]] | np.ndarray) -> None:
+        arr = np.asarray(matrix, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise ConfusionMatrixError(
+                f"confusion matrix must be square, got shape {arr.shape}"
+            )
+        if arr.shape[0] < 2:
+            raise ConfusionMatrixError("confusion matrix needs >= 2 labels")
+        if np.any(np.isnan(arr)) or np.any(arr < 0.0) or np.any(arr > 1.0):
+            raise ConfusionMatrixError("entries must lie in [0, 1]")
+        row_sums = arr.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-8):
+            raise ConfusionMatrixError(
+                f"rows must sum to 1, got {row_sums.tolist()}"
+            )
+        arr = arr / row_sums[:, None]  # exact renormalization
+        arr.setflags(write=False)
+        self._matrix = arr
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_quality(cls, quality: float, num_labels: int) -> "ConfusionMatrix":
+        """The single-quality special case: ``q`` on the diagonal,
+        uniform error mass off it."""
+        if not 0.0 <= quality <= 1.0:
+            raise ConfusionMatrixError(f"quality {quality!r} outside [0, 1]")
+        if num_labels < 2:
+            raise ConfusionMatrixError("num_labels must be >= 2")
+        off = (1.0 - quality) / (num_labels - 1)
+        matrix = np.full((num_labels, num_labels), off)
+        np.fill_diagonal(matrix, quality)
+        return cls(matrix)
+
+    @classmethod
+    def identity(cls, num_labels: int) -> "ConfusionMatrix":
+        """A perfect worker."""
+        return cls(np.eye(num_labels))
+
+    @classmethod
+    def uniform(cls, num_labels: int) -> "ConfusionMatrix":
+        """A completely uninformative worker (every row uniform)."""
+        return cls(np.full((num_labels, num_labels), 1.0 / num_labels))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_labels(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only view of the underlying array."""
+        return self._matrix
+
+    def prob(self, truth: int, vote: int) -> float:
+        """``Pr(vote | truth)``."""
+        return float(self._matrix[truth, vote])
+
+    def row(self, truth: int) -> np.ndarray:
+        return self._matrix[truth]
+
+    @property
+    def diagonal_quality(self) -> float:
+        """Mean diagonal — a scalar summary comparable to ``q``."""
+        return float(np.mean(np.diag(self._matrix)))
+
+    @property
+    def min_entry(self) -> float:
+        return float(self._matrix.min())
+
+    def smoothed(self, epsilon: float = 1e-6) -> "ConfusionMatrix":
+        """Additive smoothing so every entry is strictly positive.
+
+        The bucketed multiclass JQ estimator needs finite log-ratios,
+        hence strictly positive entries; smoothing trades an ``O(eps)``
+        model perturbation for that.
+        """
+        if epsilon <= 0.0:
+            raise ValueError("epsilon must be positive")
+        arr = self._matrix + epsilon
+        return ConfusionMatrix(arr / arr.sum(axis=1, keepdims=True))
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConfusionMatrix):
+            return NotImplemented
+        return np.array_equal(self._matrix, other._matrix)
+
+    def __hash__(self) -> int:
+        return hash(self._matrix.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConfusionMatrix(l={self.num_labels}, "
+            f"diag={self.diagonal_quality:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class MultiClassWorker:
+    """A worker answering multi-choice tasks.
+
+    Mirrors :class:`repro.core.Worker` with the scalar quality replaced
+    by a confusion matrix.
+    """
+
+    worker_id: str
+    confusion: ConfusionMatrix
+    cost: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.worker_id, str) or not self.worker_id:
+            raise ValueError("worker_id must be a non-empty string")
+        if not isinstance(self.confusion, ConfusionMatrix):
+            raise TypeError("confusion must be a ConfusionMatrix")
+        c = float(self.cost)
+        if not np.isfinite(c) or c < 0.0:
+            raise InvalidCostError(
+                f"worker {self.worker_id!r}: cost {self.cost!r} must be "
+                "finite and non-negative"
+            )
+        object.__setattr__(self, "cost", c)
+
+    @property
+    def num_labels(self) -> int:
+        return self.confusion.num_labels
+
+    @classmethod
+    def from_quality(
+        cls, worker_id: str, quality: float, num_labels: int, cost: float = 0.0
+    ) -> "MultiClassWorker":
+        """Lift a single-quality worker into the confusion model."""
+        return cls(worker_id, ConfusionMatrix.from_quality(quality, num_labels), cost)

@@ -1,0 +1,223 @@
+"""Multiclass Jury Quality (Section 7): exact and bucketed.
+
+The JQ definition generalizes directly (Equation 9):
+
+    JQ = sum_{t'} alpha_{t'} * H(t'),
+    H(t') = sum_{V in {0..l-1}^n} Pr(V | t = t') * 1{BV(V) = t'}.
+
+Exact computation enumerates ``l^n`` votings.  The scalable estimator
+follows the paper's sketch: for each candidate truth ``t'`` run a
+dynamic program whose keys are ``(l-1)``-tuples of *bucketed* log-ratios
+
+    ln( alpha_{t'} Pr(V | t') / (alpha_j Pr(V | j)) ),   j != t',
+
+each of which decomposes into per-worker increments
+``ln C_i[t', v] - ln C_i[j, v]`` plus the prior offset.  ``BV(V) = t'``
+exactly when all components are >= 0 (with equality allowed only
+against labels ``j > t'``, matching the deterministic smallest-label
+tie-break), so ``H(t')`` is the probability mass of keys in that
+orthant.
+
+Zero confusion entries produce infinite log-ratios; those are clamped
+to a saturation value no finite sequence of increments can undo, which
+preserves the decision.  Zero-probability branches are skipped.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import EnumerationLimitError
+from ..core.task import validate_prior_vector
+from .confusion import MultiClassWorker
+from .voting import MultiClassBayesianVoting
+
+#: Default bucket resolution, matching the binary estimator.
+DEFAULT_NUM_BUCKETS = 50
+
+#: Largest ``l^n`` enumeration the exact routine performs by default.
+DEFAULT_MAX_ENUMERATION = 2_000_000
+
+
+def _resolve_prior(
+    workers: Sequence[MultiClassWorker], prior: Sequence[float] | None
+) -> np.ndarray:
+    if not workers:
+        raise ValueError("cannot compute JQ for an empty jury")
+    num_labels = workers[0].num_labels
+    for worker in workers:
+        if worker.num_labels != num_labels:
+            raise ValueError("workers disagree on the number of labels")
+    if prior is None:
+        return np.full(num_labels, 1.0 / num_labels)
+    vec = validate_prior_vector(prior)
+    if vec.size != num_labels:
+        raise ValueError(
+            f"prior has {vec.size} entries, workers have {num_labels} labels"
+        )
+    return vec
+
+
+def exact_jq_multiclass(
+    workers: Sequence[MultiClassWorker],
+    prior: Sequence[float] | None = None,
+    strategy=None,
+    max_enumeration: int = DEFAULT_MAX_ENUMERATION,
+) -> float:
+    """Exact multiclass JQ by enumerating all ``l^n`` votings.
+
+    ``strategy`` defaults to multiclass Bayesian Voting, for which the
+    closed form ``sum_V max_t alpha_t Pr(V|t)`` applies.  Any object
+    with a ``decide(votes, workers, prior)`` method (and optionally a
+    ``label_distribution`` method for randomized strategies) works.
+    """
+    prior_vec = _resolve_prior(workers, prior)
+    num_labels = workers[0].num_labels
+    n = len(workers)
+    total = num_labels**n
+    if total > max_enumeration:
+        raise EnumerationLimitError(
+            f"exact multiclass JQ enumerates {num_labels}^{n} = {total} "
+            f"votings, above the limit {max_enumeration}"
+        )
+
+    matrices = [w.confusion.matrix for w in workers]
+    use_bv_closed_form = strategy is None or isinstance(
+        strategy, MultiClassBayesianVoting
+    )
+    randomized = hasattr(strategy, "label_distribution")
+
+    jq = 0.0
+    for votes in product(range(num_labels), repeat=n):
+        # joint[t] = alpha_t * Pr(V | t)
+        joint = prior_vec.copy()
+        for matrix, vote in zip(matrices, votes):
+            joint = joint * matrix[:, vote]
+        if use_bv_closed_form:
+            # BV picks argmax (first index on ties), so the correct-mass
+            # contribution of this voting is exactly max(joint).
+            jq += float(joint.max())
+        elif randomized:
+            dist = strategy.label_distribution(votes, workers, tuple(prior_vec))
+            jq += float(np.dot(joint, dist))
+        else:
+            decided = strategy.decide(votes, workers, tuple(prior_vec))
+            jq += float(joint[decided])
+    return jq
+
+
+def estimate_jq_multiclass(
+    workers: Sequence[MultiClassWorker],
+    prior: Sequence[float] | None = None,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+) -> float:
+    """Bucketed multiclass JQ for Bayesian Voting (Section 7 sketch)."""
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be >= 1")
+    prior_vec = _resolve_prior(workers, prior)
+    num_labels = workers[0].num_labels
+    jq = 0.0
+    for t_prime in range(num_labels):
+        if prior_vec[t_prime] <= 0.0:
+            continue
+        jq += prior_vec[t_prime] * _h_value(
+            t_prime, workers, prior_vec, num_buckets
+        )
+    return min(max(jq, 0.0), 1.0)
+
+
+def _h_value(
+    t_prime: int,
+    workers: Sequence[MultiClassWorker],
+    prior: np.ndarray,
+    num_buckets: int,
+) -> float:
+    """``H(t')``: mass of votings BV maps to ``t'``, bucketed DP."""
+    num_labels = workers[0].num_labels
+    others = [j for j in range(num_labels) if j != t_prime]
+    n = len(workers)
+
+    with np.errstate(divide="ignore"):
+        log_prior = np.log(prior)
+        log_matrices = [np.log(w.confusion.matrix) for w in workers]
+
+    # Raw (float, possibly infinite) increments: for worker i voting v,
+    # component j moves by  ln C_i[t', v] - ln C_i[j, v].
+    raw_offsets = [log_prior[t_prime] - log_prior[j] for j in others]
+    raw_increments: list[np.ndarray] = []  # one (l, l-1) array per worker
+    for lm in log_matrices:
+        inc = np.empty((num_labels, len(others)))
+        for col, j in enumerate(others):
+            inc[:, col] = lm[t_prime, :] - lm[j, :]
+        raw_increments.append(inc)
+
+    finite_values = [abs(x) for x in raw_offsets if np.isfinite(x)]
+    for inc in raw_increments:
+        finite = inc[np.isfinite(inc)]
+        finite_values.extend(abs(float(x)) for x in finite.ravel())
+    upper = max(finite_values, default=0.0)
+
+    # When every finite log-ratio is zero the bucket width is
+    # irrelevant (all finite increments bucket to 0); the dynamic
+    # program still matters because infinite ratios — deterministic
+    # confusion entries — decide votings through saturation.
+    delta = upper / num_buckets if upper > 0.0 else 1.0
+    # Saturation beyond any reachable finite drift: each of the n
+    # increments and the offset is at most num_buckets in magnitude.
+    big = (n + 2) * num_buckets + 1
+
+    def bucket(x: float) -> int:
+        if x == np.inf:
+            return big
+        if x == -np.inf:
+            return -big
+        return int(np.ceil(x / delta - 0.5))
+
+    def saturating_add(a: int, b: int) -> int:
+        # Once saturated, a component's sign is locked (an infinite
+        # log-ratio cannot be cancelled by finite evidence).
+        if a >= big or b >= big:
+            return big
+        if a <= -big or b <= -big:
+            return -big
+        return max(-big, min(big, a + b))
+
+    initial_key = tuple(bucket(x) for x in raw_offsets)
+    bucketed_increments = [
+        np.vectorize(bucket)(inc).astype(np.int64) for inc in raw_increments
+    ]
+
+    current: dict[tuple[int, ...], float] = {initial_key: 1.0}
+    for worker, inc in zip(workers, bucketed_increments):
+        probs = worker.confusion.matrix[t_prime]
+        nxt: dict[tuple[int, ...], float] = {}
+        for key, prob in current.items():
+            for vote in range(num_labels):
+                p = float(probs[vote])
+                if p <= 0.0:
+                    continue
+                new_key = tuple(
+                    saturating_add(k, int(b)) for k, b in zip(key, inc[vote])
+                )
+                nxt[new_key] = nxt.get(new_key, 0.0) + prob * p
+        current = nxt
+
+    mass = 0.0
+    for key, prob in current.items():
+        if _wins(key, t_prime, others):
+            mass += prob
+    return mass
+
+
+def _wins(key: tuple[int, ...], t_prime: int, others: list[int]) -> bool:
+    """BV returns ``t'`` iff every component is positive, or zero
+    against a *larger* label (smallest-label tie-break)."""
+    for component, j in zip(key, others):
+        if component < 0:
+            return False
+        if component == 0 and j < t_prime:
+            return False
+    return True

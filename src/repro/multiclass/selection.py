@@ -1,0 +1,113 @@
+"""Multiclass Jury Selection (Section 7).
+
+The paper notes that the simulated-annealing solver "regards computing
+JQ as a black box, so it can be simply extended" to confusion-matrix
+workers — which is literally what happens here: the multiclass JQ of
+:mod:`repro.multiclass.quality` plugs into the generic
+:func:`repro.selection.annealing.anneal_subset` loop.
+
+Lemma 1 (more workers never hurt) extends to the multiclass model, so
+the unconstrained-budget shortcut still applies; the quality-
+monotonicity Lemma 2 does *not* extend (the paper leaves ranking
+confusion matrices as an open question), so no top-k shortcut exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..selection.annealing import DEFAULT_EPSILON, anneal_subset
+from .confusion import MultiClassWorker
+from .quality import (
+    DEFAULT_NUM_BUCKETS,
+    estimate_jq_multiclass,
+    exact_jq_multiclass,
+)
+
+#: Juries whose ``l^n`` stays below this are scored exactly.
+_EXACT_STATE_CUTOFF = 60_000
+
+
+class MultiClassJQObjective:
+    """``indices -> JQ`` over a fixed list of multiclass workers."""
+
+    def __init__(
+        self,
+        workers: Sequence[MultiClassWorker],
+        prior: Sequence[float] | None = None,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+    ) -> None:
+        if not workers:
+            raise ValueError("worker list must be non-empty")
+        self.workers = tuple(workers)
+        self.num_labels = workers[0].num_labels
+        self.prior = prior
+        self.num_buckets = num_buckets
+        self.evaluations = 0
+
+    def _empty_score(self) -> float:
+        if self.prior is None:
+            return 1.0 / self.num_labels
+        return float(max(self.prior))
+
+    def __call__(self, indices: tuple[int, ...]) -> float:
+        self.evaluations += 1
+        if not indices:
+            return self._empty_score()
+        jury = [self.workers[i] for i in indices]
+        if self.num_labels ** len(jury) <= _EXACT_STATE_CUTOFF:
+            return exact_jq_multiclass(jury, self.prior)
+        return estimate_jq_multiclass(
+            jury, self.prior, num_buckets=self.num_buckets
+        )
+
+
+@dataclass(frozen=True)
+class MultiClassSelection:
+    """Outcome of a multiclass JSP run."""
+
+    indices: tuple[int, ...]
+    workers: tuple[MultiClassWorker, ...]
+    jq: float
+    cost: float
+    budget: float
+
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        return tuple(w.worker_id for w in self.workers)
+
+
+def select_multiclass_jury(
+    workers: Sequence[MultiClassWorker],
+    budget: float,
+    prior: Sequence[float] | None = None,
+    rng: np.random.Generator | None = None,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    epsilon: float = DEFAULT_EPSILON,
+) -> MultiClassSelection:
+    """Solve the multiclass JSP with simulated annealing.
+
+    Applies the Lemma-1 whole-pool shortcut when the budget covers
+    every worker, otherwise anneals with the multiclass JQ black box.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    if rng is None:
+        rng = np.random.default_rng()
+    objective = MultiClassJQObjective(workers, prior, num_buckets)
+    costs = [w.cost for w in workers]
+    if sum(costs) <= budget + 1e-12:
+        indices = tuple(range(len(workers)))
+    else:
+        indices = anneal_subset(costs, budget, objective, rng, epsilon=epsilon)
+    chosen = tuple(workers[i] for i in indices)
+    return MultiClassSelection(
+        indices=indices,
+        workers=chosen,
+        jq=objective(indices),
+        cost=float(sum(w.cost for w in chosen)),
+        budget=float(budget),
+    )

@@ -1,0 +1,145 @@
+"""Multi-choice voting strategies (Section 7).
+
+* :class:`MultiClassBayesianVoting` — the optimal strategy (Equation
+  10): return ``argmax_t alpha_t * Pr(V | t)``, ties resolved to the
+  smallest label for determinism.
+* :class:`PluralityVoting` — the MV generalization: the label with the
+  most votes wins, ties to the smallest tied label.
+* :class:`RandomizedPluralityVoting` — vote-share-proportional
+  randomized counterpart (the multiclass RMV).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.task import validate_prior_vector
+from .confusion import MultiClassWorker
+
+
+def _check_multiclass_votes(
+    votes: Sequence[int], workers: Sequence[MultiClassWorker]
+) -> np.ndarray:
+    arr = np.asarray(votes, dtype=int)
+    if arr.ndim != 1 or arr.size != len(workers):
+        raise ValueError(f"{arr.size} votes for {len(workers)} workers")
+    if arr.size == 0:
+        raise ValueError("cannot vote with an empty jury")
+    num_labels = workers[0].num_labels
+    for worker in workers:
+        if worker.num_labels != num_labels:
+            raise ValueError("workers disagree on the number of labels")
+    if np.any((arr < 0) | (arr >= num_labels)):
+        raise ValueError(f"votes {votes!r} outside 0..{num_labels - 1}")
+    return arr
+
+
+def log_joint(
+    votes: np.ndarray,
+    workers: Sequence[MultiClassWorker],
+    prior: np.ndarray,
+) -> np.ndarray:
+    """``log(alpha_t * Pr(V | t))`` for every label t (``-inf`` where
+    the joint probability is zero)."""
+    num_labels = workers[0].num_labels
+    with np.errstate(divide="ignore"):
+        log_prior = np.log(prior)
+        scores = log_prior.copy()
+        for worker, vote in zip(workers, votes):
+            scores = scores + np.log(worker.confusion.matrix[:, vote])
+    del num_labels
+    return scores
+
+
+class MultiClassBayesianVoting:
+    """Optimal multiclass strategy: MAP over labels (Equation 10)."""
+
+    name = "MC-BV"
+    is_deterministic = True
+
+    def decide(
+        self,
+        votes: Sequence[int],
+        workers: Sequence[MultiClassWorker],
+        prior: Sequence[float] | None = None,
+    ) -> int:
+        arr = _check_multiclass_votes(votes, workers)
+        num_labels = workers[0].num_labels
+        if prior is None:
+            prior_vec = np.full(num_labels, 1.0 / num_labels)
+        else:
+            prior_vec = validate_prior_vector(prior)
+            if prior_vec.size != num_labels:
+                raise ValueError("prior length does not match label count")
+        scores = log_joint(arr, workers, prior_vec)
+        # argmax with ties to the smallest label: np.argmax already
+        # returns the first maximal index.
+        return int(np.argmax(scores))
+
+    def posterior(
+        self,
+        votes: Sequence[int],
+        workers: Sequence[MultiClassWorker],
+        prior: Sequence[float] | None = None,
+    ) -> np.ndarray:
+        """The full posterior ``Pr(t | V)`` over labels."""
+        arr = _check_multiclass_votes(votes, workers)
+        num_labels = workers[0].num_labels
+        if prior is None:
+            prior_vec = np.full(num_labels, 1.0 / num_labels)
+        else:
+            prior_vec = validate_prior_vector(prior)
+        scores = log_joint(arr, workers, prior_vec)
+        finite = scores[np.isfinite(scores)]
+        if finite.size == 0:
+            return np.full(num_labels, 1.0 / num_labels)
+        shifted = np.exp(scores - finite.max())
+        return shifted / shifted.sum()
+
+
+class PluralityVoting:
+    """Most-votes-wins; ties resolve to the smallest tied label."""
+
+    name = "MC-PLURALITY"
+    is_deterministic = True
+
+    def decide(
+        self,
+        votes: Sequence[int],
+        workers: Sequence[MultiClassWorker],
+        prior: Sequence[float] | None = None,
+    ) -> int:
+        arr = _check_multiclass_votes(votes, workers)
+        counts = np.bincount(arr, minlength=workers[0].num_labels)
+        return int(np.argmax(counts))
+
+
+class RandomizedPluralityVoting:
+    """Returns label ``k`` with probability (#votes for k) / n."""
+
+    name = "MC-RPLURALITY"
+    is_deterministic = False
+
+    def label_distribution(
+        self,
+        votes: Sequence[int],
+        workers: Sequence[MultiClassWorker],
+        prior: Sequence[float] | None = None,
+    ) -> np.ndarray:
+        arr = _check_multiclass_votes(votes, workers)
+        counts = np.bincount(arr, minlength=workers[0].num_labels)
+        return counts / counts.sum()
+
+    def decide(
+        self,
+        votes: Sequence[int],
+        workers: Sequence[MultiClassWorker],
+        prior: Sequence[float] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> int:
+        dist = self.label_distribution(votes, workers, prior)
+        if rng is None:
+            raise ValueError("randomized decision requires an rng")
+        return int(rng.choice(dist.size, p=dist))

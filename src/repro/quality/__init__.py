@@ -1,0 +1,136 @@
+"""Jury Quality computation (Sections 3.2 and 4).
+
+Entry points:
+
+* :func:`jury_quality` — the facade most callers want; picks the right
+  algorithm for the strategy and jury size.
+* :func:`exact_jq` / :func:`exact_jq_bv` — exponential ground truth.
+* :func:`exact_jq_mv` — polynomial Poisson-binomial oracle for MV.
+* :func:`estimate_jq` — the paper's bucket approximation (Algorithm 1)
+  with pruning (Algorithm 2).
+* :func:`bucket_error_bound` / :func:`buckets_for_error` — the proven
+  additive guarantees of Section 4.4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.jury import Jury
+from ..core.task import UNINFORMATIVE_PRIOR
+from ..voting.base import VotingStrategy
+from ..voting.bayesian import BayesianVoting
+from ..voting.majority import HalfVoting, MajorityVoting
+from .bounds import bucket_error_bound, buckets_for_error, paper_default_bound
+from .bucket import (
+    DEFAULT_NUM_BUCKETS,
+    BucketJQResult,
+    bucket_indices,
+    estimate_jq,
+    estimate_jq_detailed,
+    log_odds,
+)
+from .canonical import as_qualities, canonicalize_qualities, reinterpret_voting
+from .exact import (
+    DEFAULT_MAX_EXACT_SIZE,
+    exact_jq,
+    exact_jq_bv,
+    joint_probabilities,
+    strategy_accuracy_per_voting,
+    vote_matrix,
+)
+from .majority import (
+    exact_jq_half,
+    exact_jq_mv,
+    majority_threshold,
+    poisson_binomial_pmf,
+)
+from .prior import PRIOR_WORKER_ID, fold_prior, fold_prior_jury, pseudo_worker
+
+#: Above this jury size the facade switches BV from exact enumeration to
+#: the bucket estimator.
+EXACT_BV_CUTOFF = 15
+
+
+def jury_quality(
+    jury_or_qualities: Jury | Sequence[float],
+    strategy: VotingStrategy | None = None,
+    alpha: float = UNINFORMATIVE_PRIOR,
+    method: str = "auto",
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+) -> float:
+    """Compute ``JQ(J, S, alpha)`` choosing a suitable algorithm.
+
+    Parameters
+    ----------
+    jury_or_qualities:
+        The jury (or its quality vector).
+    strategy:
+        The voting strategy; defaults to Bayesian Voting, the optimal
+        strategy of Theorem 1.
+    alpha:
+        The task prior ``Pr(t = 0)``.
+    method:
+        ``"auto"`` (default) picks: the Poisson-binomial oracle for
+        MV/Half, exact enumeration for BV on small juries and the
+        bucket estimator on large ones, and exact enumeration for every
+        other strategy.  ``"exact"`` forces enumeration (or the MV
+        oracle); ``"bucket"`` forces the estimator (BV only).
+    num_buckets:
+        Bucket resolution when the estimator is used.
+    """
+    if strategy is None:
+        strategy = BayesianVoting()
+    qualities = as_qualities(jury_or_qualities)
+
+    if method not in ("auto", "exact", "bucket"):
+        raise ValueError(f"unknown method {method!r}")
+
+    if method == "bucket":
+        if not isinstance(strategy, BayesianVoting):
+            raise ValueError(
+                "the bucket estimator is defined for Bayesian Voting only"
+            )
+        return estimate_jq(qualities, alpha=alpha, num_buckets=num_buckets)
+
+    if isinstance(strategy, MajorityVoting):
+        return exact_jq_mv(qualities, alpha)
+    if isinstance(strategy, HalfVoting):
+        return exact_jq_half(qualities, alpha)
+    if isinstance(strategy, BayesianVoting):
+        if method == "exact" or qualities.size <= EXACT_BV_CUTOFF:
+            return exact_jq_bv(qualities, alpha)
+        return estimate_jq(qualities, alpha=alpha, num_buckets=num_buckets)
+    return exact_jq(qualities, strategy, alpha)
+
+
+__all__ = [
+    "BucketJQResult",
+    "DEFAULT_MAX_EXACT_SIZE",
+    "DEFAULT_NUM_BUCKETS",
+    "EXACT_BV_CUTOFF",
+    "PRIOR_WORKER_ID",
+    "as_qualities",
+    "bucket_error_bound",
+    "bucket_indices",
+    "buckets_for_error",
+    "canonicalize_qualities",
+    "estimate_jq",
+    "estimate_jq_detailed",
+    "exact_jq",
+    "exact_jq_bv",
+    "exact_jq_half",
+    "exact_jq_mv",
+    "fold_prior",
+    "fold_prior_jury",
+    "joint_probabilities",
+    "jury_quality",
+    "log_odds",
+    "majority_threshold",
+    "paper_default_bound",
+    "poisson_binomial_pmf",
+    "pseudo_worker",
+    "reinterpret_voting",
+    "strategy_accuracy_per_voting",
+    "vote_matrix",
+]

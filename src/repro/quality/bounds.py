@@ -1,0 +1,94 @@
+"""Approximation error bounds for the bucket estimator (Section 4.4).
+
+The paper proves the additive guarantee
+
+    estimate <= JQ   and   JQ - estimate < e^{n * delta / 4} - 1,
+
+where ``n`` is the (prior-folded) jury size and ``delta`` the bucket
+width in the log-odds domain.  With ``num_buckets = d * n`` and
+``upper = max phi(q_i) < phi(0.99) < 5`` this becomes
+``e^{5 / (4 d)} - 1``, which is below 1% for ``d >= 200``.
+
+These helpers compute the bound for a concrete jury and invert it to a
+bucket count achieving a target error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.task import UNINFORMATIVE_PRIOR, validate_prior
+from .bucket import log_odds
+from .canonical import as_qualities, canonicalize_qualities
+from .prior import fold_prior
+
+
+def _folded_phis(
+    jury_or_qualities: Jury | Sequence[float], alpha: float
+) -> np.ndarray:
+    qualities = canonicalize_qualities(
+        fold_prior(as_qualities(jury_or_qualities), validate_prior(alpha))
+    )
+    return np.array([log_odds(q) for q in qualities])
+
+
+def bucket_error_bound(
+    jury_or_qualities: Jury | Sequence[float],
+    num_buckets: int,
+    alpha: float = UNINFORMATIVE_PRIOR,
+) -> float:
+    """The proven additive bound ``e^{n * delta / 4} - 1`` for this jury.
+
+    Returns 0 when the jury carries no information (all phi = 0) or
+    infinity when some worker has quality 1 (the estimator shortcuts
+    those cases to the exact answer anyway).
+    """
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be >= 1")
+    phis = _folded_phis(jury_or_qualities, alpha)
+    upper = float(phis.max())
+    if upper <= 0.0:
+        return 0.0
+    if math.isinf(upper):
+        return math.inf
+    n = phis.size
+    delta = upper / num_buckets
+    return math.exp(n * delta / 4.0) - 1.0
+
+
+def buckets_for_error(
+    jury_or_qualities: Jury | Sequence[float],
+    target_error: float,
+    alpha: float = UNINFORMATIVE_PRIOR,
+) -> int:
+    """Smallest bucket count whose proven bound meets ``target_error``.
+
+    Inverts the bound: ``delta < 4 ln(1 + eps) / n`` requires
+    ``num_buckets > upper * n / (4 ln(1 + eps))``.
+    """
+    if target_error <= 0.0:
+        raise ValueError("target_error must be positive")
+    phis = _folded_phis(jury_or_qualities, alpha)
+    upper = float(phis.max())
+    if upper <= 0.0:
+        return 1
+    if math.isinf(upper):
+        raise ValueError(
+            "a quality-1 worker has unbounded log-odds; the estimator "
+            "shortcuts this case exactly, no bucket count applies"
+        )
+    n = phis.size
+    needed = upper * n / (4.0 * math.log1p(target_error))
+    return max(1, math.ceil(needed))
+
+
+def paper_default_bound(d: int = 200) -> float:
+    """The paper's headline bound ``e^{5/(4d)} - 1`` (``< 0.627%`` at
+    d = 200), assuming ``upper < phi(0.99) < 5``."""
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    return math.exp(5.0 / (4.0 * d)) - 1.0

@@ -1,0 +1,65 @@
+"""Quality canonicalization: the q < 0.5 reinterpretation of Section 3.3.
+
+A worker whose quality is below 0.5 is more often wrong than right, so
+her vote is evidence for the *opposite* label.  Under Bayesian Voting
+this is handled automatically by the likelihoods, and the paper notes
+the equivalent reinterpretation: a worker with quality ``q < 0.5`` can
+be replaced by a worker with quality ``1 - q`` whose votes are negated.
+
+The Jury Quality of BV is invariant under this flip (the flip is a
+relabeling of one vote variable, and JQ sums over all votings), which
+lets the numeric JQ algorithms assume ``q >= 0.5`` throughout — the
+standing assumption of Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.jury import Jury
+
+
+def as_qualities(jury_or_qualities: Jury | Sequence[float]) -> np.ndarray:
+    """Normalize an input that may be a Jury or a raw quality vector."""
+    if isinstance(jury_or_qualities, Jury):
+        return jury_or_qualities.qualities
+    arr = np.asarray(jury_or_qualities, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("qualities must be a 1-D sequence")
+    if np.any(np.isnan(arr)) or np.any(arr < 0.0) or np.any(arr > 1.0):
+        raise ValueError(f"qualities {jury_or_qualities!r} must lie in [0, 1]")
+    return arr
+
+
+def canonicalize_qualities(
+    jury_or_qualities: Jury | Sequence[float],
+) -> np.ndarray:
+    """Map every quality to ``max(q, 1 - q)``.
+
+    Valid for BV-based JQ computation only (see module docstring); the
+    flip changes the behaviour of quality-blind strategies such as MV.
+    """
+    qualities = as_qualities(jury_or_qualities)
+    return np.maximum(qualities, 1.0 - qualities)
+
+
+def reinterpret_voting(
+    votes: Sequence[int], qualities: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply the Section-3.3 reinterpretation to a concrete voting.
+
+    Returns ``(votes', qualities')`` where every worker with
+    ``q < 0.5`` has her vote negated and quality replaced by ``1 - q``.
+    BV's decision on the reinterpreted voting equals its decision on the
+    original.
+    """
+    v = np.asarray(votes, dtype=int)
+    q = as_qualities(qualities)
+    if v.shape != q.shape:
+        raise ValueError("votes and qualities must have equal length")
+    unreliable = q < 0.5
+    flipped_votes = np.where(unreliable, 1 - v, v)
+    flipped_qualities = np.where(unreliable, 1.0 - q, q)
+    return flipped_votes, flipped_qualities

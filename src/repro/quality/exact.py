@@ -1,0 +1,157 @@
+"""Exact Jury Quality by enumeration (Definition 3).
+
+``JQ(J, S, alpha)`` is the probability that strategy ``S``'s result
+equals the latent truth:
+
+    JQ = alpha     * sum_V Pr(V | t=0) * E[1{S(V) = 0}]
+       + (1-alpha) * sum_V Pr(V | t=1) * E[1{S(V) = 1}]
+
+The generic implementation enumerates all ``2^n`` votings and queries
+the strategy through :meth:`VotingStrategy.prob_zero`, so it works for
+every deterministic and randomized strategy.  For Bayesian Voting a
+vectorized fast path uses the closed form
+
+    JQ(J, BV, alpha) = sum_V max(P0(V), P1(V)),
+
+which follows from Theorem 1 (BV picks the larger joint probability on
+every voting).
+
+Both paths are exponential in the jury size; they exist as ground truth
+for tests and small-N experiments.  The bucket algorithm in
+:mod:`repro.quality.bucket` is the scalable estimator.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import EnumerationLimitError
+from ..core.jury import Jury
+from ..core.task import UNINFORMATIVE_PRIOR, validate_prior
+from ..voting.base import VotingStrategy
+from ..voting.bayesian import BayesianVoting
+from .canonical import as_qualities
+
+#: Largest jury size the exact routines enumerate by default.
+DEFAULT_MAX_EXACT_SIZE = 20
+
+
+def _check_size(n: int, max_size: int) -> None:
+    if n == 0:
+        raise ValueError("cannot compute JQ for an empty jury")
+    if n > max_size:
+        raise EnumerationLimitError(
+            f"exact JQ enumerates 2^{n} votings; jury size {n} exceeds the "
+            f"limit {max_size} (raise max_size explicitly if intended)"
+        )
+
+
+def vote_matrix(n: int) -> np.ndarray:
+    """All ``2^n`` binary votings as a ``(2^n, n)`` int matrix.
+
+    Row ``r``'s vote for worker ``i`` is bit ``i`` of ``r``, so the
+    enumeration order is stable and documented.
+    """
+    rows = np.arange(2**n, dtype=np.int64)
+    return (rows[:, None] >> np.arange(n)) & 1
+
+
+def joint_probabilities(
+    qualities: np.ndarray, alpha: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(P0, P1)`` over all votings in :func:`vote_matrix` order.
+
+    ``P0[r] = alpha * Pr(V_r | t=0)`` and symmetrically for ``P1``.
+    """
+    votes = vote_matrix(qualities.size)
+    like0 = np.prod(np.where(votes == 0, qualities, 1.0 - qualities), axis=1)
+    like1 = np.prod(np.where(votes == 1, qualities, 1.0 - qualities), axis=1)
+    return alpha * like0, (1.0 - alpha) * like1
+
+
+def exact_jq(
+    jury_or_qualities: Jury | Sequence[float],
+    strategy: VotingStrategy,
+    alpha: float = UNINFORMATIVE_PRIOR,
+    max_size: int = DEFAULT_MAX_EXACT_SIZE,
+) -> float:
+    """Exact JQ of ``strategy`` on the jury, for any strategy.
+
+    Parameters
+    ----------
+    jury_or_qualities:
+        The jury (or its quality vector).
+    strategy:
+        Any :class:`VotingStrategy`; randomized strategies contribute
+        their expected indicator.
+    alpha:
+        The task prior ``Pr(t = 0)``.
+    max_size:
+        Guard against accidental huge enumerations.
+    """
+    qualities = as_qualities(jury_or_qualities)
+    a = validate_prior(alpha)
+    n = qualities.size
+    _check_size(n, max_size)
+
+    if isinstance(strategy, BayesianVoting):
+        return exact_jq_bv(qualities, a, max_size=max_size)
+
+    p0, p1 = joint_probabilities(qualities, a)
+    jq = 0.0
+    for votes in product((0, 1), repeat=n):
+        # product() emits votes most-significant-first relative to our
+        # bit order, so recompute the row index from the bits.
+        index = sum(v << i for i, v in enumerate(votes))
+        h = strategy.prob_zero(votes, qualities, a)
+        jq += p0[index] * h + p1[index] * (1.0 - h)
+    return float(jq)
+
+
+def exact_jq_bv(
+    jury_or_qualities: Jury | Sequence[float],
+    alpha: float = UNINFORMATIVE_PRIOR,
+    max_size: int = DEFAULT_MAX_EXACT_SIZE,
+) -> float:
+    """Exact ``JQ(J, BV, alpha)`` via the vectorized closed form
+    ``sum_V max(P0(V), P1(V))``."""
+    qualities = as_qualities(jury_or_qualities)
+    a = validate_prior(alpha)
+    _check_size(qualities.size, max_size)
+    p0, p1 = joint_probabilities(qualities, a)
+    return float(np.sum(np.maximum(p0, p1)))
+
+
+def strategy_accuracy_per_voting(
+    jury_or_qualities: Jury | Sequence[float],
+    strategy: VotingStrategy,
+    alpha: float = UNINFORMATIVE_PRIOR,
+    max_size: int = DEFAULT_MAX_EXACT_SIZE,
+) -> list[dict]:
+    """Per-voting breakdown used by Figure-2-style worked examples.
+
+    Returns one record per voting with the joint probabilities, the
+    strategy's zero-probability and its contribution to JQ.
+    """
+    qualities = as_qualities(jury_or_qualities)
+    a = validate_prior(alpha)
+    n = qualities.size
+    _check_size(n, max_size)
+    p0, p1 = joint_probabilities(qualities, a)
+    records = []
+    for votes in product((0, 1), repeat=n):
+        index = sum(v << i for i, v in enumerate(votes))
+        h = strategy.prob_zero(votes, qualities, a)
+        records.append(
+            {
+                "votes": votes,
+                "p0": float(p0[index]),
+                "p1": float(p1[index]),
+                "prob_zero": float(h),
+                "contribution": float(p0[index] * h + p1[index] * (1.0 - h)),
+            }
+        )
+    return records

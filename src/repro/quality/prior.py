@@ -1,0 +1,55 @@
+"""Prior incorporation (Theorem 3): the prior is a pseudo-worker.
+
+Theorem 3 states ``JQ(J, BV, alpha) = JQ(J', BV, 0.5)`` where ``J'``
+adds one worker of quality ``alpha`` to ``J``.  Intuition: the prior
+enters the Bayes posterior exactly like one more independent vote of
+reliability ``alpha`` that always "votes 0" — equivalently a quality-
+``alpha`` worker integrated over her vote.
+
+Every JQ entry point in this package calls :func:`fold_prior` so that
+``alpha = 0.5`` is not a special code path: a flat prior folds to a
+quality-0.5 pseudo-worker, which is a JQ no-op, and we skip appending
+it purely as an optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.task import validate_prior
+from ..core.worker import Worker
+from .canonical import as_qualities
+
+#: Identifier of the pseudo-worker added by Theorem 3.
+PRIOR_WORKER_ID = "__prior__"
+
+
+def pseudo_worker(alpha: float) -> Worker:
+    """The Theorem-3 pseudo-worker: quality ``alpha``, cost 0."""
+    return Worker(PRIOR_WORKER_ID, validate_prior(alpha), 0.0)
+
+
+def fold_prior(
+    jury_or_qualities: Jury | Sequence[float], alpha: float
+) -> np.ndarray:
+    """Return the quality vector of ``J' = J + pseudo_worker(alpha)``.
+
+    For ``alpha = 0.5`` the pseudo-worker carries no information and is
+    omitted, returning the original qualities unchanged.
+    """
+    qualities = as_qualities(jury_or_qualities)
+    a = validate_prior(alpha)
+    if a == 0.5:
+        return qualities
+    return np.append(qualities, a)
+
+
+def fold_prior_jury(jury: Jury, alpha: float) -> Jury:
+    """Jury-level variant of :func:`fold_prior`."""
+    a = validate_prior(alpha)
+    if a == 0.5:
+        return jury
+    return jury.with_worker(pseudo_worker(a))

@@ -1,0 +1,59 @@
+"""Jury Selection Problem solvers (Section 5).
+
+* :class:`AnnealingSelector` — the paper's simulated-annealing solver
+  (Algorithms 3–4); the default engine behind OPTJS.
+* :class:`ExhaustiveSelector` — optimal by enumeration, for small N.
+* :class:`MVJSSelector` — the Cao et al. Majority-Voting baseline.
+* :class:`GreedyQualitySelector` / :class:`GreedyRatioSelector` —
+  cheap baselines for ablations.
+* Special cases — closed forms licensed by the monotonicity lemmas.
+* :func:`budget_quality_table` — the Figure-1 provider-facing table.
+"""
+
+from .annealing import (
+    DEFAULT_COOLING_DIVISOR,
+    DEFAULT_EPSILON,
+    DEFAULT_INITIAL_TEMPERATURE,
+    AnnealingSelector,
+    anneal_subset,
+)
+from .base import JQObjective, JurySelector, SelectionResult
+from .budget_table import (
+    BudgetQualityTable,
+    BudgetTableRow,
+    budget_quality_table,
+)
+from .exhaustive import DEFAULT_MAX_POOL, ExhaustiveSelector, optimal_jq
+from .greedy import GreedyQualitySelector, GreedyRatioSelector
+from .mvjs import MVJSSelector, mv_objective
+from .special_cases import (
+    check_quality_monotonicity,
+    check_size_monotonicity,
+    select_all_if_unconstrained,
+    select_top_k_uniform_cost,
+)
+
+__all__ = [
+    "AnnealingSelector",
+    "BudgetQualityTable",
+    "BudgetTableRow",
+    "DEFAULT_COOLING_DIVISOR",
+    "DEFAULT_EPSILON",
+    "DEFAULT_INITIAL_TEMPERATURE",
+    "DEFAULT_MAX_POOL",
+    "ExhaustiveSelector",
+    "GreedyQualitySelector",
+    "GreedyRatioSelector",
+    "JQObjective",
+    "JurySelector",
+    "MVJSSelector",
+    "SelectionResult",
+    "anneal_subset",
+    "budget_quality_table",
+    "check_quality_monotonicity",
+    "check_size_monotonicity",
+    "mv_objective",
+    "optimal_jq",
+    "select_all_if_unconstrained",
+    "select_top_k_uniform_cost",
+]

@@ -1,0 +1,195 @@
+"""Jury-selection interfaces: objectives and the selector ABC.
+
+The Jury Selection Problem (Section 2.2) is
+
+    J* = argmax_{J subset of W, cost(J) <= B}  max_S JQ(J, S, alpha).
+
+By Theorem 1 the inner maximum is attained by Bayesian Voting, so a
+*selector* maximizes a fixed-strategy objective ``JQ(J, S, alpha)``
+over feasible juries.  :class:`JQObjective` packages the strategy and
+the JQ algorithm (exact / bucket / Poisson-binomial) behind a single
+callable and counts evaluations so benchmarks can report work done.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.task import UNINFORMATIVE_PRIOR, validate_prior
+from ..core.worker import WorkerPool
+from ..quality import (
+    DEFAULT_NUM_BUCKETS,
+    estimate_jq,
+    exact_jq,
+    exact_jq_bv,
+    exact_jq_mv,
+)
+from ..voting.base import VotingStrategy
+from ..voting.bayesian import BayesianVoting
+from ..voting.majority import MajorityVoting
+
+
+class JQObjective:
+    """The objective ``J -> JQ(J, S, alpha)`` for a fixed strategy.
+
+    Parameters
+    ----------
+    strategy:
+        The voting strategy whose JQ is maximized.  Defaults to
+        Bayesian Voting (giving the paper's OPTJS); pass
+        :class:`MajorityVoting` for the MVJS baseline.
+    alpha:
+        The task prior.
+    num_buckets:
+        Bucket resolution when the BV estimator is used.
+    exact_cutoff:
+        BV juries at or below this size are evaluated exactly; above
+        it the (fast, <1%-error) bucket estimator takes over.  The
+        default of 12 keeps a single evaluation under a millisecond,
+        which matters inside the annealer's thousands of calls.
+
+    Notes
+    -----
+    The empty jury is scored ``max(alpha, 1 - alpha)``: with no votes,
+    the best any strategy can do is answer the prior's mode.
+    """
+
+    def __init__(
+        self,
+        strategy: VotingStrategy | None = None,
+        alpha: float = UNINFORMATIVE_PRIOR,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+        exact_cutoff: int = 12,
+    ) -> None:
+        self.strategy = strategy if strategy is not None else BayesianVoting()
+        self.alpha = validate_prior(alpha)
+        self.num_buckets = num_buckets
+        self.exact_cutoff = exact_cutoff
+        self.evaluations = 0
+
+    @property
+    def is_monotone(self) -> bool:
+        """True when adding a worker can never decrease the objective.
+
+        Lemma 1 proves this for BV.  It is false for MV (a low-quality
+        extra voter can flip majorities), so exhaustive search must not
+        restrict itself to maximal juries under MV.
+        """
+        return isinstance(self.strategy, BayesianVoting)
+
+    def __call__(self, jury: Jury) -> float:
+        self.evaluations += 1
+        qualities = jury.qualities
+        if qualities.size == 0:
+            return max(self.alpha, 1.0 - self.alpha)
+        if isinstance(self.strategy, BayesianVoting):
+            if qualities.size <= self.exact_cutoff:
+                return exact_jq_bv(qualities, self.alpha)
+            return estimate_jq(
+                qualities, alpha=self.alpha, num_buckets=self.num_buckets
+            )
+        if isinstance(self.strategy, MajorityVoting):
+            return exact_jq_mv(qualities, self.alpha)
+        return exact_jq(qualities, self.strategy, self.alpha)
+
+    def reset_counter(self) -> None:
+        self.evaluations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"JQObjective(strategy={self.strategy.name}, "
+            f"alpha={self.alpha}, num_buckets={self.num_buckets})"
+        )
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one jury-selection run.
+
+    Attributes
+    ----------
+    jury:
+        The selected jury (possibly empty when nothing is affordable).
+    jq:
+        The jury's objective value (JQ under the selector's strategy).
+    cost:
+        The jury cost.
+    budget:
+        The budget the selection ran under.
+    evaluations:
+        Number of JQ evaluations the selector performed.
+    elapsed_seconds:
+        Wall-clock time of the selection.
+    selector:
+        Name of the selector that produced this result.
+    """
+
+    jury: Jury
+    jq: float
+    cost: float
+    budget: float
+    evaluations: int = 0
+    elapsed_seconds: float = 0.0
+    selector: str = ""
+
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        return self.jury.worker_ids
+
+
+class JurySelector(ABC):
+    """Abstract JSP solver.
+
+    Subclasses implement :meth:`_select`; :meth:`select` wraps it with
+    validation, timing and evaluation counting.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, objective: JQObjective | None = None) -> None:
+        self.objective = objective if objective is not None else JQObjective()
+
+    def select(
+        self,
+        pool: WorkerPool,
+        budget: float,
+        rng: np.random.Generator | None = None,
+    ) -> SelectionResult:
+        """Solve JSP over ``pool`` under ``budget``.
+
+        ``rng`` seeds stochastic selectors; deterministic selectors
+        ignore it.
+        """
+        if budget < 0:
+            raise ValueError(f"budget must be non-negative, got {budget}")
+        if rng is None:
+            rng = np.random.default_rng()
+        self.objective.reset_counter()
+        start = time.perf_counter()
+        jury = self._select(pool, float(budget), rng)
+        elapsed = time.perf_counter() - start
+        evaluations = self.objective.evaluations
+        jq = self.objective(jury)
+        return SelectionResult(
+            jury=jury,
+            jq=jq,
+            cost=jury.cost,
+            budget=float(budget),
+            evaluations=evaluations,
+            elapsed_seconds=elapsed,
+            selector=self.name,
+        )
+
+    @abstractmethod
+    def _select(
+        self, pool: WorkerPool, budget: float, rng: np.random.Generator
+    ) -> Jury:
+        """Return a feasible jury (subclass hook)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(objective={self.objective!r})"

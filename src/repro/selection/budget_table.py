@@ -1,0 +1,97 @@
+"""Budget–quality tables: the Figure-1 "Optimal Jury Selection System".
+
+The task provider supplies a list of candidate budgets; each row of the
+table reports, for one budget, the selected jury, its estimated JQ and
+the money actually required.  Providers use the table to pick a
+budget–quality sweet spot (the paper's example: going from 15 to 20
+units buys only ~2.5% quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.worker import WorkerPool
+from .base import JurySelector, SelectionResult
+
+
+@dataclass(frozen=True)
+class BudgetTableRow:
+    """One row of the budget–quality table."""
+
+    budget: float
+    worker_ids: tuple[str, ...]
+    jq: float
+    required: float
+
+    @property
+    def marginal_note(self) -> str:  # pragma: no cover - formatting only
+        return (
+            f"B={self.budget:g}: jury {{{', '.join(self.worker_ids)}}} "
+            f"JQ={self.jq:.4f} cost={self.required:g}"
+        )
+
+
+@dataclass(frozen=True)
+class BudgetQualityTable:
+    """The full table plus the raw selection results."""
+
+    rows: tuple[BudgetTableRow, ...]
+    results: tuple[SelectionResult, ...]
+
+    def best_value_row(self, min_gain: float = 0.0) -> BudgetTableRow:
+        """The cheapest row after which every further budget increase
+        improves JQ by at most ``min_gain`` — the provider's "sweet
+        spot" heuristic from the Figure-1 walkthrough."""
+        if not self.rows:
+            raise ValueError("empty budget table")
+        chosen = self.rows[-1]
+        for i in range(len(self.rows) - 1):
+            remaining_gain = self.rows[-1].jq - self.rows[i].jq
+            if remaining_gain <= min_gain + 1e-12:
+                chosen = self.rows[i]
+                break
+        return chosen
+
+    def render(self) -> str:
+        """Plain-text rendering in the Figure-1 layout."""
+        header = f"{'Budget':>8} | {'Optimal Jury Set':<28} | {'Quality':>8} | {'Required':>8}"
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            jury = "{" + ", ".join(row.worker_ids) + "}"
+            lines.append(
+                f"{row.budget:>8g} | {jury:<28} | {row.jq:>7.2%} | {row.required:>8g}"
+            )
+        return "\n".join(lines)
+
+
+def budget_quality_table(
+    pool: WorkerPool,
+    budgets: Sequence[float],
+    selector: JurySelector,
+    rng: np.random.Generator | None = None,
+) -> BudgetQualityTable:
+    """Run the selector once per budget and assemble the table.
+
+    Budgets are processed in ascending order; rows keep the caller's
+    requested budgets.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    rows: list[BudgetTableRow] = []
+    results: list[SelectionResult] = []
+    for budget in sorted(float(b) for b in budgets):
+        result = selector.select(pool, budget, rng=rng)
+        results.append(result)
+        rows.append(
+            BudgetTableRow(
+                budget=budget,
+                worker_ids=result.worker_ids,
+                jq=result.jq,
+                required=result.cost,
+            )
+        )
+    return BudgetQualityTable(tuple(rows), tuple(results))

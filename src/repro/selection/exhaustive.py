@@ -1,0 +1,89 @@
+"""Exhaustive JSP solver: the ground truth for small candidate pools.
+
+Enumerates every feasible jury and returns the objective maximizer.
+For monotone objectives (BV, by Lemma 1) only *maximal* feasible juries
+need scoring — a jury with room left in the budget for another
+affordable worker is dominated by its extension — which cuts the number
+of JQ evaluations dramatically.  Non-monotone objectives (MV) score
+every feasible jury.
+
+The paper uses exactly this enumeration to obtain ``J*`` for the
+Figure 7(a) / Table 3 comparisons at N = 11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import EnumerationLimitError
+from ..core.jury import Jury
+from ..core.worker import WorkerPool
+from .base import JurySelector
+
+#: Pools larger than this raise rather than enumerate 2^N juries.
+DEFAULT_MAX_POOL = 22
+
+
+class ExhaustiveSelector(JurySelector):
+    """Optimal JSP by enumeration (exponential in the pool size)."""
+
+    name = "exhaustive"
+
+    def __init__(self, objective=None, max_pool: int = DEFAULT_MAX_POOL) -> None:
+        super().__init__(objective)
+        self.max_pool = max_pool
+
+    def _select(
+        self, pool: WorkerPool, budget: float, rng: np.random.Generator
+    ) -> Jury:
+        n = len(pool)
+        if n > self.max_pool:
+            raise EnumerationLimitError(
+                f"exhaustive JSP enumerates 2^{n} juries; pool size {n} "
+                f"exceeds the limit {self.max_pool}"
+            )
+        costs = pool.costs
+        workers = pool.workers
+        monotone = self.objective.is_monotone
+        eps = 1e-12
+
+        best_jury = Jury(())
+        best_jq = -np.inf
+        for mask in range(1 << n):
+            members = [i for i in range(n) if mask >> i & 1]
+            cost = float(costs[members].sum()) if members else 0.0
+            if cost > budget + eps:
+                continue
+            if monotone:
+                # Skip non-maximal juries: some excluded worker fits.
+                slack = budget - cost
+                if any(
+                    not (mask >> i & 1) and costs[i] <= slack + eps
+                    for i in range(n)
+                ):
+                    continue
+            jury = Jury(workers[i] for i in members)
+            if len(jury) == 0:
+                continue
+            jq = self.objective(jury)
+            if jq > best_jq + eps or (
+                abs(jq - best_jq) <= eps and jury.cost < best_jury.cost
+            ):
+                best_jq = jq
+                best_jury = jury
+        return best_jury
+
+
+def optimal_jq(
+    pool: WorkerPool,
+    budget: float,
+    objective=None,
+    max_pool: int = DEFAULT_MAX_POOL,
+) -> float:
+    """Convenience: the optimal objective value ``JQ(J*)`` for a pool.
+
+    Used by the Figure 7(a)/Table 3 experiments to measure how far the
+    annealing heuristic lands from the true optimum.
+    """
+    selector = ExhaustiveSelector(objective, max_pool=max_pool)
+    return selector.select(pool, budget).jq

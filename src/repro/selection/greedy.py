@@ -1,0 +1,68 @@
+"""Greedy JSP baselines.
+
+Neither greedy is part of the paper's solution; they exist as cheap
+baselines for the ablation benchmarks and as building blocks for the
+MVJS repair heuristic.
+
+* :class:`GreedyQualitySelector` — admit workers by descending quality
+  while they fit the remaining budget.  Optimal in the uniform-cost
+  special case (Lemma 2 / Section 5).
+* :class:`GreedyRatioSelector` — admit by descending "information per
+  cost", scoring each worker by her log-odds ``phi(q)`` divided by her
+  cost (free workers first: Lemma 1 says they can never hurt).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.worker import WorkerPool
+from ..quality.bucket import log_odds
+from .base import JurySelector
+
+
+class GreedyQualitySelector(JurySelector):
+    """Admit by descending quality while affordable."""
+
+    name = "greedy-quality"
+
+    def _select(
+        self, pool: WorkerPool, budget: float, rng: np.random.Generator
+    ) -> Jury:
+        members = []
+        remaining = budget
+        eps = 1e-12
+        for worker in pool.sorted_by_quality():
+            if worker.cost <= remaining + eps:
+                members.append(worker)
+                remaining -= worker.cost
+        return Jury(members)
+
+
+class GreedyRatioSelector(JurySelector):
+    """Admit by descending log-odds-per-cost while affordable.
+
+    Free workers (cost 0) carry infinite ratio and are admitted first,
+    highest quality first, which matches the Lemma-1 guidance that
+    volunteers always help BV.
+    """
+
+    name = "greedy-ratio"
+
+    def _select(
+        self, pool: WorkerPool, budget: float, rng: np.random.Generator
+    ) -> Jury:
+        def score(worker) -> tuple[float, float]:
+            phi = log_odds(max(worker.quality, 1.0 - worker.quality))
+            ratio = np.inf if worker.cost == 0 else phi / worker.cost
+            return (ratio, worker.quality)
+
+        members = []
+        remaining = budget
+        eps = 1e-12
+        for worker in sorted(pool, key=score, reverse=True):
+            if worker.cost <= remaining + eps:
+                members.append(worker)
+                remaining -= worker.cost
+        return Jury(members)

@@ -1,0 +1,105 @@
+"""Closed-form JSP special cases from the Section-5 monotonicity lemmas.
+
+Lemma 1 (monotonicity on jury size): adding a worker never decreases
+``JQ(J, BV, alpha)``.  Lemma 2 (monotonicity on quality): raising one
+member's quality (at or above 0.5) never decreases it.  Consequences:
+
+* **Volunteers / unconstrained budget** — when every worker is free, or
+  the budget covers the whole pool, the optimal jury is all of ``W``
+  (:func:`select_all_if_unconstrained`).
+* **Uniform cost c** — the optimal jury is the top
+  ``k = min(floor(B / c), N)`` workers by quality
+  (:func:`select_top_k_uniform_cost`).
+
+The module also exposes numeric checkers for the two lemmas that the
+property-based tests (and any cautious caller) can run on concrete
+juries.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.task import UNINFORMATIVE_PRIOR
+from ..core.worker import Worker, WorkerPool
+from ..quality import exact_jq_bv
+
+
+def select_all_if_unconstrained(pool: WorkerPool, budget: float) -> Jury | None:
+    """The whole pool, when Lemma 1 says that is optimal.
+
+    Returns ``None`` when the condition (total pool cost within budget)
+    does not hold and a real search is needed.
+    """
+    if pool.total_cost <= budget + 1e-12:
+        return Jury(pool.workers)
+    return None
+
+
+def select_top_k_uniform_cost(
+    pool: WorkerPool, budget: float, cost: float | None = None
+) -> Jury | None:
+    """Optimal jury when every worker charges the same cost.
+
+    Returns the top ``k = min(floor(B / c), N)`` workers by quality
+    (Lemma 2), or ``None`` when costs are not uniform.  With ``c = 0``
+    the answer degenerates to the whole pool via Lemma 1.
+    """
+    if len(pool) == 0:
+        return Jury(())
+    costs = pool.costs
+    if cost is None:
+        cost = float(costs[0])
+    if not np.allclose(costs, cost, atol=1e-12):
+        return None
+    if cost <= 0.0:
+        return Jury(pool.workers)
+    k = min(int(math.floor((budget + 1e-12) / cost)), len(pool))
+    ranked = pool.sorted_by_quality()
+    return Jury(ranked[i] for i in range(k))
+
+
+# ----------------------------------------------------------------------
+# Numeric lemma checkers (used by property tests)
+# ----------------------------------------------------------------------
+def check_size_monotonicity(
+    jury: Jury, extra: Worker, alpha: float = UNINFORMATIVE_PRIOR
+) -> tuple[float, float]:
+    """Evaluate Lemma 1 on a concrete instance.
+
+    Returns ``(jq_before, jq_after)`` for ``J`` and ``J + extra``; the
+    lemma asserts ``jq_after >= jq_before``.
+    """
+    before = exact_jq_bv(jury.qualities, alpha) if len(jury) else max(
+        alpha, 1.0 - alpha
+    )
+    after = exact_jq_bv(jury.with_worker(extra).qualities, alpha)
+    return before, after
+
+
+def check_quality_monotonicity(
+    jury: Jury,
+    member_index: int,
+    new_quality: float,
+    alpha: float = UNINFORMATIVE_PRIOR,
+) -> tuple[float, float]:
+    """Evaluate Lemma 2 on a concrete instance.
+
+    Returns ``(jq_before, jq_after)`` where ``after`` raises member
+    ``member_index``'s quality to ``new_quality``.  The lemma requires
+    ``0.5 <= q <= new_quality``.
+    """
+    worker = jury[member_index]
+    if not 0.5 <= worker.quality <= new_quality <= 1.0:
+        raise ValueError(
+            "Lemma 2 requires 0.5 <= current quality <= new quality <= 1"
+        )
+    before = exact_jq_bv(jury.qualities, alpha)
+    upgraded = jury.replace_worker(
+        worker.worker_id, worker.with_quality(new_quality)
+    )
+    after = exact_jq_bv(upgraded.qualities, alpha)
+    return before, after

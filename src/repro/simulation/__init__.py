@@ -1,0 +1,31 @@
+"""Workload simulation: synthetic pools and the simulated AMT platform.
+
+* :func:`generate_pool` — Gaussian quality/cost pools (Section 6.1.1).
+* :class:`AMTSimulator` — the Section-6.2.1 campaign, calibrated to
+  the paper's published statistics (see DESIGN.md, substitutions).
+* :func:`generate_corpus` — the synthetic tweet-sentiment corpus.
+"""
+
+from .amt import AMTConfig, AMTSimulator, Campaign, HIT
+from .sentiment import Tweet, generate_corpus
+from .synthetic import (
+    SyntheticPoolConfig,
+    generate_costs,
+    generate_jury_qualities,
+    generate_pool,
+    generate_qualities,
+)
+
+__all__ = [
+    "AMTConfig",
+    "AMTSimulator",
+    "Campaign",
+    "HIT",
+    "SyntheticPoolConfig",
+    "Tweet",
+    "generate_corpus",
+    "generate_costs",
+    "generate_jury_qualities",
+    "generate_pool",
+    "generate_qualities",
+]

@@ -1,0 +1,96 @@
+"""Synthetic tweet sentiment corpus.
+
+Stands in for the public Sananalytics Twitter sentiment dataset the
+paper crowdsources (Section 6.2.1): "5,152 tweets related to various
+companies", of which 600 randomly chosen ones were published as
+decision-making tasks ("is the sentiment of this tweet positive?"),
+with roughly balanced true answers.
+
+The generator builds template-based tweets with a known sentiment
+label, so downstream code exercises the same path as the real corpus:
+tasks with hidden binary ground truth and ~50/50 class balance.
+Label convention matches the task model: 1 = positive ("yes"),
+0 = not positive ("no").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.task import DecisionTask
+
+_COMPANIES = (
+    "Apple", "Google", "Microsoft", "Twitter", "Amazon",
+    "Netflix", "Tesla", "IBM", "Intel", "Oracle",
+)
+
+_POSITIVE_TEMPLATES = (
+    "Loving the new {company} release, works flawlessly!",
+    "{company} support was fantastic today, solved my issue in minutes.",
+    "Just upgraded to the latest {company} product. Totally worth it.",
+    "Great quarter for {company} — impressive results again.",
+    "{company} keeps getting better. Happy customer here.",
+)
+
+_NEGATIVE_TEMPLATES = (
+    "The new {company} update broke everything. So frustrating.",
+    "{company} customer service kept me on hold for two hours.",
+    "Really disappointed with my {company} purchase, returning it.",
+    "Another outage at {company}? This is getting ridiculous.",
+    "{company} prices went up again and the quality went down.",
+)
+
+
+@dataclass(frozen=True)
+class Tweet:
+    """A synthetic tweet with its latent sentiment."""
+
+    tweet_id: str
+    text: str
+    company: str
+    is_positive: bool
+
+    def to_task(self) -> DecisionTask:
+        """The decision-making task the paper publishes per tweet."""
+        return DecisionTask(
+            task_id=self.tweet_id,
+            question=f"Is the sentiment of this tweet positive? {self.text!r}",
+            prior=0.5,
+            ground_truth=1 if self.is_positive else 0,
+        )
+
+
+def generate_corpus(
+    num_tweets: int = 600,
+    positive_fraction: float = 0.5,
+    rng: np.random.Generator | None = None,
+) -> list[Tweet]:
+    """Generate a corpus with the paper's size and class balance.
+
+    The paper notes "the true answers for yes and no is approximately
+    equal", motivating the flat prior it uses; ``positive_fraction``
+    lets tests explore imbalance.
+    """
+    if num_tweets < 1:
+        raise ValueError("num_tweets must be >= 1")
+    if not 0.0 <= positive_fraction <= 1.0:
+        raise ValueError("positive_fraction must lie in [0, 1]")
+    if rng is None:
+        rng = np.random.default_rng()
+    tweets = []
+    for i in range(num_tweets):
+        positive = bool(rng.random() < positive_fraction)
+        company = _COMPANIES[int(rng.integers(len(_COMPANIES)))]
+        templates = _POSITIVE_TEMPLATES if positive else _NEGATIVE_TEMPLATES
+        text = templates[int(rng.integers(len(templates)))].format(company=company)
+        tweets.append(
+            Tweet(
+                tweet_id=f"tweet-{i:04d}",
+                text=text,
+                company=company,
+                is_positive=positive,
+            )
+        )
+    return tweets

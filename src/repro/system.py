@@ -1,0 +1,158 @@
+"""The Optimal Jury Selection System (OPTJS) facade — Figure 1.
+
+One object wires the whole pipeline together for a task provider:
+
+1. register the candidate worker pool (qualities and costs known in
+   advance, Section 2.1);
+2. generate a budget–quality table to choose a budget;
+3. select the optimal jury for the chosen budget (simulated annealing
+   under the Bayesian-Voting objective);
+4. after the selected jurors vote, aggregate with Bayesian Voting —
+   the Theorem-1 optimal strategy — and report the posterior.
+
+Example
+-------
+>>> from repro import Worker, WorkerPool, OptimalJurySelectionSystem
+>>> pool = WorkerPool([Worker("A", 0.77, 9), Worker("B", 0.7, 5)])
+>>> system = OptimalJurySelectionSystem(pool, seed=7)
+>>> result = system.select_jury(budget=14)
+>>> verdict = system.decide(result.jury, votes=[1, 1])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .core.jury import Jury
+from .core.task import UNINFORMATIVE_PRIOR, validate_prior
+from .core.worker import WorkerPool
+from .selection.annealing import AnnealingSelector
+from .selection.base import JQObjective, SelectionResult
+from .selection.budget_table import BudgetQualityTable, budget_quality_table
+from .selection.exhaustive import ExhaustiveSelector
+from .selection.special_cases import (
+    select_all_if_unconstrained,
+    select_top_k_uniform_cost,
+)
+from .voting.bayesian import BayesianVoting
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The aggregated answer for one task.
+
+    Attributes
+    ----------
+    answer:
+        The estimated true answer (0 or 1) under Bayesian Voting.
+    posterior_zero:
+        ``Pr(t = 0 | V)`` — the provider-facing confidence.
+    votes:
+        The votes that produced the verdict.
+    """
+
+    answer: int
+    posterior_zero: float
+    votes: tuple[int, ...]
+
+    @property
+    def confidence(self) -> float:
+        """Posterior probability of the returned answer."""
+        return self.posterior_zero if self.answer == 0 else 1.0 - self.posterior_zero
+
+
+class OptimalJurySelectionSystem:
+    """OPTJS: jury selection and aggregation under Bayesian Voting.
+
+    Parameters
+    ----------
+    pool:
+        Candidate workers with known qualities and costs.
+    alpha:
+        The provider's prior ``Pr(t = 0)`` for the task (Section 4.5);
+        folded into both selection and aggregation.
+    num_buckets:
+        Bucket resolution for large-jury JQ estimation.
+    seed:
+        Seed for the stochastic annealer; fixed seeds give reproducible
+        selections.
+    exact_pool_cutoff:
+        Pools at or below this size are solved exactly by enumeration
+        instead of annealing (free optimality for small problems).
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        alpha: float = UNINFORMATIVE_PRIOR,
+        num_buckets: int = 50,
+        seed: int | None = None,
+        exact_pool_cutoff: int = 12,
+    ) -> None:
+        self.pool = pool
+        self.alpha = validate_prior(alpha)
+        self.num_buckets = num_buckets
+        self._rng = np.random.default_rng(seed)
+        self._strategy = BayesianVoting()
+        self._objective = JQObjective(
+            self._strategy, alpha=self.alpha, num_buckets=num_buckets
+        )
+        self._annealer = AnnealingSelector(self._objective)
+        self._exhaustive = ExhaustiveSelector(self._objective)
+        self.exact_pool_cutoff = exact_pool_cutoff
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select_jury(self, budget: float) -> SelectionResult:
+        """Solve JSP for one budget.
+
+        Applies the Lemma-backed special cases first (whole pool when
+        affordable; top-k under uniform costs), exhaustive search for
+        small pools, and simulated annealing otherwise.
+        """
+        shortcut = select_all_if_unconstrained(self.pool, budget)
+        if shortcut is None:
+            shortcut = select_top_k_uniform_cost(self.pool, budget)
+        if shortcut is not None:
+            self._objective.reset_counter()
+            jq = self._objective(shortcut)
+            return SelectionResult(
+                jury=shortcut,
+                jq=jq,
+                cost=shortcut.cost,
+                budget=float(budget),
+                evaluations=1,
+                selector="special-case",
+            )
+        if len(self.pool) <= self.exact_pool_cutoff:
+            return self._exhaustive.select(self.pool, budget, rng=self._rng)
+        return self._annealer.select(self.pool, budget, rng=self._rng)
+
+    def budget_quality_table(
+        self, budgets: Sequence[float]
+    ) -> BudgetQualityTable:
+        """The Figure-1 table over the provider's candidate budgets."""
+        selector = (
+            self._exhaustive
+            if len(self.pool) <= self.exact_pool_cutoff
+            else self._annealer
+        )
+        return budget_quality_table(self.pool, budgets, selector, rng=self._rng)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def decide(self, jury: Jury, votes: Sequence[int]) -> Verdict:
+        """Aggregate the jury's votes with Bayesian Voting."""
+        answer = self._strategy.decide(votes, jury, self.alpha)
+        posterior = self._strategy.posterior(votes, jury, self.alpha)[0]
+        return Verdict(answer=answer, posterior_zero=posterior, votes=tuple(votes))
+
+    def predicted_quality(self, jury: Jury) -> float:
+        """The JQ the provider should expect from this jury (the
+        quantity Figure 10(d) validates against realized accuracy)."""
+        return self._objective(jury)

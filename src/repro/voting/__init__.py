@@ -1,0 +1,51 @@
+"""Voting strategies (Section 3, Table 2).
+
+Deterministic: Majority Voting (MV), Half Voting, Bayesian Voting (BV),
+Weighted Majority Voting (WMV).  Randomized: Randomized Majority Voting
+(RMV), Random Ballot Voting (RBV), Randomized Weighted Majority Voting
+(RWMV), Triadic Consensus.
+
+BV is the optimal strategy with respect to Jury Quality (Theorem 1 /
+Corollary 1); the others exist as comparison baselines and to make the
+optimality claim falsifiable in tests.
+"""
+
+from .base import DeterministicStrategy, RandomizedStrategy, VotingStrategy
+from .bayesian import BayesianVoting, log_likelihoods, posterior_zero
+from .majority import HalfVoting, MajorityVoting
+from .randomized import RandomBallotVoting, RandomizedMajorityVoting
+from .registry import (
+    all_strategies,
+    available_strategies,
+    make_strategy,
+    register_strategy,
+)
+from .triadic import TriadicConsensus
+from .weighted import (
+    RandomizedWeightedMajorityVoting,
+    WeightedMajorityVoting,
+    linear_weight,
+    log_odds_weight,
+)
+
+__all__ = [
+    "BayesianVoting",
+    "DeterministicStrategy",
+    "HalfVoting",
+    "MajorityVoting",
+    "RandomBallotVoting",
+    "RandomizedMajorityVoting",
+    "RandomizedStrategy",
+    "RandomizedWeightedMajorityVoting",
+    "TriadicConsensus",
+    "VotingStrategy",
+    "WeightedMajorityVoting",
+    "all_strategies",
+    "available_strategies",
+    "linear_weight",
+    "log_likelihoods",
+    "log_odds_weight",
+    "make_strategy",
+    "posterior_zero",
+    "register_strategy",
+]

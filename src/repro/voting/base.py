@@ -1,0 +1,138 @@
+"""Voting-strategy interface (Section 3.1).
+
+A voting strategy ``S(V, J, alpha)`` estimates the latent truth of a
+binary task from a jury's votes.  The paper classifies strategies as
+
+* *deterministic* — the result is a function of ``(V, J, alpha)``
+  (Definition 1), or
+* *randomized* — the result is 0 with some probability ``p`` and 1 with
+  ``1 - p`` (Definition 2).
+
+Both classes are captured by one interface: :meth:`VotingStrategy.prob_zero`
+returns ``E[1{S(V) = 0}]``, which is 0 or 1 for deterministic strategies
+and ``p`` in [0, 1] for randomized ones.  The generic JQ machinery in
+:mod:`repro.quality.exact` needs nothing else, which is what makes the
+Theorem-1 optimality claim directly testable against every strategy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.task import UNINFORMATIVE_PRIOR, validate_prior
+
+
+def _as_quality_vector(jury_or_qualities: Jury | Sequence[float]) -> np.ndarray:
+    """Accept either a Jury or a raw quality sequence."""
+    if isinstance(jury_or_qualities, Jury):
+        return jury_or_qualities.qualities
+    return np.asarray(jury_or_qualities, dtype=float)
+
+
+class VotingStrategy(ABC):
+    """Abstract voting strategy for binary decision-making tasks."""
+
+    #: Short machine-friendly identifier (e.g. ``"MV"``).
+    name: str = "abstract"
+
+    #: True for Definition-1 strategies, False for Definition-2.
+    is_deterministic: bool = True
+
+    @abstractmethod
+    def prob_zero(
+        self,
+        votes: Sequence[int],
+        jury_or_qualities: Jury | Sequence[float],
+        alpha: float = UNINFORMATIVE_PRIOR,
+    ) -> float:
+        """Return ``E[1{S(V) = 0}]``: the probability that the strategy
+        outputs label 0 given the observed votes.
+
+        Deterministic strategies return exactly 0.0 or 1.0.
+        """
+
+    def decide(
+        self,
+        votes: Sequence[int],
+        jury_or_qualities: Jury | Sequence[float],
+        alpha: float = UNINFORMATIVE_PRIOR,
+        rng: np.random.Generator | None = None,
+    ) -> int:
+        """Return a concrete label (0 or 1).
+
+        Deterministic strategies ignore ``rng``.  Randomized strategies
+        sample from their output distribution; they require ``rng`` only
+        when the decision is genuinely random (``0 < p < 1``).
+        """
+        p = self.prob_zero(votes, jury_or_qualities, validate_prior(alpha))
+        if p >= 1.0:
+            return 0
+        if p <= 0.0:
+            return 1
+        if rng is None:
+            raise ValueError(
+                f"{self.name}: randomized decision requires an rng "
+                f"(p(zero) = {p:.4g})"
+            )
+        return 0 if rng.random() < p else 1
+
+    # ------------------------------------------------------------------
+    # Shared validation helpers for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_votes(votes: Sequence[int], qualities: np.ndarray) -> np.ndarray:
+        arr = np.asarray(votes, dtype=int)
+        if arr.ndim != 1 or arr.size != qualities.size:
+            raise ValueError(
+                f"{arr.size} votes do not match {qualities.size} jurors"
+            )
+        if arr.size == 0:
+            raise ValueError("cannot vote with an empty jury")
+        if np.any((arr != 0) & (arr != 1)):
+            raise ValueError(f"votes {votes!r} must be 0/1")
+        return arr
+
+    def __repr__(self) -> str:
+        kind = "deterministic" if self.is_deterministic else "randomized"
+        return f"{type(self).__name__}(name={self.name!r}, {kind})"
+
+
+class DeterministicStrategy(VotingStrategy):
+    """Base class for Definition-1 strategies.
+
+    Subclasses implement :meth:`decide_deterministic`; ``prob_zero`` is
+    derived from it.
+    """
+
+    is_deterministic = True
+
+    @abstractmethod
+    def decide_deterministic(
+        self,
+        votes: np.ndarray,
+        qualities: np.ndarray,
+        alpha: float,
+    ) -> int:
+        """Return the label 0 or 1 for the observed votes."""
+
+    def prob_zero(
+        self,
+        votes: Sequence[int],
+        jury_or_qualities: Jury | Sequence[float],
+        alpha: float = UNINFORMATIVE_PRIOR,
+    ) -> float:
+        qualities = _as_quality_vector(jury_or_qualities)
+        arr = self._check_votes(votes, qualities)
+        label = self.decide_deterministic(arr, qualities, validate_prior(alpha))
+        return 1.0 if label == 0 else 0.0
+
+
+class RandomizedStrategy(VotingStrategy):
+    """Base class for Definition-2 strategies; subclasses implement
+    :meth:`prob_zero` directly."""
+
+    is_deterministic = False

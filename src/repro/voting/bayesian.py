@@ -1,0 +1,98 @@
+"""Bayesian Voting (BV) — the optimal strategy of Theorem 1.
+
+BV computes the joint probabilities
+
+    P0(V) = alpha     * prod_i q_i^{1-v_i} (1-q_i)^{v_i}
+    P1(V) = (1-alpha) * prod_i q_i^{v_i}   (1-q_i)^{1-v_i}
+
+and returns 0 when ``P0(V) >= P1(V)`` and 1 otherwise (ties go to 0,
+matching Theorem 1's ``P0 - P1 >= 0 => S*(V) = 0`` branch).
+
+The log-domain implementation below avoids underflow for large juries
+and naturally handles workers with quality in {0, 1}:
+
+* ``q_i = 1`` and ``v_i = 0`` contributes log(1) = 0 to u and -inf to w,
+  forcing the posterior onto label 0 (the worker is infallible);
+* ``q_i = 0.5`` contributes equally to both and is a no-op.
+
+A worker with quality below 0.5 needs no special-casing here: the
+likelihood expressions already encode that her vote is evidence for the
+*opposite* label, which is exactly the reinterpretation discussed in
+Section 3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.task import UNINFORMATIVE_PRIOR, validate_prior
+from .base import DeterministicStrategy, _as_quality_vector
+
+
+def log_likelihoods(
+    votes: np.ndarray, qualities: np.ndarray
+) -> tuple[float, float]:
+    """Return ``(ln Pr(V | t=0), ln Pr(V | t=1))``.
+
+    Uses ``-inf`` for impossible votings (a quality-1 worker voting the
+    wrong way), matching the limit of the product formula.
+    """
+    with np.errstate(divide="ignore"):
+        log_q = np.log(qualities)
+        log_not_q = np.log(1.0 - qualities)
+    # Pr(V | t=0): a vote of 0 is correct (factor q), a vote of 1 wrong.
+    u = float(np.sum(np.where(votes == 0, log_q, log_not_q)))
+    # Pr(V | t=1): mirrored.
+    w = float(np.sum(np.where(votes == 1, log_q, log_not_q)))
+    return u, w
+
+
+def posterior_zero(
+    votes: Sequence[int],
+    jury_or_qualities: Jury | Sequence[float],
+    alpha: float = UNINFORMATIVE_PRIOR,
+) -> float:
+    """Posterior probability ``Pr(t = 0 | V)`` under the Bayes model.
+
+    Degenerate cases: when both joint probabilities are zero (mutually
+    contradicting infallible workers) the voting has probability zero of
+    occurring; we return 0.5 by convention.
+    """
+    qualities = _as_quality_vector(jury_or_qualities)
+    arr = np.asarray(votes, dtype=int)
+    a = validate_prior(alpha)
+    u, w = log_likelihoods(arr, qualities)
+    # P0 = a * e^u, P1 = (1-a) * e^w, computed stably via the max trick.
+    log_p0 = -np.inf if a == 0.0 else np.log(a) + u
+    log_p1 = -np.inf if a == 1.0 else np.log(1.0 - a) + w
+    if log_p0 == -np.inf and log_p1 == -np.inf:
+        return 0.5
+    m = max(log_p0, log_p1)
+    p0 = np.exp(log_p0 - m)
+    p1 = np.exp(log_p1 - m)
+    return float(p0 / (p0 + p1))
+
+
+class BayesianVoting(DeterministicStrategy):
+    """Bayesian Voting (Definition 4): return the label with the larger
+    posterior; ties resolve to 0 per Theorem 1."""
+
+    name = "BV"
+
+    def decide_deterministic(
+        self, votes: np.ndarray, qualities: np.ndarray, alpha: float
+    ) -> int:
+        return 0 if posterior_zero(votes, qualities, alpha) >= 0.5 else 1
+
+    def posterior(
+        self,
+        votes: Sequence[int],
+        jury_or_qualities: Jury | Sequence[float],
+        alpha: float = UNINFORMATIVE_PRIOR,
+    ) -> tuple[float, float]:
+        """Return the full posterior ``(Pr(t=0|V), Pr(t=1|V))``."""
+        p0 = posterior_zero(votes, jury_or_qualities, alpha)
+        return p0, 1.0 - p0

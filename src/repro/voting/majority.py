@@ -1,0 +1,52 @@
+"""Majority-style deterministic strategies: MV and Half Voting.
+
+Majority Voting (Example 1 in the paper) returns 0 when at least
+``(n + 1) / 2`` workers vote 0 — i.e. ``sum(1 - v_i) >= (n + 1) / 2`` —
+and 1 otherwise.  For odd juries this is the familiar strict majority;
+for even juries the paper's formulation breaks exact ties in favour
+of 1.
+
+Half Voting [28] is the variant that returns 0 as soon as *half* the
+votes (rather than a strict majority) are 0, i.e. it breaks even-jury
+ties in favour of 0.  On odd juries the two coincide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DeterministicStrategy
+
+
+class MajorityVoting(DeterministicStrategy):
+    """Majority Voting (MV), the strategy used by the Cao et al. baseline.
+
+    ``MV(V) = 0`` iff ``sum_i (1 - v_i) >= (n + 1) / 2``; ties on even
+    juries therefore resolve to 1, exactly as in the paper's Example 1.
+    """
+
+    name = "MV"
+
+    def decide_deterministic(
+        self, votes: np.ndarray, qualities: np.ndarray, alpha: float
+    ) -> int:
+        n = votes.size
+        zeros = int(np.sum(votes == 0))
+        return 0 if zeros >= (n + 1) / 2.0 else 1
+
+
+class HalfVoting(DeterministicStrategy):
+    """Half Voting: returns 0 when at least half the votes are 0.
+
+    Differs from MV only on even-size juries with an exact tie, which it
+    resolves to 0.
+    """
+
+    name = "HALF"
+
+    def decide_deterministic(
+        self, votes: np.ndarray, qualities: np.ndarray, alpha: float
+    ) -> int:
+        n = votes.size
+        zeros = int(np.sum(votes == 0))
+        return 0 if zeros >= n / 2.0 else 1

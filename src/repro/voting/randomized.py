@@ -1,0 +1,55 @@
+"""Randomized strategies: Randomized Majority Voting and Random Ballot.
+
+Randomized Majority Voting (RMV, Example 1) returns 0 with probability
+proportional to the number of 0-votes: ``p = (1/n) * sum_i (1 - v_i)``.
+
+Random Ballot Voting (RBV) draws one ballot uniformly at random and
+returns it; for anonymous binary votes this is the same output
+distribution as RMV *given the votes*, so to match the paper's
+experiments — where RBV's JQ is pinned at exactly 50% — we implement the
+purer "random ballot" reading used there: return 0 or 1 uniformly at
+random, ignoring the votes (footnote 4: "RBV randomly returns 0 or 1
+with 50%").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.task import UNINFORMATIVE_PRIOR
+from .base import RandomizedStrategy, _as_quality_vector
+
+
+class RandomizedMajorityVoting(RandomizedStrategy):
+    """RMV: vote-share-proportional randomized majority (Example 1)."""
+
+    name = "RMV"
+
+    def prob_zero(
+        self,
+        votes: Sequence[int],
+        jury_or_qualities: Jury | Sequence[float],
+        alpha: float = UNINFORMATIVE_PRIOR,
+    ) -> float:
+        qualities = _as_quality_vector(jury_or_qualities)
+        arr = self._check_votes(votes, qualities)
+        return float(np.mean(arr == 0))
+
+
+class RandomBallotVoting(RandomizedStrategy):
+    """RBV: a fair coin, independent of the votes (paper footnote 4)."""
+
+    name = "RBV"
+
+    def prob_zero(
+        self,
+        votes: Sequence[int],
+        jury_or_qualities: Jury | Sequence[float],
+        alpha: float = UNINFORMATIVE_PRIOR,
+    ) -> float:
+        qualities = _as_quality_vector(jury_or_qualities)
+        self._check_votes(votes, qualities)
+        return 0.5

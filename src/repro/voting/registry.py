@@ -1,0 +1,65 @@
+"""Strategy registry: name -> constructor for all built-in strategies.
+
+The registry powers CLI-ish entry points (benchmarks, examples) and the
+property tests that sweep "every strategy we implement" when verifying
+Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import VotingStrategy
+from .bayesian import BayesianVoting
+from .majority import HalfVoting, MajorityVoting
+from .randomized import RandomBallotVoting, RandomizedMajorityVoting
+from .triadic import TriadicConsensus
+from .weighted import (
+    RandomizedWeightedMajorityVoting,
+    WeightedMajorityVoting,
+    log_odds_weight,
+)
+
+_FACTORIES: dict[str, Callable[[], VotingStrategy]] = {
+    "MV": MajorityVoting,
+    "BV": BayesianVoting,
+    "HALF": HalfVoting,
+    "RMV": RandomizedMajorityVoting,
+    "RBV": RandomBallotVoting,
+    "WMV": WeightedMajorityVoting,
+    "WMV-LOGODDS": lambda: WeightedMajorityVoting(log_odds_weight),
+    "RWMV": RandomizedWeightedMajorityVoting,
+    "TRIADIC": TriadicConsensus,
+}
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Names of every registered strategy."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_strategy(name: str) -> VotingStrategy:
+    """Instantiate a strategy by registry name (case-insensitive)."""
+    key = name.upper()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown strategy {name!r}; known: {', '.join(available_strategies())}"
+        )
+    return _FACTORIES[key]()
+
+
+def all_strategies() -> list[VotingStrategy]:
+    """One instance of every registered strategy."""
+    return [factory() for factory in _FACTORIES.values()]
+
+
+def register_strategy(name: str, factory: Callable[[], VotingStrategy]) -> None:
+    """Register a custom strategy under ``name`` (upper-cased).
+
+    Raises ``ValueError`` on duplicates to avoid silently shadowing a
+    built-in.
+    """
+    key = name.upper()
+    if key in _FACTORIES:
+        raise ValueError(f"strategy {key!r} already registered")
+    _FACTORIES[key] = factory

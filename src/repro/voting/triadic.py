@@ -1,0 +1,81 @@
+"""Triadic Consensus (Goel & Lee [2]) as a randomized voting strategy.
+
+The original triadic-consensus protocol repeatedly groups three random
+participants and lets the triad's majority opinion survive into the
+next round, until a single opinion remains.  Applied to an already
+collected anonymous binary vote vector, the protocol's output
+distribution depends only on the *count* of zero-votes, so the
+probability of returning 0 can be computed exactly by dynamic
+programming over states ``(#votes-remaining, #zero-votes)``:
+
+* draw 3 of the remaining ballots uniformly without replacement
+  (hypergeometric), replace them with 1 ballot carrying their majority;
+* when 2 ballots remain, draw one uniformly;
+* when 1 ballot remains, return it.
+
+This keeps the strategy a proper Definition-2 randomized strategy with
+an analytic ``prob_zero`` (no Monte Carlo), which the exact-JQ machinery
+requires.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.task import UNINFORMATIVE_PRIOR
+from .base import RandomizedStrategy, _as_quality_vector
+
+
+@lru_cache(maxsize=100_000)
+def _prob_zero_from_counts(n: int, zeros: int) -> float:
+    """Probability the triadic reduction of ``n`` ballots, ``zeros`` of
+    which are 0, terminates with a 0 ballot."""
+    if n == 1:
+        return float(zeros)
+    if n == 2:
+        return zeros / 2.0
+    ones = n - zeros
+    total_triples = n * (n - 1) * (n - 2) / 6.0
+    prob = 0.0
+    # k = number of zero-ballots in the sampled triad.
+    for k in range(0, 4):
+        if k > zeros or (3 - k) > ones:
+            continue
+        ways = _comb(zeros, k) * _comb(ones, 3 - k)
+        p_draw = ways / total_triples
+        if p_draw == 0.0:
+            continue
+        survives_zero = 1 if k >= 2 else 0
+        new_zeros = zeros - k + survives_zero
+        prob += p_draw * _prob_zero_from_counts(n - 2, new_zeros)
+    return prob
+
+
+def _comb(n: int, k: int) -> float:
+    if k < 0 or k > n:
+        return 0.0
+    result = 1.0
+    for i in range(k):
+        result = result * (n - i) / (i + 1)
+    return result
+
+
+class TriadicConsensus(RandomizedStrategy):
+    """Triadic consensus over the collected ballots (randomized)."""
+
+    name = "TRIADIC"
+
+    def prob_zero(
+        self,
+        votes: Sequence[int],
+        jury_or_qualities: Jury | Sequence[float],
+        alpha: float = UNINFORMATIVE_PRIOR,
+    ) -> float:
+        qualities = _as_quality_vector(jury_or_qualities)
+        arr = self._check_votes(votes, qualities)
+        zeros = int(np.sum(arr == 0))
+        return _prob_zero_from_counts(arr.size, zeros)

@@ -1,0 +1,96 @@
+"""Weighted majority strategies (Littlestone & Warmuth [23]).
+
+Weighted Majority Voting (WMV) weights each vote by a function of the
+voter's quality and returns the label with the larger total weight.
+With *log-odds* weights ``w_i = ln(q_i / (1 - q_i))`` and a flat prior,
+WMV coincides with Bayesian Voting — a useful cross-check that the
+tests exploit.  The default here is the simpler *linear* weighting
+``w_i = q_i`` so WMV is a genuinely distinct (and suboptimal) strategy,
+as it is in the paper's Table 2.
+
+Randomized Weighted Majority Voting (RWMV) returns 0 with probability
+equal to the zero-side share of total weight.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.task import UNINFORMATIVE_PRIOR
+from .base import (
+    DeterministicStrategy,
+    RandomizedStrategy,
+    _as_quality_vector,
+)
+
+WeightFunction = Callable[[float], float]
+
+
+def linear_weight(quality: float) -> float:
+    """The default WMV weight: the quality itself."""
+    return float(quality)
+
+
+def log_odds_weight(quality: float) -> float:
+    """Log-odds weight ``ln(q / (1 - q))``; makes WMV equal BV at a
+    flat prior.  Qualities 0/1 map to -inf/+inf, dominating the vote."""
+    if quality <= 0.0:
+        return -math.inf
+    if quality >= 1.0:
+        return math.inf
+    return math.log(quality / (1.0 - quality))
+
+
+def _side_weights(
+    votes: np.ndarray, qualities: np.ndarray, weight_fn: WeightFunction
+) -> tuple[float, float]:
+    """Total weight behind label 0 and label 1."""
+    weights = np.array([weight_fn(q) for q in qualities], dtype=float)
+    zero_weight = float(np.sum(weights[votes == 0]))
+    one_weight = float(np.sum(weights[votes == 1]))
+    return zero_weight, one_weight
+
+
+class WeightedMajorityVoting(DeterministicStrategy):
+    """WMV: the side with more total weight wins; ties resolve to 0."""
+
+    name = "WMV"
+
+    def __init__(self, weight_fn: WeightFunction = linear_weight) -> None:
+        self._weight_fn = weight_fn
+
+    def decide_deterministic(
+        self, votes: np.ndarray, qualities: np.ndarray, alpha: float
+    ) -> int:
+        zero_weight, one_weight = _side_weights(votes, qualities, self._weight_fn)
+        return 0 if zero_weight >= one_weight else 1
+
+
+class RandomizedWeightedMajorityVoting(RandomizedStrategy):
+    """RWMV: returns 0 with probability weight(0-votes) / weight(all).
+
+    Degenerate zero-total-weight votings fall back to a fair coin.
+    """
+
+    name = "RWMV"
+
+    def __init__(self, weight_fn: WeightFunction = linear_weight) -> None:
+        self._weight_fn = weight_fn
+
+    def prob_zero(
+        self,
+        votes: Sequence[int],
+        jury_or_qualities: Jury | Sequence[float],
+        alpha: float = UNINFORMATIVE_PRIOR,
+    ) -> float:
+        qualities = _as_quality_vector(jury_or_qualities)
+        arr = self._check_votes(votes, qualities)
+        zero_weight, one_weight = _side_weights(arr, qualities, self._weight_fn)
+        total = zero_weight + one_weight
+        if total <= 0.0 or not math.isfinite(total):
+            return 0.5
+        return max(0.0, min(1.0, zero_weight / total))

@@ -1,0 +1,48 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Jury, Worker, WorkerPool
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def example2_qualities() -> np.ndarray:
+    """The paper's Example 2/3 jury: qualities (0.9, 0.6, 0.6)."""
+    return np.array([0.9, 0.6, 0.6])
+
+
+@pytest.fixture
+def figure1_pool() -> WorkerPool:
+    """The Figure-1 candidate pool (workers A-G)."""
+    return WorkerPool(
+        [
+            Worker("A", 0.77, 9),
+            Worker("B", 0.70, 5),
+            Worker("C", 0.80, 6),
+            Worker("D", 0.65, 7),
+            Worker("E", 0.60, 5),
+            Worker("F", 0.60, 2),
+            Worker("G", 0.75, 3),
+        ]
+    )
+
+
+@pytest.fixture
+def small_jury() -> Jury:
+    """A three-member jury with distinct costs."""
+    return Jury(
+        [
+            Worker("x", 0.8, 2.0),
+            Worker("y", 0.7, 1.0),
+            Worker("z", 0.6, 0.5),
+        ]
+    )

@@ -1,0 +1,127 @@
+"""Tests for repro.core.jury."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BudgetError,
+    EmptyJuryError,
+    InvalidVoteError,
+    Jury,
+    Voting,
+    Worker,
+    WorkerPool,
+)
+
+
+class TestJury:
+    def test_basic_properties(self, small_jury):
+        assert small_jury.size == 3
+        assert small_jury.cost == pytest.approx(3.5)
+        assert np.allclose(small_jury.qualities, [0.8, 0.7, 0.6])
+        assert small_jury.worker_ids == ("x", "y", "z")
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Jury([Worker("a", 0.5), Worker("a", 0.6)])
+
+    def test_non_worker_rejected(self):
+        with pytest.raises(TypeError):
+            Jury(["nope"])  # type: ignore[list-item]
+
+    def test_empty_jury_allowed_but_guarded(self):
+        empty = Jury(())
+        assert empty.size == 0
+        assert empty.cost == 0.0
+        with pytest.raises(EmptyJuryError):
+            empty.require_nonempty()
+
+    def test_feasibility(self, small_jury):
+        assert small_jury.is_feasible(3.5)
+        assert small_jury.is_feasible(10)
+        assert not small_jury.is_feasible(3.4)
+        small_jury.require_feasible(4)
+        with pytest.raises(BudgetError):
+            small_jury.require_feasible(1)
+
+    def test_qualities_returns_copy(self, small_jury):
+        q = small_jury.qualities
+        q[0] = 0.0
+        assert small_jury.qualities[0] == 0.8
+
+    def test_with_worker(self, small_jury):
+        grown = small_jury.with_worker(Worker("w", 0.9, 1.0))
+        assert grown.size == 4
+        assert small_jury.size == 3  # original untouched
+        with pytest.raises(ValueError):
+            small_jury.with_worker(Worker("x", 0.1))
+
+    def test_without_worker(self, small_jury):
+        shrunk = small_jury.without_worker("y")
+        assert shrunk.worker_ids == ("x", "z")
+        with pytest.raises(KeyError):
+            small_jury.without_worker("nope")
+
+    def test_replace_worker(self, small_jury):
+        swapped = small_jury.replace_worker("z", Worker("w", 0.95, 9.0))
+        assert "w" in swapped
+        assert "z" not in swapped
+        assert swapped.size == 3
+
+    def test_contains(self, small_jury):
+        assert "x" in small_jury
+        assert Worker("x", 0.8, 2.0) in small_jury
+        assert Worker("x", 0.5, 2.0) not in small_jury
+        assert 3 not in small_jury
+
+    def test_order_invariant_equality_and_hash(self):
+        a, b = Worker("a", 0.5), Worker("b", 0.7, 1)
+        assert Jury([a, b]) == Jury([b, a])
+        assert hash(Jury([a, b])) == hash(Jury([b, a]))
+        assert Jury([a]) != Jury([b])
+
+    def test_from_pool(self):
+        pool = WorkerPool([Worker("a", 0.5), Worker("b", 0.6), Worker("c", 0.7)])
+        assert Jury.from_pool(pool).size == 3
+        partial = Jury.from_pool(pool, [2, 0])
+        assert partial.worker_ids == ("c", "a")
+
+    def test_as_pool_roundtrip(self, small_jury):
+        pool = small_jury.as_pool()
+        assert isinstance(pool, WorkerPool)
+        assert Jury.from_pool(pool) == small_jury
+
+
+class TestVoting:
+    def test_valid_voting(self, small_jury):
+        v = Voting(small_jury, (1, 0, 1))
+        assert v.size == 3
+        assert v.count(1) == 2
+        assert v.count(0) == 1
+
+    def test_vote_count_mismatch(self, small_jury):
+        with pytest.raises(InvalidVoteError):
+            Voting(small_jury, (1, 0))
+
+    def test_vote_domain(self, small_jury):
+        with pytest.raises(InvalidVoteError):
+            Voting(small_jury, (1, 0, 2))
+        Voting(small_jury, (1, 0, 2), num_labels=3)
+
+    def test_complement(self, small_jury):
+        v = Voting(small_jury, (1, 0, 1))
+        assert v.complement().votes == (0, 1, 0)
+        multi = Voting(small_jury, (1, 0, 2), num_labels=3)
+        with pytest.raises(InvalidVoteError):
+            multi.complement()
+
+    def test_likelihood_matches_product_formula(self, small_jury):
+        v = Voting(small_jury, (0, 1, 0))
+        # qualities 0.8, 0.7, 0.6; truth 0: correct, wrong, correct.
+        assert v.likelihood(0) == pytest.approx(0.8 * 0.3 * 0.6)
+        assert v.likelihood(1) == pytest.approx(0.2 * 0.7 * 0.4)
+
+    def test_likelihood_symmetry_with_complement(self, small_jury):
+        v = Voting(small_jury, (0, 1, 1))
+        # Pr(V | t=0) == Pr(V-bar | t=1): the Section-4.2 symmetry.
+        assert v.likelihood(0) == pytest.approx(v.complement().likelihood(1))

@@ -1,0 +1,108 @@
+"""Tests for repro.core.task."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DecisionTask,
+    InvalidPriorError,
+    MultiChoiceTask,
+    validate_prior,
+    validate_prior_vector,
+)
+
+
+class TestValidatePrior:
+    def test_valid_range(self):
+        assert validate_prior(0.0) == 0.0
+        assert validate_prior(1.0) == 1.0
+        assert validate_prior(0.3) == pytest.approx(0.3)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan")])
+    def test_invalid(self, bad):
+        with pytest.raises(InvalidPriorError):
+            validate_prior(bad)
+
+
+class TestValidatePriorVector:
+    def test_valid(self):
+        vec = validate_prior_vector([0.2, 0.3, 0.5])
+        assert np.allclose(vec, [0.2, 0.3, 0.5])
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(InvalidPriorError):
+            validate_prior_vector([0.5, 0.6])
+
+    def test_entries_in_range(self):
+        with pytest.raises(InvalidPriorError):
+            validate_prior_vector([1.2, -0.2])
+
+    def test_needs_two_entries(self):
+        with pytest.raises(InvalidPriorError):
+            validate_prior_vector([1.0])
+
+
+class TestDecisionTask:
+    def test_defaults(self):
+        t = DecisionTask("t1")
+        assert t.prior == 0.5
+        assert t.ground_truth is None
+        assert t.labels == (0, 1)
+        assert t.num_labels == 2
+
+    def test_prior_vector(self):
+        t = DecisionTask("t1", prior=0.3)
+        assert np.allclose(t.prior_vector, [0.3, 0.7])
+
+    def test_invalid_prior(self):
+        with pytest.raises(InvalidPriorError):
+            DecisionTask("t1", prior=1.5)
+
+    def test_ground_truth_domain(self):
+        DecisionTask("t1", ground_truth=0)
+        DecisionTask("t2", ground_truth=1)
+        with pytest.raises(ValueError):
+            DecisionTask("t3", ground_truth=2)
+
+    def test_with_prior(self):
+        t = DecisionTask("t1", question="q?", ground_truth=1)
+        t2 = t.with_prior(0.9)
+        assert t2.prior == 0.9
+        assert t2.question == "q?"
+        assert t2.ground_truth == 1
+        assert t.prior == 0.5  # original untouched
+
+
+class TestMultiChoiceTask:
+    def test_uniform_default_prior(self):
+        t = MultiChoiceTask("m1", num_labels=4)
+        assert np.allclose(t.prior_vector, [0.25] * 4)
+        assert t.labels == (0, 1, 2, 3)
+
+    def test_explicit_prior(self):
+        t = MultiChoiceTask("m1", num_labels=3, prior=(0.5, 0.3, 0.2))
+        assert np.allclose(t.prior_vector, [0.5, 0.3, 0.2])
+
+    def test_prior_length_mismatch(self):
+        with pytest.raises(InvalidPriorError):
+            MultiChoiceTask("m1", num_labels=3, prior=(0.5, 0.5))
+
+    def test_needs_two_labels(self):
+        with pytest.raises(ValueError):
+            MultiChoiceTask("m1", num_labels=1)
+
+    def test_ground_truth_domain(self):
+        MultiChoiceTask("m1", num_labels=3, ground_truth=2)
+        with pytest.raises(ValueError):
+            MultiChoiceTask("m1", num_labels=3, ground_truth=3)
+
+    def test_as_decision_task(self):
+        t = MultiChoiceTask("m1", num_labels=2, prior=(0.7, 0.3), ground_truth=1)
+        d = t.as_decision_task()
+        assert isinstance(d, DecisionTask)
+        assert d.prior == pytest.approx(0.7)
+        assert d.ground_truth == 1
+
+    def test_as_decision_task_requires_binary(self):
+        with pytest.raises(ValueError):
+            MultiChoiceTask("m1", num_labels=3).as_decision_task()

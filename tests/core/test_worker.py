@@ -1,0 +1,156 @@
+"""Tests for repro.core.worker."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InvalidCostError,
+    InvalidQualityError,
+    Worker,
+    WorkerPool,
+)
+
+
+class TestWorker:
+    def test_basic_construction(self):
+        w = Worker("a", 0.8, 2.5)
+        assert w.worker_id == "a"
+        assert w.quality == 0.8
+        assert w.cost == 2.5
+
+    def test_defaults(self):
+        w = Worker("volunteer")
+        assert w.quality == 0.5
+        assert w.cost == 0.0
+
+    def test_quality_bounds(self):
+        Worker("lo", 0.0)
+        Worker("hi", 1.0)
+        with pytest.raises(InvalidQualityError):
+            Worker("bad", -0.01)
+        with pytest.raises(InvalidQualityError):
+            Worker("bad", 1.01)
+        with pytest.raises(InvalidQualityError):
+            Worker("bad", float("nan"))
+
+    def test_cost_bounds(self):
+        with pytest.raises(InvalidCostError):
+            Worker("bad", 0.5, -1.0)
+        with pytest.raises(InvalidCostError):
+            Worker("bad", 0.5, float("inf"))
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Worker("", 0.5)
+
+    def test_immutability(self):
+        w = Worker("a", 0.8)
+        with pytest.raises(AttributeError):
+            w.quality = 0.9  # type: ignore[misc]
+
+    def test_is_reliable(self):
+        assert Worker("a", 0.5).is_reliable
+        assert Worker("b", 0.9).is_reliable
+        assert not Worker("c", 0.49).is_reliable
+
+    def test_flipped(self):
+        w = Worker("a", 0.3, 1.0)
+        f = w.flipped()
+        assert f.quality == pytest.approx(0.7)
+        assert f.cost == 1.0
+        assert f.worker_id == "a"
+
+    def test_with_quality_and_cost(self):
+        w = Worker("a", 0.6, 1.0)
+        assert w.with_quality(0.9).quality == 0.9
+        assert w.with_quality(0.9).cost == 1.0
+        assert w.with_cost(5.0).cost == 5.0
+        assert w.with_cost(5.0).quality == 0.6
+
+    def test_equality_and_ordering(self):
+        assert Worker("a", 0.5, 1) == Worker("a", 0.5, 1)
+        assert Worker("a", 0.5, 1) != Worker("a", 0.6, 1)
+        assert Worker("a", 0.5) < Worker("b", 0.5)
+
+
+class TestWorkerPool:
+    def test_insertion_order_preserved(self):
+        pool = WorkerPool([Worker("b", 0.6), Worker("a", 0.7)])
+        assert pool.workers[0].worker_id == "b"
+        assert pool[1].worker_id == "a"
+
+    def test_duplicate_id_rejected(self):
+        pool = WorkerPool([Worker("a", 0.5)])
+        with pytest.raises(ValueError, match="duplicate"):
+            pool.add(Worker("a", 0.9))
+
+    def test_non_worker_rejected(self):
+        pool = WorkerPool()
+        with pytest.raises(TypeError):
+            pool.add("not a worker")  # type: ignore[arg-type]
+
+    def test_len_iter_contains(self):
+        a, b = Worker("a", 0.5), Worker("b", 0.6, 1.0)
+        pool = WorkerPool([a, b])
+        assert len(pool) == 2
+        assert list(pool) == [a, b]
+        assert a in pool
+        assert "b" in pool
+        assert "c" not in pool
+        assert Worker("a", 0.9) not in pool  # same id, different fields
+        assert 42 not in pool
+
+    def test_get_and_remove(self):
+        a = Worker("a", 0.5)
+        pool = WorkerPool([a, Worker("b", 0.6)])
+        assert pool.get("a") == a
+        removed = pool.remove("a")
+        assert removed == a
+        assert len(pool) == 1
+        with pytest.raises(KeyError):
+            pool.get("a")
+
+    def test_vector_views(self):
+        pool = WorkerPool([Worker("a", 0.5, 1.0), Worker("b", 0.75, 2.0)])
+        assert np.allclose(pool.qualities, [0.5, 0.75])
+        assert np.allclose(pool.costs, [1.0, 2.0])
+        assert pool.total_cost == pytest.approx(3.0)
+
+    def test_sorted_by_quality(self):
+        pool = WorkerPool(
+            [Worker("a", 0.5), Worker("b", 0.9), Worker("c", 0.7)]
+        )
+        ranked = pool.sorted_by_quality()
+        assert [w.worker_id for w in ranked] == ["b", "c", "a"]
+        ascending = pool.sorted_by_quality(descending=False)
+        assert [w.worker_id for w in ascending] == ["a", "c", "b"]
+
+    def test_sorted_by_quality_deterministic_ties(self):
+        pool = WorkerPool([Worker("z", 0.7), Worker("a", 0.7)])
+        ranked = pool.sorted_by_quality()
+        assert [w.worker_id for w in ranked] == ["z", "a"]
+
+    def test_sorted_by_cost(self):
+        pool = WorkerPool([Worker("a", 0.5, 3.0), Worker("b", 0.5, 1.0)])
+        assert [w.worker_id for w in pool.sorted_by_cost()] == ["b", "a"]
+
+    def test_affordable_and_reliable(self):
+        pool = WorkerPool(
+            [Worker("a", 0.4, 1.0), Worker("b", 0.8, 5.0), Worker("c", 0.6, 2.0)]
+        )
+        assert [w.worker_id for w in pool.affordable(2.0)] == ["a", "c"]
+        assert [w.worker_id for w in pool.reliable()] == ["b", "c"]
+
+    def test_subset(self):
+        pool = WorkerPool(
+            [Worker("a", 0.5), Worker("b", 0.6), Worker("c", 0.7)]
+        )
+        sub = pool.subset(["c", "a"])
+        assert [w.worker_id for w in sub] == ["c", "a"]
+
+    def test_equality_and_hash(self):
+        p1 = WorkerPool([Worker("a", 0.5)])
+        p2 = WorkerPool([Worker("a", 0.5)])
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+        assert p1 != WorkerPool([Worker("a", 0.6)])

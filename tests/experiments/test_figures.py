@@ -1,0 +1,190 @@
+"""Integration tests: every figure driver runs (at toy scale) and its
+output has the paper's qualitative shape."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FIGURE1_EXPECTED_JQ,
+    run_fig1,
+    run_fig6a,
+    run_fig6b,
+    run_fig7a,
+    run_fig7b,
+    run_fig8a,
+    run_fig8b,
+    run_fig9a,
+    run_fig9b,
+    run_fig9c,
+    run_fig9d,
+    run_fig10a,
+    run_fig10d,
+    run_table3,
+    simulate_campaign,
+)
+from repro.simulation import AMTConfig, AMTSimulator
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    """A reduced AMT campaign for the fig10 integration tests."""
+    config = AMTConfig(
+        num_workers=32,
+        num_tasks=60,
+        questions_per_hit=10,
+        assignments_per_hit=10,
+    )
+    return AMTSimulator(config, np.random.default_rng(5)).run()
+
+
+class TestFig1:
+    def test_reproduces_paper_table(self):
+        table = run_fig1()
+        jqs = [row.jq for row in table.rows]
+        assert jqs == pytest.approx(list(FIGURE1_EXPECTED_JQ), abs=1e-9)
+        assert [row.required for row in table.rows] == [5, 8, 14, 20]
+
+
+class TestFig6:
+    def test_optjs_dominates_mvjs(self):
+        result = run_fig6a(mus=(0.6, 0.8), reps=2, seed=0, epsilon=1e-4)
+        opt = result.series_by_name("OPTJS").values
+        mv = result.series_by_name("MVJS").values
+        assert all(o >= m - 1e-9 for o, m in zip(opt, mv))
+
+    def test_budget_monotonicity_roughly(self):
+        result = run_fig6b(budgets=(0.1, 1.0), reps=2, seed=0, epsilon=1e-4)
+        opt = result.series_by_name("OPTJS").values
+        assert opt[1] >= opt[0] - 0.02  # more budget, no worse
+
+
+class TestFig7:
+    def test_sa_close_to_optimal(self):
+        result = run_fig7a(budgets=(0.1, 0.3), reps=3, seed=0)
+        optimal = result.series_by_name("JQ(J*)").values
+        annealed = result.series_by_name("JQ(J-hat)").values
+        for o, a in zip(optimal, annealed):
+            assert o >= a - 1e-9  # optimal is an upper bound
+            assert o - a < 0.05  # and SA is close
+
+    def test_fig7b_reports_positive_times(self):
+        result = run_fig7b(pool_sizes=(20, 40), budgets=(0.2,), epsilon=1e-2)
+        times = result.series[0].values
+        assert all(t > 0 for t in times)
+
+    def test_table3_concentrated_at_zero(self):
+        hist = run_table3(budgets=(0.2, 0.4), reps=5, seed=0)
+        assert hist.total == 10
+        # The lion's share of runs should have (near-)zero gap.
+        assert hist.counts[0] + hist.counts[1] + hist.counts[2] >= 8
+
+
+class TestFig8:
+    def test_bv_dominates_everywhere(self):
+        result = run_fig8a(mus=(0.5, 0.7, 0.9), reps=5, seed=0)
+        bv = result.series_by_name("BV").values
+        for name in ("MV", "RBV", "RMV"):
+            other = result.series_by_name(name).values
+            assert all(b >= o - 1e-9 for b, o in zip(bv, other))
+
+    def test_rbv_pinned_at_half(self):
+        result = run_fig8a(mus=(0.5, 0.9), reps=3, seed=0)
+        assert result.series_by_name("RBV").values == (0.5, 0.5)
+
+    def test_mv_improves_with_size(self):
+        result = run_fig8b(sizes=(1, 11), mu=0.7, reps=10, seed=0)
+        mv = result.series_by_name("MV").values
+        assert mv[1] > mv[0]
+
+    def test_bv_robust_at_half(self):
+        """Figure 8(a)'s striking point: BV stays high at mu=0.5."""
+        result = run_fig8a(mus=(0.5,), reps=10, seed=0)
+        assert result.series_by_name("BV").values[0] > 0.85
+        assert result.series_by_name("MV").values[0] < 0.8
+
+
+class TestFig9:
+    def test_variance_helps_at_half(self):
+        result = run_fig9a(
+            mus=(0.5,), variances=(0.01, 0.10), reps=10, seed=0
+        )
+        low_var = result.series_by_name("var=0.01").values[0]
+        high_var = result.series_by_name("var=0.1").values[0]
+        assert high_var > low_var
+
+    def test_error_shrinks_with_buckets(self):
+        result = run_fig9b(bucket_counts=(5, 200), reps=20, seed=0)
+        errors = result.series[0].values
+        assert errors[1] <= errors[0]
+        assert errors[1] < 1e-3
+
+    def test_fig9c_errors_tiny(self):
+        hist = run_fig9c(reps=50, seed=0)
+        assert hist.total == 50
+        # Nearly all errors below 1e-4 at numBuckets=50 (paper: max
+        # error within 0.01%).
+        assert sum(hist.counts[:-1]) >= 45
+
+    def test_fig9d_pruning_is_faster(self):
+        result = run_fig9d(sizes=(150,), seed=0)
+        with_p = result.series_by_name("with pruning (s)").values[0]
+        without_p = result.series_by_name("without pruning (s)").values[0]
+        assert with_p < without_p
+
+
+class TestFig10:
+    def test_fig10a_runs_and_optjs_wins(self, small_campaign):
+        result = run_fig10a(
+            campaign=small_campaign,
+            budgets=(0.4,),
+            num_questions=6,
+            seed=0,
+        )
+        opt = result.series_by_name("OPTJS").values[0]
+        mv = result.series_by_name("MVJS").values[0]
+        assert opt >= mv - 1e-9
+
+    def test_fig10b_pool_limit(self, small_campaign):
+        from repro.experiments import run_fig10b
+
+        result = run_fig10b(
+            campaign=small_campaign,
+            pool_sizes=(3, 6),
+            budget=0.4,
+            num_questions=5,
+            seed=0,
+        )
+        # Larger candidate sets cannot hurt the optimum much; allow
+        # annealing noise but require the broad trend.
+        opt = result.series_by_name("OPTJS").values
+        assert opt[1] >= opt[0] - 0.05
+
+    def test_fig10c_cost_sd(self, small_campaign):
+        from repro.experiments import run_fig10c
+
+        result = run_fig10c(
+            campaign=small_campaign,
+            cost_sds=(0.2,),
+            num_questions=5,
+            seed=0,
+        )
+        assert 0.5 <= result.series_by_name("OPTJS").values[0] <= 1.0
+
+    def test_fig10d_jq_predicts_accuracy(self, small_campaign):
+        result = run_fig10d(
+            campaign=small_campaign,
+            z_values=(3, 9),
+            num_questions=40,
+            seed=0,
+        )
+        predicted = result.series_by_name("Average JQ").values
+        realized = result.series_by_name("Accuracy").values
+        # More votes help both curves...
+        assert predicted[1] >= predicted[0] - 0.02
+        # ...and prediction tracks reality within a loose band.
+        for p, r in zip(predicted, realized):
+            assert abs(p - r) < 0.15
+
+    def test_simulate_campaign_default(self):
+        campaign = simulate_campaign(seed=1)
+        assert len(campaign.tasks) == 600

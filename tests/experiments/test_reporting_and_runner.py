@@ -1,0 +1,96 @@
+"""Tests for the experiment plumbing (reporting + runner)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    HistogramResult,
+    SweepSeries,
+    collect_over_reps,
+    mean_over_reps,
+    spawn_rngs,
+)
+
+
+class TestSweepSeries:
+    def test_coerces_to_float_tuple(self):
+        s = SweepSeries("a", [1, 2])
+        assert s.values == (1.0, 2.0)
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="demo",
+            x_label="x",
+            xs=(1, 2, 3),
+            series=(
+                SweepSeries("up", (0.1, 0.2, 0.3)),
+                SweepSeries("down", (0.3, 0.2, 0.1)),
+            ),
+            notes="unit test",
+        )
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            ExperimentResult(
+                "figX", "demo", "x", (1, 2), (SweepSeries("a", (1,)),)
+            )
+
+    def test_series_by_name(self):
+        r = self.make()
+        assert r.series_by_name("up").values == (0.1, 0.2, 0.3)
+        with pytest.raises(KeyError):
+            r.series_by_name("nope")
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "figX" in text
+        assert "up" in text and "down" in text
+        assert "0.3000" in text
+        assert "unit test" in text
+
+    def test_render_integer_formatting(self):
+        text = self.make().render()
+        assert " 1 " in text or "| 1" in text or "1 |" in text
+
+
+class TestHistogramResult:
+    def test_alignment(self):
+        with pytest.raises(ValueError):
+            HistogramResult("t", "demo", ("a",), (1, 2))
+
+    def test_render_and_total(self):
+        h = HistogramResult("t3", "demo", ("low", "high"), (3, 1))
+        assert h.total == 4
+        text = h.render()
+        assert "low" in text and "3" in text and "total" in text
+
+
+class TestRunner:
+    def test_spawn_rngs_independent_and_reproducible(self):
+        a = spawn_rngs(7, 3)
+        b = spawn_rngs(7, 3)
+        draws_a = [r.random() for r in a]
+        draws_b = [r.random() for r in b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) == 3
+
+    def test_spawn_rngs_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_mean_over_reps(self):
+        value = mean_over_reps(lambda rng: 2.0, reps=5, seed=0)
+        assert value == 2.0
+        with pytest.raises(ValueError):
+            mean_over_reps(lambda rng: 0.0, reps=0)
+
+    def test_collect_over_reps(self):
+        values = collect_over_reps(lambda rng: rng.random(), reps=4, seed=1)
+        assert len(values) == 4
+        assert values == collect_over_reps(
+            lambda rng: rng.random(), reps=4, seed=1
+        )

@@ -1,0 +1,84 @@
+"""Tests for repro.multiclass.confusion."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfusionMatrixError, InvalidCostError
+from repro.multiclass import ConfusionMatrix, MultiClassWorker
+
+
+class TestConfusionMatrix:
+    def test_valid_matrix(self):
+        cm = ConfusionMatrix([[0.8, 0.2], [0.3, 0.7]])
+        assert cm.num_labels == 2
+        assert cm.prob(0, 0) == pytest.approx(0.8)
+        assert cm.prob(1, 0) == pytest.approx(0.3)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfusionMatrixError):
+            ConfusionMatrix([[0.5, 0.5]])
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ConfusionMatrixError):
+            ConfusionMatrix([[0.8, 0.3], [0.3, 0.7]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfusionMatrixError):
+            ConfusionMatrix([[1.2, -0.2], [0.3, 0.7]])
+
+    def test_rejects_single_label(self):
+        with pytest.raises(ConfusionMatrixError):
+            ConfusionMatrix([[1.0]])
+
+    def test_from_quality(self):
+        cm = ConfusionMatrix.from_quality(0.7, 3)
+        assert np.allclose(np.diag(cm.matrix), 0.7)
+        assert cm.prob(0, 1) == pytest.approx(0.15)
+        assert cm.diagonal_quality == pytest.approx(0.7)
+
+    def test_from_quality_binary_matches_scalar_model(self):
+        cm = ConfusionMatrix.from_quality(0.8, 2)
+        assert cm.prob(0, 0) == pytest.approx(0.8)
+        assert cm.prob(0, 1) == pytest.approx(0.2)
+
+    def test_identity_and_uniform(self):
+        assert ConfusionMatrix.identity(3).diagonal_quality == 1.0
+        u = ConfusionMatrix.uniform(4)
+        assert np.allclose(u.matrix, 0.25)
+
+    def test_matrix_is_read_only(self):
+        cm = ConfusionMatrix.from_quality(0.7, 2)
+        with pytest.raises(ValueError):
+            cm.matrix[0, 0] = 0.9
+
+    def test_smoothed(self):
+        cm = ConfusionMatrix.identity(3)
+        assert cm.min_entry == 0.0
+        smoothed = cm.smoothed(1e-3)
+        assert smoothed.min_entry > 0.0
+        assert np.allclose(smoothed.matrix.sum(axis=1), 1.0)
+        with pytest.raises(ValueError):
+            cm.smoothed(0.0)
+
+    def test_equality_and_hash(self):
+        a = ConfusionMatrix.from_quality(0.7, 2)
+        b = ConfusionMatrix.from_quality(0.7, 2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ConfusionMatrix.from_quality(0.8, 2)
+
+
+class TestMultiClassWorker:
+    def test_construction(self):
+        w = MultiClassWorker.from_quality("a", 0.8, 3, cost=2.0)
+        assert w.num_labels == 3
+        assert w.cost == 2.0
+
+    def test_validation(self):
+        cm = ConfusionMatrix.from_quality(0.7, 2)
+        with pytest.raises(ValueError):
+            MultiClassWorker("", cm)
+        with pytest.raises(TypeError):
+            MultiClassWorker("a", np.eye(2))  # type: ignore[arg-type]
+        with pytest.raises(InvalidCostError):
+            MultiClassWorker("a", cm, cost=-1)

@@ -1,0 +1,72 @@
+"""Tests for repro.multiclass.selection."""
+
+import numpy as np
+import pytest
+
+from repro.multiclass import (
+    MultiClassJQObjective,
+    MultiClassWorker,
+    select_multiclass_jury,
+)
+
+
+def quality_workers(qualities, num_labels=3, costs=None):
+    costs = costs or [1.0] * len(qualities)
+    return [
+        MultiClassWorker.from_quality(f"w{i}", q, num_labels, cost=c)
+        for i, (q, c) in enumerate(zip(qualities, costs))
+    ]
+
+
+class TestMultiClassJQObjective:
+    def test_empty_jury_scores_prior_mode(self):
+        workers = quality_workers([0.7, 0.8])
+        assert MultiClassJQObjective(workers)(()) == pytest.approx(1 / 3)
+        obj = MultiClassJQObjective(workers, prior=(0.6, 0.3, 0.1))
+        assert obj(()) == pytest.approx(0.6)
+
+    def test_counts_evaluations(self):
+        workers = quality_workers([0.7, 0.8])
+        obj = MultiClassJQObjective(workers)
+        obj((0,))
+        obj((0, 1))
+        assert obj.evaluations == 2
+
+    def test_empty_worker_list_rejected(self):
+        with pytest.raises(ValueError):
+            MultiClassJQObjective([])
+
+
+class TestSelectMulticlassJury:
+    def test_whole_pool_shortcut(self, rng):
+        workers = quality_workers([0.7, 0.8, 0.6], costs=[1, 1, 1])
+        result = select_multiclass_jury(workers, budget=10, rng=rng)
+        assert result.indices == (0, 1, 2)
+        assert result.cost == 3.0
+
+    def test_budget_respected(self, rng):
+        workers = quality_workers(
+            [0.9, 0.8, 0.7, 0.6], costs=[2.0, 1.5, 1.0, 0.5]
+        )
+        result = select_multiclass_jury(
+            workers, budget=2.0, rng=rng, epsilon=1e-4
+        )
+        assert result.cost <= 2.0 + 1e-9
+        assert len(result.indices) >= 1
+
+    def test_prefers_better_workers(self, rng):
+        workers = quality_workers([0.95, 0.5, 0.5], costs=[1.0, 1.0, 1.0])
+        result = select_multiclass_jury(
+            workers, budget=1.0, rng=rng, epsilon=1e-4
+        )
+        assert result.indices == (0,)
+        assert result.jq > 0.9
+
+    def test_negative_budget_rejected(self, rng):
+        with pytest.raises(ValueError):
+            select_multiclass_jury(quality_workers([0.7]), -1, rng=rng)
+
+    def test_worker_ids_align(self, rng):
+        workers = quality_workers([0.9, 0.8], costs=[1, 1])
+        result = select_multiclass_jury(workers, budget=10, rng=rng)
+        assert result.worker_ids == ("w0", "w1")

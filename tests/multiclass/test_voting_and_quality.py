@@ -1,0 +1,198 @@
+"""Tests for multiclass voting and JQ (Section 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EnumerationLimitError
+from repro.multiclass import (
+    ConfusionMatrix,
+    MultiClassBayesianVoting,
+    MultiClassWorker,
+    PluralityVoting,
+    RandomizedPluralityVoting,
+    estimate_jq_multiclass,
+    exact_jq_multiclass,
+)
+from repro.quality import exact_jq_bv
+
+
+def quality_workers(qualities, num_labels, costs=None):
+    costs = costs or [0.0] * len(qualities)
+    return [
+        MultiClassWorker.from_quality(f"w{i}", q, num_labels, cost=c)
+        for i, (q, c) in enumerate(zip(qualities, costs))
+    ]
+
+
+class TestMultiClassVoting:
+    def test_bv_follows_strong_worker(self):
+        workers = quality_workers([0.9, 0.6, 0.6], 3)
+        bv = MultiClassBayesianVoting()
+        assert bv.decide((2, 0, 1), workers) == 2
+
+    def test_bv_respects_prior(self):
+        workers = quality_workers([0.55], 3)
+        bv = MultiClassBayesianVoting()
+        # A weak vote for label 1 against a strong prior for label 0.
+        assert bv.decide((1,), workers, prior=(0.9, 0.05, 0.05)) == 0
+
+    def test_bv_posterior_normalizes(self):
+        workers = quality_workers([0.8, 0.7], 4)
+        post = MultiClassBayesianVoting().posterior((1, 1), workers)
+        assert post.sum() == pytest.approx(1.0)
+        assert int(np.argmax(post)) == 1
+
+    def test_plurality(self):
+        workers = quality_workers([0.7] * 5, 3)
+        pv = PluralityVoting()
+        assert pv.decide((1, 1, 2, 0, 1), workers) == 1
+        # tie 0-0 vs 2-2 -> smallest tied label
+        assert pv.decide((0, 0, 2, 2), workers[:4]) == 0
+
+    def test_randomized_plurality_distribution(self):
+        workers = quality_workers([0.7] * 4, 3)
+        rp = RandomizedPluralityVoting()
+        dist = rp.label_distribution((0, 0, 1, 2), workers)
+        assert np.allclose(dist, [0.5, 0.25, 0.25])
+        with pytest.raises(ValueError):
+            rp.decide((0, 0, 1, 2), workers)  # needs rng
+        rng = np.random.default_rng(0)
+        assert rp.decide((0, 0, 1, 2), workers, rng=rng) in (0, 1, 2)
+
+    def test_vote_validation(self):
+        workers = quality_workers([0.7, 0.8], 3)
+        bv = MultiClassBayesianVoting()
+        with pytest.raises(ValueError):
+            bv.decide((0,), workers)  # wrong count
+        with pytest.raises(ValueError):
+            bv.decide((0, 3), workers)  # out of domain
+        mixed = [workers[0], MultiClassWorker.from_quality("x", 0.7, 4)]
+        with pytest.raises(ValueError):
+            bv.decide((0, 1), mixed)  # label-count mismatch
+
+
+class TestExactJQMulticlass:
+    def test_binary_reduces_to_scalar_model(self, rng):
+        for _ in range(10):
+            q = rng.uniform(0.3, 0.95, size=4)
+            workers = quality_workers(q.tolist(), 2)
+            assert exact_jq_multiclass(workers) == pytest.approx(
+                exact_jq_bv(q), abs=1e-12
+            )
+
+    def test_single_perfect_worker(self):
+        workers = [MultiClassWorker("a", ConfusionMatrix.identity(3))]
+        assert exact_jq_multiclass(workers) == pytest.approx(1.0)
+
+    def test_uniform_worker_gives_prior_mode(self):
+        workers = [MultiClassWorker("a", ConfusionMatrix.uniform(3))]
+        assert exact_jq_multiclass(workers, prior=(0.5, 0.3, 0.2)) == (
+            pytest.approx(0.5)
+        )
+
+    def test_bv_dominates_plurality(self, rng):
+        for _ in range(10):
+            q = rng.uniform(0.4, 0.9, size=4)
+            workers = quality_workers(q.tolist(), 3)
+            bv_jq = exact_jq_multiclass(workers)
+            pl_jq = exact_jq_multiclass(workers, strategy=PluralityVoting())
+            assert bv_jq >= pl_jq - 1e-9
+
+    def test_bv_dominates_randomized_plurality(self, rng):
+        q = rng.uniform(0.4, 0.9, size=4)
+        workers = quality_workers(q.tolist(), 3)
+        bv_jq = exact_jq_multiclass(workers)
+        rp_jq = exact_jq_multiclass(
+            workers, strategy=RandomizedPluralityVoting()
+        )
+        assert bv_jq >= rp_jq - 1e-9
+
+    def test_enumeration_guard(self):
+        workers = quality_workers([0.7] * 20, 3)
+        with pytest.raises(EnumerationLimitError):
+            exact_jq_multiclass(workers)
+
+    def test_prior_validation(self):
+        workers = quality_workers([0.7], 3)
+        with pytest.raises(ValueError):
+            exact_jq_multiclass(workers, prior=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            exact_jq_multiclass([], prior=None)
+
+
+class TestEstimateJQMulticlass:
+    def test_matches_exact_small(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(1, 5))
+            q = rng.uniform(0.45, 0.9, size=n)
+            workers = quality_workers(q.tolist(), 3)
+            exact = exact_jq_multiclass(workers)
+            approx = estimate_jq_multiclass(workers, num_buckets=300)
+            assert approx == pytest.approx(exact, abs=5e-3)
+
+    def test_structured_matrices(self, rng):
+        matrices = []
+        for _ in range(4):
+            raw = rng.uniform(0.1, 1.0, size=(3, 3)) + 2 * np.eye(3)
+            matrices.append(ConfusionMatrix(raw / raw.sum(axis=1, keepdims=True)))
+        workers = [
+            MultiClassWorker(f"w{i}", m) for i, m in enumerate(matrices)
+        ]
+        exact = exact_jq_multiclass(workers)
+        approx = estimate_jq_multiclass(workers, num_buckets=400)
+        assert approx == pytest.approx(exact, abs=5e-3)
+
+    def test_binary_consistency_with_bucket(self, rng):
+        q = rng.uniform(0.5, 0.9, size=6)
+        workers = quality_workers(q.tolist(), 2)
+        mc = estimate_jq_multiclass(workers, num_buckets=300)
+        assert mc == pytest.approx(exact_jq_bv(q), abs=5e-3)
+
+    def test_nonuniform_prior(self, rng):
+        q = rng.uniform(0.5, 0.85, size=3)
+        workers = quality_workers(q.tolist(), 3)
+        prior = (0.6, 0.3, 0.1)
+        exact = exact_jq_multiclass(workers, prior=prior)
+        approx = estimate_jq_multiclass(workers, prior=prior, num_buckets=400)
+        assert approx == pytest.approx(exact, abs=5e-3)
+
+    def test_result_in_unit_interval(self, rng):
+        q = rng.uniform(0.3, 0.95, size=5)
+        workers = quality_workers(q.tolist(), 4)
+        assert 0.0 <= estimate_jq_multiclass(workers) <= 1.0
+
+    def test_invalid_buckets(self):
+        workers = quality_workers([0.7], 3)
+        with pytest.raises(ValueError):
+            estimate_jq_multiclass(workers, num_buckets=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    qualities=st.lists(
+        st.floats(min_value=0.4, max_value=0.9), min_size=1, max_size=4
+    ),
+    num_labels=st.integers(min_value=2, max_value=4),
+)
+def test_property_multiclass_bv_dominates_plurality(qualities, num_labels):
+    """Section 7's optimality claim, property-tested."""
+    workers = quality_workers(qualities, num_labels)
+    bv_jq = exact_jq_multiclass(workers)
+    pl_jq = exact_jq_multiclass(workers, strategy=PluralityVoting())
+    assert bv_jq >= pl_jq - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    qualities=st.lists(
+        st.floats(min_value=0.45, max_value=0.9), min_size=1, max_size=4
+    ),
+    extra=st.floats(min_value=0.45, max_value=0.9),
+)
+def test_property_multiclass_lemma1(qualities, extra):
+    """Lemma 1 extends to the multiclass model (Section 7)."""
+    before = exact_jq_multiclass(quality_workers(qualities, 3))
+    after = exact_jq_multiclass(quality_workers(qualities + [extra], 3))
+    assert after >= before - 1e-9

@@ -1,0 +1,148 @@
+"""Tests for repro.quality.bucket (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.quality import (
+    bucket_error_bound,
+    estimate_jq,
+    estimate_jq_detailed,
+    exact_jq_bv,
+    log_odds,
+)
+from repro.quality.bucket import bucket_indices
+
+
+class TestLogOdds:
+    def test_values(self):
+        assert log_odds(0.5) == pytest.approx(0.0)
+        assert log_odds(0.9) == pytest.approx(np.log(9))
+        assert log_odds(1.0) == np.inf
+        assert log_odds(0.0) == -np.inf
+
+    def test_antisymmetry(self):
+        assert log_odds(0.7) == pytest.approx(-log_odds(0.3))
+
+
+class TestBucketIndices:
+    def test_max_phi_gets_top_bucket(self):
+        phis = np.array([0.5, 1.0, 2.0])
+        b, delta = bucket_indices(phis, 4)
+        assert delta == pytest.approx(0.5)
+        assert b[2] == 4
+        assert b[1] == 2
+        assert b[0] == 1
+
+    def test_rounding_to_nearest(self):
+        phis = np.array([0.24, 0.26, 1.0])
+        b, delta = bucket_indices(phis, 4)  # delta = 0.25
+        assert b.tolist() == [1, 1, 4]
+
+    def test_requires_positive_phi(self):
+        with pytest.raises(ValueError):
+            bucket_indices(np.array([0.0, 0.0]), 4)
+
+
+class TestEstimateJQ:
+    def test_matches_exact_within_bound(self, rng):
+        for _ in range(30):
+            n = int(rng.integers(1, 12))
+            q = rng.uniform(0.4, 0.95, size=n)
+            exact = exact_jq_bv(q)
+            approx = estimate_jq(q, num_buckets=50, high_quality_shortcut=False)
+            bound = bucket_error_bound(q, 50)
+            assert abs(exact - approx) <= bound + 1e-9
+
+    def test_error_shrinks_with_buckets(self, rng):
+        q = rng.uniform(0.5, 0.95, size=10)
+        exact = exact_jq_bv(q)
+        coarse = abs(exact - estimate_jq(q, num_buckets=5))
+        fine = abs(exact - estimate_jq(q, num_buckets=500))
+        assert fine <= coarse + 1e-12
+        assert fine < 1e-3
+
+    def test_perfect_worker_shortcut(self):
+        assert estimate_jq([1.0, 0.6]) == 1.0
+
+    def test_high_quality_shortcut(self):
+        q = [0.995, 0.6]
+        assert estimate_jq(q) == pytest.approx(0.995)
+        # Disabled: falls through to the DP, still close to exact.
+        approx = estimate_jq(q, num_buckets=2000, high_quality_shortcut=False)
+        assert approx == pytest.approx(exact_jq_bv(q), abs=1e-2)
+
+    def test_uninformative_jury(self):
+        assert estimate_jq([0.5, 0.5, 0.5]) == 0.5
+
+    def test_prior_folding(self):
+        """estimate_jq(J, alpha) == estimate_jq(J + worker(alpha), 0.5)."""
+        q = [0.8, 0.7]
+        with_alpha = estimate_jq(q, alpha=0.7, num_buckets=400)
+        folded = estimate_jq([0.8, 0.7, 0.7], num_buckets=400)
+        assert with_alpha == pytest.approx(folded, abs=1e-9)
+
+    def test_low_quality_worker_canonicalized(self):
+        """q and 1-q workers are interchangeable for BV's JQ."""
+        assert estimate_jq([0.3, 0.8], num_buckets=200) == pytest.approx(
+            estimate_jq([0.7, 0.8], num_buckets=200)
+        )
+
+    def test_paper_example(self, example2_qualities):
+        assert estimate_jq(
+            example2_qualities, num_buckets=200
+        ) == pytest.approx(0.9, abs=1e-6)
+
+    def test_implementations_agree(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 15))
+            q = rng.uniform(0.35, 0.95, size=n)
+            dense = estimate_jq(q, num_buckets=50)
+            mapped = estimate_jq(q, num_buckets=50, implementation="map")
+            assert dense == pytest.approx(mapped, abs=1e-12)
+
+    def test_unknown_implementation(self):
+        with pytest.raises(ValueError):
+            estimate_jq([0.7], implementation="quantum")
+
+    def test_invalid_num_buckets(self):
+        with pytest.raises(ValueError):
+            estimate_jq([0.7], num_buckets=0)
+
+    def test_empty_jury(self):
+        with pytest.raises(ValueError):
+            estimate_jq([])
+
+    def test_result_in_unit_interval(self, rng):
+        for _ in range(20):
+            q = rng.uniform(0, 1, size=8)
+            assert 0.0 <= estimate_jq(q) <= 1.0
+
+
+class TestPruning:
+    def test_pruning_does_not_change_result(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(2, 20))
+            q = rng.uniform(0.5, 0.95, size=n)
+            with_p = estimate_jq_detailed(q, pruning=True)
+            without_p = estimate_jq_detailed(q, pruning=False)
+            assert with_p.jq == pytest.approx(without_p.jq, abs=1e-9)
+
+    def test_pruning_reduces_expansions(self, rng):
+        q = rng.uniform(0.5, 0.95, size=40)
+        with_p = estimate_jq_detailed(q, pruning=True)
+        without_p = estimate_jq_detailed(q, pruning=False)
+        assert with_p.expansions < without_p.expansions
+        assert with_p.pruned > 0
+        assert without_p.pruned == 0
+
+    def test_instrumentation_fields(self):
+        detail = estimate_jq_detailed([0.8, 0.7, 0.6])
+        assert detail.shortcut == ""
+        assert detail.num_buckets == 50
+        assert detail.delta > 0
+        assert detail.max_keys >= 1
+
+    def test_shortcut_reporting(self):
+        assert estimate_jq_detailed([1.0]).shortcut == "perfect-worker"
+        assert estimate_jq_detailed([0.999]).shortcut == "high-quality"
+        assert estimate_jq_detailed([0.5]).shortcut == "uninformative"

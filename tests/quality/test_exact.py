@@ -1,0 +1,139 @@
+"""Tests for repro.quality.exact (Definition 3 enumeration)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EnumerationLimitError, Jury, Worker
+from repro.quality import (
+    exact_jq,
+    exact_jq_bv,
+    joint_probabilities,
+    strategy_accuracy_per_voting,
+    vote_matrix,
+)
+from repro.voting import (
+    BayesianVoting,
+    MajorityVoting,
+    RandomBallotVoting,
+    RandomizedMajorityVoting,
+)
+
+
+class TestVoteMatrix:
+    def test_enumerates_all_rows(self):
+        m = vote_matrix(3)
+        assert m.shape == (8, 3)
+        assert len({tuple(r) for r in m.tolist()}) == 8
+
+    def test_bit_order(self):
+        m = vote_matrix(2)
+        assert m[0].tolist() == [0, 0]
+        assert m[1].tolist() == [1, 0]  # bit 0 is worker 0
+        assert m[2].tolist() == [0, 1]
+
+
+class TestJointProbabilities:
+    def test_total_mass_is_one(self):
+        q = np.array([0.9, 0.6, 0.7])
+        p0, p1 = joint_probabilities(q, 0.3)
+        assert p0.sum() + p1.sum() == pytest.approx(1.0)
+
+    def test_alpha_zero_kills_p0(self):
+        q = np.array([0.8, 0.7])
+        p0, p1 = joint_probabilities(q, 0.0)
+        assert p0.sum() == 0.0
+        assert p1.sum() == pytest.approx(1.0)
+
+
+class TestExactJQ:
+    def test_paper_example2_mv(self, example2_qualities):
+        """Example 2: JQ(J, MV, 0.5) = 79.2%."""
+        jq = exact_jq(example2_qualities, MajorityVoting())
+        assert jq == pytest.approx(0.792)
+
+    def test_paper_example3_bv(self, example2_qualities):
+        """Example 3: JQ(J, BV, 0.5) = 90%."""
+        assert exact_jq_bv(example2_qualities) == pytest.approx(0.9)
+        assert exact_jq(
+            example2_qualities, BayesianVoting()
+        ) == pytest.approx(0.9)
+
+    def test_single_worker_bv_equals_quality(self):
+        assert exact_jq_bv([0.73]) == pytest.approx(0.73)
+
+    def test_figure1_pairs(self):
+        """Figure 1: {F, G} has JQ 75%, {C, G} has 80%."""
+        assert exact_jq_bv([0.6, 0.75]) == pytest.approx(0.75)
+        assert exact_jq_bv([0.8, 0.75]) == pytest.approx(0.80)
+
+    def test_figure1_budget20_jury(self):
+        """Figure 1: {A, C, F, G} has JQ 86.95%."""
+        assert exact_jq_bv([0.77, 0.8, 0.6, 0.75]) == pytest.approx(0.8695)
+
+    def test_rbv_is_half(self, example2_qualities):
+        assert exact_jq(
+            example2_qualities, RandomBallotVoting()
+        ) == pytest.approx(0.5)
+
+    def test_rmv_equals_mean_quality(self, rng):
+        """RMV's JQ has the closed form E[#correct]/n = mean(q)."""
+        for _ in range(10):
+            q = rng.uniform(0.3, 0.95, size=6)
+            jq = exact_jq(q, RandomizedMajorityVoting())
+            assert jq == pytest.approx(float(np.mean(q)))
+
+    def test_accepts_jury_objects(self):
+        jury = Jury([Worker("a", 0.9), Worker("b", 0.6), Worker("c", 0.6)])
+        assert exact_jq_bv(jury) == pytest.approx(0.9)
+
+    def test_enumeration_guard(self):
+        with pytest.raises(EnumerationLimitError):
+            exact_jq_bv(np.full(25, 0.7))
+        with pytest.raises(EnumerationLimitError):
+            exact_jq(np.full(25, 0.7), MajorityVoting())
+
+    def test_guard_can_be_raised(self):
+        assert exact_jq_bv(np.full(21, 0.7), max_size=21) > 0.9
+
+    def test_empty_jury_rejected(self):
+        with pytest.raises(ValueError):
+            exact_jq_bv([])
+
+    def test_jq_bounds(self, rng):
+        for _ in range(20):
+            q = rng.uniform(0, 1, size=5)
+            a = rng.uniform(0, 1)
+            jq = exact_jq_bv(q, a)
+            assert max(a, 1 - a) - 1e-12 <= jq <= 1.0 + 1e-12
+
+    def test_bv_with_prior_by_hand(self):
+        # One worker q=0.8, alpha=0.9: BV answers 0 unless... even a
+        # "1" vote can't overturn the prior (0.9*0.2 > 0.1*0.8), so BV
+        # always answers 0 and JQ = alpha = 0.9.
+        assert exact_jq_bv([0.8], 0.9) == pytest.approx(0.9)
+
+
+class TestPerVotingBreakdown:
+    def test_contributions_sum_to_jq(self, example2_qualities):
+        records = strategy_accuracy_per_voting(
+            example2_qualities, MajorityVoting()
+        )
+        assert len(records) == 8
+        total = sum(r["contribution"] for r in records)
+        assert total == pytest.approx(0.792)
+
+    def test_figure2_specific_voting(self, example2_qualities):
+        """Figure 2: V=(1,0,0), t=0 has joint probability 0.018 and MV
+        decides 0 there while BV decides 1."""
+        records = strategy_accuracy_per_voting(
+            example2_qualities, MajorityVoting()
+        )
+        row = next(r for r in records if r["votes"] == (1, 0, 0))
+        assert row["p0"] == pytest.approx(0.018)
+        assert row["p1"] == pytest.approx(0.072)
+        assert row["prob_zero"] == 1.0  # MV says 0
+        bv_records = strategy_accuracy_per_voting(
+            example2_qualities, BayesianVoting()
+        )
+        bv_row = next(r for r in bv_records if r["votes"] == (1, 0, 0))
+        assert bv_row["prob_zero"] == 0.0  # BV says 1

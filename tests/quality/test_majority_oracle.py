@@ -1,0 +1,109 @@
+"""Tests for repro.quality.majority (the Poisson-binomial MV oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.quality import (
+    exact_jq,
+    exact_jq_half,
+    exact_jq_mv,
+    majority_threshold,
+    poisson_binomial_pmf,
+)
+from repro.voting import HalfVoting, MajorityVoting
+
+
+class TestPoissonBinomial:
+    def test_matches_binomial(self):
+        from scipy import stats
+
+        pmf = poisson_binomial_pmf([0.3] * 10)
+        expected = stats.binom.pmf(np.arange(11), 10, 0.3)
+        assert np.allclose(pmf, expected)
+
+    def test_sums_to_one(self, rng):
+        probs = rng.uniform(0, 1, size=17)
+        assert poisson_binomial_pmf(probs).sum() == pytest.approx(1.0)
+
+    def test_degenerate_probabilities(self):
+        pmf = poisson_binomial_pmf([1.0, 0.0, 1.0])
+        assert pmf[2] == pytest.approx(1.0)
+
+    def test_fft_path_matches_dp(self, rng):
+        probs = rng.uniform(0.1, 0.9, size=300)  # above FFT threshold
+        fft_pmf = poisson_binomial_pmf(probs)
+        from repro.quality.majority import _pmf_dynamic_program
+
+        dp_pmf = _pmf_dynamic_program(probs)
+        assert np.allclose(fft_pmf, dp_pmf, atol=1e-10)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf([])
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf([0.5, 1.5])
+
+
+class TestMajorityThreshold:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (11, 6)]
+    )
+    def test_threshold(self, n, expected):
+        assert majority_threshold(n) == expected
+
+
+class TestExactJQMV:
+    def test_matches_enumeration(self, rng):
+        mv = MajorityVoting()
+        for _ in range(20):
+            n = int(rng.integers(1, 9))
+            q = rng.uniform(0, 1, size=n)
+            alpha = float(rng.uniform(0, 1))
+            assert exact_jq_mv(q, alpha) == pytest.approx(
+                exact_jq(q, mv, alpha), abs=1e-12
+            )
+
+    def test_half_matches_enumeration(self, rng):
+        half = HalfVoting()
+        for _ in range(20):
+            n = int(rng.integers(1, 9))
+            q = rng.uniform(0, 1, size=n)
+            alpha = float(rng.uniform(0, 1))
+            assert exact_jq_half(q, alpha) == pytest.approx(
+                exact_jq(q, half, alpha), abs=1e-12
+            )
+
+    def test_paper_example(self, example2_qualities):
+        assert exact_jq_mv(example2_qualities) == pytest.approx(0.792)
+
+    def test_intro_example(self):
+        """Introduction: jury {B, E, F} with q = (0.7, 0.6, 0.6) gives
+        69.6% under MV."""
+        assert exact_jq_mv([0.7, 0.6, 0.6]) == pytest.approx(0.696)
+
+    def test_identical_workers_condorcet(self):
+        """With identical reliable workers, bigger odd juries do better
+        (Condorcet's jury theorem)."""
+        jq3 = exact_jq_mv([0.7] * 3)
+        jq5 = exact_jq_mv([0.7] * 5)
+        jq11 = exact_jq_mv([0.7] * 11)
+        assert jq3 < jq5 < jq11
+
+    def test_even_jury_no_better_than_odd(self):
+        """Adding one identical voter to an odd jury cannot help MV
+        (with iid voters and a flat prior the JQ is exactly equal —
+        the tie mass gained on t=1 equals the mass lost on t=0)."""
+        assert exact_jq_mv([0.7] * 4) == pytest.approx(exact_jq_mv([0.7] * 3))
+        # With an informative prior the tie-to-1 rule is asymmetric:
+        # favouring 1 helps when the truth is likely 1.
+        assert exact_jq_mv([0.7] * 4, alpha=0.2) > exact_jq_mv(
+            [0.7] * 3, alpha=0.2
+        )
+
+    def test_large_jury_runs_fast(self):
+        q = np.full(400, 0.6)
+        assert exact_jq_mv(q) > 0.99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exact_jq_mv([])

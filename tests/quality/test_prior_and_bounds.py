@@ -1,0 +1,125 @@
+"""Tests for repro.quality.prior (Theorem 3), canonical, and bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Jury, Worker
+from repro.quality import (
+    PRIOR_WORKER_ID,
+    bucket_error_bound,
+    buckets_for_error,
+    canonicalize_qualities,
+    exact_jq_bv,
+    fold_prior,
+    fold_prior_jury,
+    paper_default_bound,
+    pseudo_worker,
+    reinterpret_voting,
+)
+
+
+class TestTheorem3:
+    def test_fold_prior_appends_pseudo_worker(self):
+        folded = fold_prior([0.8, 0.7], 0.3)
+        assert folded.tolist() == [0.8, 0.7, 0.3]
+
+    def test_flat_prior_is_noop(self):
+        folded = fold_prior([0.8, 0.7], 0.5)
+        assert folded.tolist() == [0.8, 0.7]
+
+    def test_theorem3_identity_exact(self, rng):
+        """JQ(J, BV, alpha) == JQ(J + worker(alpha), BV, 0.5)."""
+        for _ in range(25):
+            n = int(rng.integers(1, 8))
+            q = rng.uniform(0.1, 0.95, size=n)
+            alpha = float(rng.uniform(0.05, 0.95))
+            lhs = exact_jq_bv(q, alpha)
+            rhs = exact_jq_bv(np.append(q, alpha), 0.5)
+            assert lhs == pytest.approx(rhs, abs=1e-12)
+
+    def test_fold_prior_jury(self):
+        jury = Jury([Worker("a", 0.8)])
+        folded = fold_prior_jury(jury, 0.7)
+        assert folded.size == 2
+        assert PRIOR_WORKER_ID in folded
+        assert fold_prior_jury(jury, 0.5) is jury
+
+    def test_pseudo_worker_is_free(self):
+        w = pseudo_worker(0.7)
+        assert w.cost == 0.0
+        assert w.quality == 0.7
+
+
+class TestCanonicalization:
+    def test_flips_below_half(self):
+        out = canonicalize_qualities([0.3, 0.8, 0.5])
+        assert np.allclose(out, [0.7, 0.8, 0.5])
+
+    def test_jq_invariant_under_flip(self, rng):
+        """JQ(J, BV) is unchanged when any worker's q becomes 1-q."""
+        for _ in range(25):
+            n = int(rng.integers(1, 8))
+            q = rng.uniform(0.05, 0.95, size=n)
+            i = int(rng.integers(n))
+            flipped = q.copy()
+            flipped[i] = 1.0 - flipped[i]
+            assert exact_jq_bv(q) == pytest.approx(
+                exact_jq_bv(flipped), abs=1e-12
+            )
+
+    def test_reinterpret_voting(self):
+        votes, qualities = reinterpret_voting([1, 0, 1], [0.3, 0.8, 0.6])
+        assert votes.tolist() == [0, 0, 1]
+        assert np.allclose(qualities, [0.7, 0.8, 0.6])
+
+    def test_reinterpret_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            reinterpret_voting([1, 0], [0.5])
+
+
+class TestErrorBounds:
+    def test_bound_formula(self):
+        q = [0.9, 0.8, 0.7]
+        phis = [math.log(x / (1 - x)) for x in q]
+        delta = max(phis) / 100
+        expected = math.exp(3 * delta / 4) - 1
+        assert bucket_error_bound(q, 100) == pytest.approx(expected)
+
+    def test_bound_includes_prior_worker(self):
+        q = [0.9, 0.8, 0.7]
+        flat = bucket_error_bound(q, 100, alpha=0.5)
+        informative = bucket_error_bound(q, 100, alpha=0.6)
+        assert informative > flat  # n grows by one
+
+    def test_bound_decreases_with_buckets(self):
+        q = [0.9, 0.8]
+        assert bucket_error_bound(q, 200) < bucket_error_bound(q, 20)
+
+    def test_degenerate_bounds(self):
+        assert bucket_error_bound([0.5, 0.5], 10) == 0.0
+        assert bucket_error_bound([1.0, 0.7], 10) == math.inf
+
+    def test_buckets_for_error_inverts_bound(self):
+        q = [0.9, 0.8, 0.7]
+        for target in (0.01, 0.001):
+            buckets = buckets_for_error(q, target)
+            assert bucket_error_bound(q, buckets) <= target + 1e-12
+            if buckets > 1:
+                assert bucket_error_bound(q, buckets - 1) > target
+
+    def test_buckets_for_error_validation(self):
+        with pytest.raises(ValueError):
+            buckets_for_error([0.8], 0.0)
+        with pytest.raises(ValueError):
+            buckets_for_error([1.0], 0.01)
+
+    def test_paper_headline_bound(self):
+        """Section 4.4: d >= 200 gives error < 0.627% < 1%."""
+        assert paper_default_bound(200) < 0.00627
+        assert paper_default_bound(200) == pytest.approx(
+            math.exp(5 / 800) - 1
+        )
+        with pytest.raises(ValueError):
+            paper_default_bound(0)

@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the paper's theorems.
+
+Each property is one of the paper's formal claims, checked numerically
+on randomized instances:
+
+* Theorem 1 / Corollary 1 — BV's JQ dominates every implemented
+  strategy, deterministic or randomized.
+* Lemma 1 — JQ(BV) is monotone in jury size.
+* Lemma 2 — JQ(BV) is monotone in member quality (above 0.5).
+* Theorem 3 — the prior folds into a pseudo-worker.
+* Section 4.4 — the bucket estimate's additive error respects the
+  proven bound.
+* Definition 3 — JQ is a probability and at least max(alpha, 1-alpha).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quality import (
+    bucket_error_bound,
+    estimate_jq,
+    exact_jq,
+    exact_jq_bv,
+    exact_jq_mv,
+)
+from repro.voting import all_strategies
+
+# Qualities away from the exact 0/1 endpoints keep log-likelihoods
+# finite; the endpoints get dedicated unit tests elsewhere.
+quality = st.floats(min_value=0.02, max_value=0.98)
+reliable_quality = st.floats(min_value=0.5, max_value=0.98)
+prior = st.floats(min_value=0.02, max_value=0.98)
+jury = st.lists(quality, min_size=1, max_size=7)
+reliable_jury = st.lists(reliable_quality, min_size=1, max_size=7)
+
+_STRATEGIES = all_strategies()
+
+
+@settings(max_examples=60, deadline=None)
+@given(qualities=jury, alpha=prior)
+def test_theorem1_bv_dominates_every_strategy(qualities, alpha):
+    bv_jq = exact_jq_bv(qualities, alpha)
+    for strategy in _STRATEGIES:
+        other = exact_jq(qualities, strategy, alpha)
+        assert bv_jq >= other - 1e-9, (
+            f"{strategy.name} beat BV: {other} > {bv_jq} on "
+            f"q={qualities}, alpha={alpha}"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(qualities=jury, extra=quality, alpha=prior)
+def test_lemma1_monotone_in_jury_size(qualities, extra, alpha):
+    before = exact_jq_bv(qualities, alpha)
+    after = exact_jq_bv(qualities + [extra], alpha)
+    assert after >= before - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    qualities=reliable_jury,
+    bump=st.floats(min_value=0.0, max_value=0.48),
+    index=st.integers(min_value=0, max_value=6),
+    alpha=prior,
+)
+def test_lemma2_monotone_in_worker_quality(qualities, bump, index, alpha):
+    index = index % len(qualities)
+    upgraded = list(qualities)
+    upgraded[index] = min(upgraded[index] + bump, 0.98)
+    before = exact_jq_bv(qualities, alpha)
+    after = exact_jq_bv(upgraded, alpha)
+    assert after >= before - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(qualities=jury, alpha=prior)
+def test_theorem3_prior_is_pseudo_worker(qualities, alpha):
+    direct = exact_jq_bv(qualities, alpha)
+    folded = exact_jq_bv(qualities + [alpha], 0.5)
+    assert direct == pytest.approx(folded, abs=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    qualities=jury,
+    alpha=prior,
+    num_buckets=st.integers(min_value=5, max_value=400),
+)
+def test_bucket_error_within_proven_bound(qualities, alpha, num_buckets):
+    exact = exact_jq_bv(qualities, alpha)
+    approx = estimate_jq(
+        qualities,
+        alpha=alpha,
+        num_buckets=num_buckets,
+        high_quality_shortcut=False,
+    )
+    bound = bucket_error_bound(qualities, num_buckets, alpha)
+    assert abs(exact - approx) <= bound + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(qualities=jury, alpha=prior)
+def test_jq_is_probability_and_beats_prior_guess(qualities, alpha):
+    jq = exact_jq_bv(qualities, alpha)
+    assert 0.0 <= jq <= 1.0 + 1e-12
+    # Answering the prior's mode with no votes achieves max(a, 1-a);
+    # BV with votes can only do better (Lemma 1 from the empty jury).
+    assert jq >= max(alpha, 1.0 - alpha) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(qualities=jury)
+def test_complement_symmetry(qualities):
+    """Section 4.2: summing A0 + A1 over V equals summing over V-bar —
+    numerically, JQ computed on flipped labels with flipped prior is
+    identical."""
+    q = np.asarray(qualities)
+    assert exact_jq_bv(q, 0.5) == pytest.approx(
+        exact_jq_bv(1.0 - q, 0.5), abs=1e-12
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(qualities=st.lists(reliable_quality, min_size=1, max_size=9), alpha=prior)
+def test_mv_never_beats_bv(qualities, alpha):
+    """The headline claim, restricted to the MV oracle path."""
+    assert exact_jq_bv(qualities, alpha) >= exact_jq_mv(qualities, alpha) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    qualities=st.lists(reliable_quality, min_size=1, max_size=12),
+    num_buckets=st.integers(min_value=10, max_value=100),
+)
+def test_bucket_implementations_agree(qualities, num_buckets):
+    dense = estimate_jq(qualities, num_buckets=num_buckets)
+    mapped = estimate_jq(
+        qualities, num_buckets=num_buckets, implementation="map"
+    )
+    assert dense == pytest.approx(mapped, abs=1e-10)

@@ -1,0 +1,117 @@
+"""Tests for repro.selection.annealing (Algorithms 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Worker, WorkerPool
+from repro.selection import (
+    AnnealingSelector,
+    ExhaustiveSelector,
+    JQObjective,
+    anneal_subset,
+)
+
+
+class TestAnnealSubset:
+    def test_empty_problem(self, rng):
+        assert anneal_subset([], 1.0, lambda s: 0.0, rng) == ()
+
+    def test_respects_budget(self, rng):
+        costs = [1.0, 1.0, 1.0, 1.0]
+        chosen = anneal_subset(
+            costs, 2.0, lambda s: float(len(s)), rng, epsilon=1e-3
+        )
+        assert sum(costs[i] for i in chosen) <= 2.0 + 1e-9
+        assert len(chosen) == 2  # objective rewards size; 2 fit
+
+    def test_finds_obvious_optimum(self, rng):
+        # One index is worth everything; it must be selected.
+        costs = [1.0, 1.0, 1.0]
+        objective = lambda s: (100.0 if 2 in s else 0.0) + len(s)  # noqa: E731
+        chosen = anneal_subset(costs, 1.0, objective, rng, epsilon=1e-4)
+        assert chosen == (2,)
+
+    def test_track_best_never_worse_than_final(self, rng):
+        costs = list(np.full(6, 1.0))
+        scores = [0.1, 0.9, 0.2, 0.8, 0.3, 0.7]
+        objective = lambda s: sum(scores[i] for i in s)  # noqa: E731
+        best = anneal_subset(
+            costs, 2.0, objective, np.random.default_rng(5), track_best=True
+        )
+        final = anneal_subset(
+            costs, 2.0, objective, np.random.default_rng(5), track_best=False
+        )
+        assert objective(best) >= objective(final) - 1e-12
+
+
+class TestAnnealingSelector:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingSelector(epsilon=0)
+        with pytest.raises(ValueError):
+            AnnealingSelector(initial_temperature=1e-9, epsilon=1e-8)
+        with pytest.raises(ValueError):
+            AnnealingSelector(cooling_divisor=1.0)
+
+    def test_selects_feasible_jury(self, figure1_pool, rng):
+        result = AnnealingSelector(JQObjective()).select(
+            figure1_pool, 15, rng=rng
+        )
+        assert result.cost <= 15 + 1e-9
+        assert result.jury.size >= 1
+
+    def test_near_optimal_on_figure1(self, figure1_pool):
+        """On the 7-worker pool multi-start SA should land within
+        Table-3 distance (3 points) of the exhaustive optimum at every
+        budget.  (A single start can hit a genuine single-swap local
+        optimum: {B,F,G} at budget 10 has no feasible improving swap.)"""
+        exact = ExhaustiveSelector(JQObjective())
+        for budget in (5, 10, 15, 20):
+            opt = exact.select(figure1_pool, budget).jq
+            sa = AnnealingSelector(JQObjective(), restarts=3).select(
+                figure1_pool, budget, rng=np.random.default_rng(budget)
+            )
+            assert sa.jq >= opt - 0.03
+
+    def test_restart_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingSelector(restarts=0)
+
+    def test_unconstrained_budget_selects_everyone(self, figure1_pool, rng):
+        """Lemma 1: with budget covering the pool, SA's growth moves
+        admit every worker."""
+        result = AnnealingSelector(JQObjective()).select(
+            figure1_pool, 1000, rng=rng
+        )
+        assert result.jury.size == len(figure1_pool)
+
+    def test_deterministic_given_seed(self, figure1_pool):
+        a = AnnealingSelector(JQObjective()).select(
+            figure1_pool, 12, rng=np.random.default_rng(3)
+        )
+        b = AnnealingSelector(JQObjective()).select(
+            figure1_pool, 12, rng=np.random.default_rng(3)
+        )
+        assert a.worker_ids == b.worker_ids
+        assert a.jq == b.jq
+
+    def test_empty_pool(self, rng):
+        result = AnnealingSelector(JQObjective()).select(
+            WorkerPool(), 5, rng=rng
+        )
+        assert result.jury.size == 0
+
+    def test_all_workers_unaffordable(self, rng):
+        pool = WorkerPool([Worker("a", 0.9, 10), Worker("b", 0.8, 10)])
+        result = AnnealingSelector(JQObjective()).select(pool, 1, rng=rng)
+        assert result.jury.size == 0
+        assert result.jq == 0.5  # prior-mode fallback
+
+    def test_result_metadata(self, figure1_pool, rng):
+        result = AnnealingSelector(JQObjective()).select(
+            figure1_pool, 15, rng=rng
+        )
+        assert result.selector == "annealing"
+        assert result.budget == 15
+        assert result.evaluations > 0
+        assert result.elapsed_seconds >= 0

@@ -1,0 +1,188 @@
+"""Tests for greedy selectors, special cases, MVJS and budget tables."""
+
+import numpy as np
+import pytest
+
+from repro.core import Jury, Worker, WorkerPool
+from repro.quality import exact_jq_bv
+from repro.selection import (
+    AnnealingSelector,
+    GreedyQualitySelector,
+    GreedyRatioSelector,
+    JQObjective,
+    MVJSSelector,
+    budget_quality_table,
+    check_quality_monotonicity,
+    check_size_monotonicity,
+    mv_objective,
+    select_all_if_unconstrained,
+    select_top_k_uniform_cost,
+)
+
+
+class TestGreedySelectors:
+    def test_greedy_quality_order(self, figure1_pool, rng):
+        result = GreedyQualitySelector(JQObjective()).select(
+            figure1_pool, 9, rng=rng
+        )
+        # Takes C (0.8, $6) then G (0.75, $3) -> budget exhausted.
+        assert set(result.worker_ids) == {"C", "G"}
+
+    def test_greedy_ratio_prefers_cheap_information(self, rng):
+        pool = WorkerPool(
+            [Worker("pricey", 0.9, 10.0), Worker("value", 0.85, 1.0)]
+        )
+        result = GreedyRatioSelector(JQObjective()).select(pool, 10, rng=rng)
+        assert "value" in result.worker_ids
+
+    def test_greedy_ratio_free_workers_first(self, rng):
+        pool = WorkerPool(
+            [Worker("free", 0.7, 0.0), Worker("paid", 0.9, 1.0)]
+        )
+        result = GreedyRatioSelector(JQObjective()).select(pool, 1.0, rng=rng)
+        assert set(result.worker_ids) == {"free", "paid"}
+
+    def test_feasibility(self, figure1_pool, rng):
+        for selector_cls in (GreedyQualitySelector, GreedyRatioSelector):
+            result = selector_cls(JQObjective()).select(
+                figure1_pool, 7, rng=rng
+            )
+            assert result.cost <= 7 + 1e-9
+
+
+class TestSpecialCases:
+    def test_select_all_when_affordable(self, figure1_pool):
+        jury = select_all_if_unconstrained(figure1_pool, 100)
+        assert jury is not None and jury.size == 7
+        assert select_all_if_unconstrained(figure1_pool, 10) is None
+
+    def test_top_k_uniform_cost(self):
+        pool = WorkerPool(
+            [Worker("a", 0.6, 2.0), Worker("b", 0.9, 2.0), Worker("c", 0.7, 2.0)]
+        )
+        jury = select_top_k_uniform_cost(pool, 4.5)
+        assert jury is not None
+        assert set(jury.worker_ids) == {"b", "c"}  # top-2 by quality
+
+    def test_top_k_rejects_nonuniform(self, figure1_pool):
+        assert select_top_k_uniform_cost(figure1_pool, 10) is None
+
+    def test_top_k_zero_cost_degenerates_to_all(self):
+        pool = WorkerPool([Worker("a", 0.6, 0.0), Worker("b", 0.9, 0.0)])
+        jury = select_top_k_uniform_cost(pool, 0.0)
+        assert jury is not None and jury.size == 2
+
+    def test_top_k_empty_pool(self):
+        assert select_top_k_uniform_cost(WorkerPool(), 1.0).size == 0
+
+    def test_top_k_is_actually_optimal(self, rng):
+        """Cross-check the Lemma-2 shortcut against brute force."""
+        workers = [
+            Worker(f"w{i}", float(q), 1.0)
+            for i, q in enumerate(rng.uniform(0.5, 0.95, 6))
+        ]
+        pool = WorkerPool(workers)
+        budget = 3.0
+        shortcut = select_top_k_uniform_cost(pool, budget)
+        best = 0.0
+        for mask in range(1, 1 << 6):
+            members = [workers[i] for i in range(6) if mask >> i & 1]
+            if len(members) > 3:
+                continue
+            best = max(best, exact_jq_bv([w.quality for w in members]))
+        assert exact_jq_bv(shortcut.qualities) == pytest.approx(best)
+
+    def test_monotonicity_checkers(self):
+        jury = Jury([Worker("a", 0.8), Worker("b", 0.7)])
+        before, after = check_size_monotonicity(jury, Worker("c", 0.6))
+        assert after >= before
+        before, after = check_quality_monotonicity(jury, 1, 0.9)
+        assert after >= before
+        with pytest.raises(ValueError):
+            check_quality_monotonicity(jury, 1, 0.6)  # decrease
+
+
+class TestMVJS:
+    def test_objective_is_mv(self):
+        obj = mv_objective()
+        jury = Jury([Worker("a", 0.9), Worker("b", 0.6), Worker("c", 0.6)])
+        assert obj(jury) == pytest.approx(0.792)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            MVJSSelector(engine="magic")
+
+    def test_sa_engine_feasible(self, figure1_pool, rng):
+        result = MVJSSelector().select(figure1_pool, 15, rng=rng)
+        assert result.cost <= 15 + 1e-9
+        assert result.selector == "mvjs"
+
+    def test_size_enum_engine(self, figure1_pool, rng):
+        result = MVJSSelector(engine="size-enum").select(
+            figure1_pool, 15, rng=rng
+        )
+        assert result.cost <= 15 + 1e-9
+        assert result.jury.size % 2 == 1  # odd juries only
+
+    def test_size_enum_deterministic(self, figure1_pool):
+        a = MVJSSelector(engine="size-enum").select(
+            figure1_pool, 15, rng=np.random.default_rng(0)
+        )
+        b = MVJSSelector(engine="size-enum").select(
+            figure1_pool, 15, rng=np.random.default_rng(99)
+        )
+        assert a.worker_ids == b.worker_ids
+
+    def test_optjs_beats_mvjs_on_figure1(self, figure1_pool):
+        """The headline system comparison on the running example."""
+        for budget in (10, 15, 20):
+            opt = AnnealingSelector(JQObjective()).select(
+                figure1_pool, budget, rng=np.random.default_rng(1)
+            )
+            mv = MVJSSelector().select(
+                figure1_pool, budget, rng=np.random.default_rng(1)
+            )
+            assert opt.jq >= mv.jq - 1e-9
+
+
+class TestBudgetTable:
+    def test_figure1_table(self, figure1_pool, rng):
+        from repro.selection import ExhaustiveSelector
+
+        table = budget_quality_table(
+            figure1_pool, [5, 10, 15, 20], ExhaustiveSelector(JQObjective()),
+            rng=rng,
+        )
+        assert [row.budget for row in table.rows] == [5, 10, 15, 20]
+        assert [round(row.jq, 4) for row in table.rows] == [
+            0.75, 0.80, 0.845, 0.8695,
+        ]
+        rendered = table.render()
+        assert "Budget" in rendered and "84.50%" in rendered
+
+    def test_budgets_sorted(self, figure1_pool, rng):
+        from repro.selection import ExhaustiveSelector
+
+        table = budget_quality_table(
+            figure1_pool, [20, 5], ExhaustiveSelector(JQObjective()), rng=rng
+        )
+        assert [row.budget for row in table.rows] == [5, 20]
+
+    def test_best_value_row(self, figure1_pool, rng):
+        from repro.selection import ExhaustiveSelector
+
+        table = budget_quality_table(
+            figure1_pool, [5, 10, 15, 20], ExhaustiveSelector(JQObjective()),
+            rng=rng,
+        )
+        # With min_gain=0.025 the provider stops at budget 15 (the
+        # paper's walkthrough: 15 -> 20 buys only ~2.45%).
+        assert table.best_value_row(min_gain=0.025).budget == 15
+        # Demanding every last drop selects the final row.
+        assert table.best_value_row(min_gain=0.0).budget == 20
+
+    def test_empty_table_raises(self):
+        from repro.selection.budget_table import BudgetQualityTable
+
+        with pytest.raises(ValueError):
+            BudgetQualityTable((), ()).best_value_row()

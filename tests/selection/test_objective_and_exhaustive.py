@@ -1,0 +1,127 @@
+"""Tests for repro.selection.base and repro.selection.exhaustive."""
+
+import numpy as np
+import pytest
+
+from repro.core import EnumerationLimitError, Jury, Worker, WorkerPool
+from repro.quality import exact_jq_bv, exact_jq_mv
+from repro.selection import (
+    ExhaustiveSelector,
+    JQObjective,
+    optimal_jq,
+)
+from repro.voting import BayesianVoting, MajorityVoting, TriadicConsensus
+
+
+class TestJQObjective:
+    def test_default_is_bv(self):
+        obj = JQObjective()
+        assert isinstance(obj.strategy, BayesianVoting)
+        assert obj.is_monotone
+
+    def test_mv_objective_not_monotone(self):
+        assert not JQObjective(MajorityVoting()).is_monotone
+
+    def test_empty_jury_scores_prior_mode(self):
+        assert JQObjective(alpha=0.5)(Jury(())) == 0.5
+        assert JQObjective(alpha=0.8)(Jury(())) == pytest.approx(0.8)
+        assert JQObjective(alpha=0.2)(Jury(())) == pytest.approx(0.8)
+
+    def test_matches_exact_small(self):
+        jury = Jury([Worker("a", 0.9), Worker("b", 0.6), Worker("c", 0.6)])
+        assert JQObjective()(jury) == pytest.approx(0.9)
+        assert JQObjective(MajorityVoting())(jury) == pytest.approx(0.792)
+
+    def test_bucket_above_cutoff_still_accurate(self):
+        q = np.full(14, 0.7)
+        jury = Jury(Worker(f"w{i}", 0.7) for i in range(14))
+        obj = JQObjective(exact_cutoff=12)
+        assert obj(jury) == pytest.approx(exact_jq_bv(q, max_size=20), abs=1e-3)
+
+    def test_generic_strategy_path(self):
+        jury = Jury([Worker("a", 0.8), Worker("b", 0.7), Worker("c", 0.6)])
+        obj = JQObjective(TriadicConsensus())
+        score = obj(jury)
+        assert 0.5 <= score <= 1.0
+
+    def test_evaluation_counter(self):
+        obj = JQObjective()
+        jury = Jury([Worker("a", 0.8)])
+        obj(jury)
+        obj(jury)
+        assert obj.evaluations == 2
+        obj.reset_counter()
+        assert obj.evaluations == 0
+
+
+class TestExhaustiveSelector:
+    def test_figure1_budgets(self, figure1_pool):
+        """The Figure-1 budget-quality rows are exactly optimal."""
+        selector = ExhaustiveSelector(JQObjective())
+        expectations = {5: 0.75, 10: 0.80, 15: 0.845, 20: 0.8695}
+        for budget, jq in expectations.items():
+            result = selector.select(figure1_pool, budget)
+            assert result.jq == pytest.approx(jq, abs=1e-9), budget
+            assert result.cost <= budget
+
+    def test_figure1_budget15_jury_identity(self, figure1_pool):
+        result = ExhaustiveSelector(JQObjective()).select(figure1_pool, 15)
+        assert set(result.worker_ids) == {"B", "C", "G"}
+        assert result.cost == pytest.approx(14)
+
+    def test_respects_budget(self, figure1_pool):
+        result = ExhaustiveSelector(JQObjective()).select(figure1_pool, 2.5)
+        assert result.cost <= 2.5
+        assert set(result.worker_ids) == {"F"}
+
+    def test_zero_budget_returns_empty(self, figure1_pool):
+        result = ExhaustiveSelector(JQObjective()).select(figure1_pool, 0.0)
+        assert result.jury.size == 0
+
+    def test_negative_budget_rejected(self, figure1_pool):
+        with pytest.raises(ValueError):
+            ExhaustiveSelector(JQObjective()).select(figure1_pool, -1)
+
+    def test_pool_size_guard(self):
+        pool = WorkerPool(Worker(f"w{i}", 0.7, 1.0) for i in range(25))
+        with pytest.raises(EnumerationLimitError):
+            ExhaustiveSelector(JQObjective()).select(pool, 5)
+
+    def test_mv_objective_scans_all_juries(self, rng):
+        """Under MV a *smaller* jury can beat a feasible superset, so
+        the selector must not use the maximal-jury shortcut."""
+        pool = WorkerPool(
+            [Worker("good", 0.95, 1.0), Worker("bad1", 0.5, 0.0),
+             Worker("bad2", 0.5, 0.0)]
+        )
+        result = ExhaustiveSelector(JQObjective(MajorityVoting())).select(
+            pool, 1.0
+        )
+        # {good} alone: MV JQ = 0.95; {good,bad1,bad2}: MV needs 2 of 3.
+        full_jq = exact_jq_mv([0.95, 0.5, 0.5])
+        assert result.jq == pytest.approx(0.95)
+        assert result.jq > full_jq
+
+    def test_bv_maximal_shortcut_matches_full_scan(self, rng):
+        """With the monotone BV objective, scanning only maximal juries
+        yields the same optimum as scanning everything."""
+        workers = [
+            Worker(f"w{i}", float(q), float(c))
+            for i, (q, c) in enumerate(
+                zip(rng.uniform(0.5, 0.9, 8), rng.uniform(0.1, 1.0, 8))
+            )
+        ]
+        pool = WorkerPool(workers)
+        budget = 1.5
+        fast = ExhaustiveSelector(JQObjective()).select(pool, budget)
+        # Brute-force reference without the shortcut:
+        best = 0.0
+        for mask in range(1, 1 << 8):
+            members = [workers[i] for i in range(8) if mask >> i & 1]
+            if sum(w.cost for w in members) > budget:
+                continue
+            best = max(best, exact_jq_bv([w.quality for w in members]))
+        assert fast.jq == pytest.approx(best, abs=1e-12)
+
+    def test_optimal_jq_helper(self, figure1_pool):
+        assert optimal_jq(figure1_pool, 5) == pytest.approx(0.75)

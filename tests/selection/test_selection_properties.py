@@ -1,0 +1,124 @@
+"""Property-based tests for the selection layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Worker, WorkerPool
+from repro.selection import (
+    AnnealingSelector,
+    ExhaustiveSelector,
+    GreedyQualitySelector,
+    GreedyRatioSelector,
+    JQObjective,
+)
+
+worker_tuple = st.tuples(
+    st.floats(min_value=0.5, max_value=0.95),  # quality
+    st.floats(min_value=0.1, max_value=2.0),  # cost
+)
+small_pool = st.lists(worker_tuple, min_size=1, max_size=7)
+
+
+def make_pool(specs) -> WorkerPool:
+    return WorkerPool(
+        Worker(f"w{i}", q, c) for i, (q, c) in enumerate(specs)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs=small_pool, budget=st.floats(min_value=0.0, max_value=6.0))
+def test_optimum_monotone_in_budget(specs, budget):
+    """More budget never hurts the exhaustive optimum."""
+    pool = make_pool(specs)
+    selector = ExhaustiveSelector(JQObjective())
+    low = selector.select(pool, budget).jq
+    high = selector.select(pool, budget + 0.5).jq
+    assert high >= low - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs=small_pool, budget=st.floats(min_value=0.0, max_value=6.0))
+def test_exhaustive_upper_bounds_heuristics(specs, budget):
+    """Every heuristic's jury scores at most the exhaustive optimum
+    (under the same objective) and stays within budget."""
+    pool = make_pool(specs)
+    objective = JQObjective()
+    optimum = ExhaustiveSelector(objective).select(pool, budget).jq
+    rng = np.random.default_rng(0)
+    for selector in (
+        AnnealingSelector(objective, epsilon=1e-3),
+        GreedyQualitySelector(objective),
+        GreedyRatioSelector(objective),
+    ):
+        result = selector.select(pool, budget, rng=rng)
+        assert result.cost <= budget + 1e-9
+        assert result.jq <= optimum + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(specs=small_pool, budget=st.floats(min_value=0.5, max_value=6.0))
+def test_optjs_objective_dominates_mvjs_objective(specs, budget):
+    """The *optimal-under-BV* jury's BV-JQ upper-bounds the
+    *optimal-under-MV* jury's MV-JQ: BV extracts at least as much from
+    the best jury as MV does from its best jury (Theorem 1 lifted to
+    the selection level)."""
+    from repro.voting import MajorityVoting
+
+    pool = make_pool(specs)
+    bv_opt = ExhaustiveSelector(JQObjective()).select(pool, budget).jq
+    mv_opt = ExhaustiveSelector(
+        JQObjective(MajorityVoting())
+    ).select(pool, budget).jq
+    assert bv_opt >= mv_opt - 1e-9
+
+
+class TestPartitionGadget:
+    """The NP-hardness proof reduces PARTITION to JQ computation: a
+    multiset of log-odds weights is partitionable into two equal halves
+    iff some voting has R(V) = 0, i.e. iff BV ties.  The tie mass is
+    observable in the exact JQ."""
+
+    def test_partitionable_weights_create_tie_mass(self):
+        # Four identical workers: phi multiset trivially partitionable
+        # (2 vs 2), so votings with two zeros and two ones tie.
+        from repro.quality import exact_jq_bv, vote_matrix, joint_probabilities
+
+        q = np.full(4, 0.7)
+        p0, p1 = joint_probabilities(q, 0.5)
+        ties = np.isclose(p0, p1)
+        votes = vote_matrix(4)
+        # Exactly the C(4,2)=6 balanced votings tie.
+        assert int(ties.sum()) == 6
+        assert all(votes[i].sum() == 2 for i in np.flatnonzero(ties))
+
+    def test_unpartitionable_weights_have_no_ties(self):
+        from repro.quality import joint_probabilities
+
+        # Log-odds phi = ln(q/(1-q)); choose qualities whose phis are
+        # 1, 2, 4 in some unit: no subset sums to half of 7.
+        import math
+
+        def q_from_phi(phi):
+            return math.exp(phi) / (1 + math.exp(phi))
+
+        q = np.array([q_from_phi(0.1), q_from_phi(0.2), q_from_phi(0.4)])
+        p0, p1 = joint_probabilities(q, 0.5)
+        assert not np.any(np.isclose(p0, p1, rtol=1e-12, atol=1e-15))
+
+    def test_tie_mass_contributes_half(self):
+        """For the balanced-tie gadget, JQ = sum over non-tie votings
+        of max(P0,P1) plus *half* the tie mass (Figure 3's R=0 row)."""
+        from repro.quality import exact_jq_bv, joint_probabilities
+
+        q = np.full(4, 0.7)
+        p0, p1 = joint_probabilities(q, 0.5)
+        ties = np.isclose(p0, p1)
+        expected = float(
+            np.maximum(p0, p1)[~ties].sum() + p0[ties].sum()
+        )
+        # max(P0,P1) on ties equals P0 there, and BV awards exactly that
+        # mass (it answers 0, correct with probability P0 = P1 ... the
+        # other half is lost).  So exact JQ == expected.
+        assert exact_jq_bv(q) == pytest.approx(expected, abs=1e-12)

@@ -1,0 +1,126 @@
+"""Tests for the simulated AMT platform and sentiment corpus."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    AMTConfig,
+    AMTSimulator,
+    Tweet,
+    generate_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """One full default campaign, shared across this module (slow-ish)."""
+    return AMTSimulator(rng=np.random.default_rng(42)).run()
+
+
+class TestSentimentCorpus:
+    def test_size_and_balance(self, rng):
+        tweets = generate_corpus(600, rng=rng)
+        assert len(tweets) == 600
+        positives = sum(t.is_positive for t in tweets)
+        assert 250 <= positives <= 350  # ~50/50
+
+    def test_to_task(self):
+        t = Tweet("tw-1", "text", "Apple", True)
+        task = t.to_task()
+        assert task.ground_truth == 1
+        assert task.prior == 0.5
+        assert "text" in task.question
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_corpus(0, rng=rng)
+        with pytest.raises(ValueError):
+            generate_corpus(10, positive_fraction=1.5, rng=rng)
+
+
+class TestAMTConfig:
+    def test_defaults_match_paper(self):
+        c = AMTConfig()
+        assert c.num_workers == 128
+        assert c.num_tasks == 600
+        assert c.questions_per_hit == 20
+        assert c.assignments_per_hit == 20
+        assert c.num_hits == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AMTConfig(num_tasks=601)
+        with pytest.raises(ValueError):
+            AMTConfig(num_workers=10, assignments_per_hit=20)
+
+
+class TestCampaignCalibration:
+    """The campaign must reproduce the paper's published statistics
+    (Section 6.2.1)."""
+
+    def test_every_hit_has_m_distinct_workers(self, campaign):
+        for hit in campaign.hits:
+            assert len(hit.worker_ids) == 20
+            assert len(set(hit.worker_ids)) == 20
+
+    def test_total_answers(self, campaign):
+        # 600 tasks x 20 assignments = 12,000 answers.
+        assert len(campaign.answers) == 12_000
+
+    def test_participation_profile(self, campaign):
+        stats = campaign.participation_summary()
+        assert stats["num_workers"] == 128
+        assert stats["mean_answers_per_worker"] == pytest.approx(93.75)
+        assert stats["workers_answering_everything"] == 2
+        assert stats["workers_with_single_hit"] == 67
+
+    def test_quality_profile(self, campaign):
+        stats = campaign.participation_summary()
+        assert stats["mean_quality"] == pytest.approx(0.71, abs=0.05)
+        assert 25 <= stats["workers_above_080"] <= 55
+
+    def test_vote_order_complete(self, campaign):
+        for task_id, order in campaign.vote_order.items():
+            assert len(order) == 20
+            workers = [w for w, _ in order]
+            assert len(set(workers)) == 20
+
+    def test_ground_truth_complete(self, campaign):
+        truth = campaign.ground_truth()
+        assert len(truth) == 600
+        assert set(truth.values()) <= {0, 1}
+
+    def test_estimated_qualities_correlate_with_latent(self, campaign):
+        estimated = campaign.estimated_qualities()
+        latent = campaign.latent_qualities
+        common = sorted(set(estimated) & set(latent))
+        est = np.array([estimated[w] for w in common])
+        lat = np.array([latent[w] for w in common])
+        assert np.corrcoef(est, lat)[0, 1] > 0.7
+
+    def test_candidate_pool(self, campaign):
+        pool = campaign.candidate_pool(
+            "tweet-0000", rng=np.random.default_rng(0)
+        )
+        assert len(pool) == 20
+        assert all(w.cost >= 0 for w in pool)
+        limited = campaign.candidate_pool(
+            "tweet-0000", rng=np.random.default_rng(0), limit=5
+        )
+        assert len(limited) == 5
+
+    def test_deterministic_given_seed(self):
+        a = AMTSimulator(rng=np.random.default_rng(3)).run()
+        b = AMTSimulator(rng=np.random.default_rng(3)).run()
+        assert a.vote_order["tweet-0000"] == b.vote_order["tweet-0000"]
+
+    def test_small_custom_campaign(self):
+        config = AMTConfig(
+            num_workers=12,
+            num_tasks=40,
+            questions_per_hit=10,
+            assignments_per_hit=6,
+        )
+        campaign = AMTSimulator(config, np.random.default_rng(0)).run()
+        assert len(campaign.answers) == 40 * 6
+        assert campaign.config.num_hits == 4

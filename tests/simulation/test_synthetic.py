@@ -1,0 +1,65 @@
+"""Tests for repro.simulation.synthetic (the Section-6.1.1 generator)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    SyntheticPoolConfig,
+    generate_costs,
+    generate_jury_qualities,
+    generate_pool,
+    generate_qualities,
+)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        c = SyntheticPoolConfig()
+        assert c.num_workers == 50
+        assert c.quality_mean == 0.7
+        assert c.quality_var == 0.05
+        assert c.cost_mean == 0.05
+        assert c.cost_sd == 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticPoolConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            SyntheticPoolConfig(quality_var=-1)
+        with pytest.raises(ValueError):
+            SyntheticPoolConfig(quality_floor=0.8, quality_ceiling=0.5)
+
+
+class TestGenerators:
+    def test_qualities_clipped(self, rng):
+        q = generate_qualities(5000, 0.7, 0.05, rng)
+        assert q.min() >= 0.0 and q.max() <= 1.0
+        assert float(q.mean()) == pytest.approx(0.7, abs=0.02)
+
+    def test_quality_floor_ceiling(self, rng):
+        q = generate_qualities(1000, 0.5, 0.05, rng, floor=0.5, ceiling=0.9)
+        assert q.min() >= 0.5 and q.max() <= 0.9
+
+    def test_costs_folded_not_clipped(self, rng):
+        c = generate_costs(5000, 0.05, 0.2, rng)
+        assert c.min() > 0.0  # folding leaves ~no exact zeros
+        # folded-normal mean for mu=0.05, sd=0.2 is ~0.167
+        assert float(c.mean()) == pytest.approx(0.167, abs=0.02)
+
+    def test_pool_structure(self, rng):
+        pool = generate_pool(SyntheticPoolConfig(num_workers=20), rng)
+        assert len(pool) == 20
+        assert len({w.worker_id for w in pool}) == 20
+
+    def test_pool_defaults(self, rng):
+        pool = generate_pool(rng=rng)
+        assert len(pool) == 50
+
+    def test_deterministic_with_seed(self):
+        a = generate_pool(rng=np.random.default_rng(1))
+        b = generate_pool(rng=np.random.default_rng(1))
+        assert a == b
+
+    def test_jury_qualities_shape(self, rng):
+        q = generate_jury_qualities(11, rng=rng)
+        assert q.shape == (11,)

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_pool_csv
+
+
+@pytest.fixture
+def pool_csv(figure1_pool, tmp_path):
+    path = tmp_path / "pool.csv"
+    save_pool_csv(figure1_pool, path)
+    return str(path)
+
+
+class TestJQCommand:
+    def test_bv_default(self, capsys):
+        assert main(["jq", "--qualities", "0.9,0.6,0.6"]) == 0
+        out = capsys.readouterr().out
+        assert "0.900000" in out
+
+    def test_mv(self, capsys):
+        assert main(["jq", "--qualities", "0.9,0.6,0.6", "--strategy", "MV"]) == 0
+        assert "0.792000" in capsys.readouterr().out
+
+    def test_with_prior(self, capsys):
+        assert main(["jq", "--qualities", "0.8", "--alpha", "0.9"]) == 0
+        assert "0.900000" in capsys.readouterr().out
+
+    def test_bad_quality_list(self):
+        with pytest.raises(SystemExit):
+            main(["jq", "--qualities", "a,b"])
+
+
+class TestSelectCommand:
+    def test_exhaustive(self, pool_csv, capsys):
+        code = main([
+            "select", "--pool", pool_csv, "--budget", "15",
+            "--selector", "exhaustive",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.845000" in out
+        assert "B" in out and "C" in out and "G" in out
+
+    def test_annealing_seeded(self, pool_csv, capsys):
+        code = main([
+            "select", "--pool", pool_csv, "--budget", "15",
+            "--selector", "annealing", "--seed", "7",
+        ])
+        assert code == 0
+        assert "jq:" in capsys.readouterr().out
+
+
+class TestTableCommand:
+    def test_figure1(self, pool_csv, capsys):
+        code = main([
+            "table", "--pool", pool_csv, "--budgets", "5,10,15,20",
+            "--selector", "exhaustive",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "75.00%" in out and "86.95%" in out
+
+
+class TestFrontierCommand:
+    def test_exact(self, pool_csv, capsys):
+        assert main(["frontier", "--pool", pool_csv]) == 0
+        out = capsys.readouterr().out
+        assert "exact frontier" in out
+        assert "knee" in out
+
+    def test_sampled(self, pool_csv, capsys):
+        code = main([
+            "frontier", "--pool", pool_csv, "--budgets", "5,15",
+            "--seed", "1",
+        ])
+        assert code == 0
+        assert "sampled frontier" in capsys.readouterr().out
+
+
+class TestSimulateAndExperiment:
+    def test_simulate_pool_round_trip(self, tmp_path, capsys):
+        out_path = tmp_path / "generated.csv"
+        code = main([
+            "simulate-pool", "--out", str(out_path),
+            "--num-workers", "10", "--seed", "1",
+        ])
+        assert code == 0
+        from repro.io import load_pool_csv
+
+        assert len(load_pool_csv(out_path)) == 10
+
+    def test_experiment_fig1(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "84.50%" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,123 @@
+"""Edge cases and failure injection across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import Worker, WorkerPool
+from repro.multiclass import (
+    ConfusionMatrix,
+    MultiClassWorker,
+    estimate_jq_multiclass,
+    exact_jq_multiclass,
+)
+from repro.quality import (
+    estimate_jq,
+    exact_jq_bv,
+    jury_quality,
+)
+from repro.simulation import AMTConfig, AMTSimulator
+
+
+class TestDegenerateQualities:
+    def test_single_coin_flip_worker(self):
+        assert exact_jq_bv([0.5]) == pytest.approx(0.5)
+        assert estimate_jq([0.5]) == 0.5
+
+    def test_single_perfect_worker(self):
+        assert exact_jq_bv([1.0]) == pytest.approx(1.0)
+        assert estimate_jq([1.0]) == 1.0
+
+    def test_single_always_wrong_worker(self):
+        """q=0 is as good as q=1 for BV (flip reinterpretation)."""
+        assert exact_jq_bv([0.0]) == pytest.approx(1.0)
+
+    def test_mixed_perfect_and_noise(self):
+        assert exact_jq_bv([1.0, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_contradicting_perfect_workers(self):
+        """Two infallible workers: the contradictory votings have
+        probability zero; JQ stays 1."""
+        assert exact_jq_bv([1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_all_zero_quality_jury(self):
+        """Everyone always wrong = everyone always right, flipped."""
+        assert exact_jq_bv([0.0, 0.0, 0.0]) == pytest.approx(
+            exact_jq_bv([1.0, 1.0, 1.0])
+        )
+
+    def test_extreme_priors_dominate(self):
+        assert exact_jq_bv([0.6, 0.6], alpha=1.0) == pytest.approx(1.0)
+        assert exact_jq_bv([0.6, 0.6], alpha=0.0) == pytest.approx(1.0)
+
+    def test_n_equals_one_bucket(self):
+        assert estimate_jq([0.73], num_buckets=1) == pytest.approx(0.73)
+
+
+class TestFacadeBoundaries:
+    def test_exact_cutoff_boundary(self):
+        from repro.quality import EXACT_BV_CUTOFF
+
+        q_at = np.full(EXACT_BV_CUTOFF, 0.7)
+        q_above = np.full(EXACT_BV_CUTOFF + 1, 0.7)
+        at = jury_quality(q_at)
+        above = jury_quality(q_above)
+        # Both paths work; and more workers never hurt (Lemma 1),
+        # modulo the estimator's sub-1% error.
+        assert above >= at - 0.01
+
+    def test_method_exact_overrides_size_heuristic(self):
+        q = np.full(16, 0.7)
+        exact = jury_quality(q, method="exact")
+        bucket = jury_quality(q, method="bucket", num_buckets=400)
+        assert exact == pytest.approx(bucket, abs=1e-3)
+
+
+class TestMulticlassDegenerates:
+    def test_near_singular_confusion(self):
+        """Rows concentrated on one vote regardless of truth: the
+        worker is uninformative and JQ falls to the prior mode."""
+        matrix = ConfusionMatrix([[0.99, 0.01], [0.99, 0.01]])
+        worker = MultiClassWorker("stuck", matrix)
+        assert exact_jq_multiclass([worker]) == pytest.approx(0.5, abs=1e-9)
+
+    def test_zero_entry_confusion_exact(self):
+        matrix = ConfusionMatrix([[1.0, 0.0], [0.0, 1.0]])
+        worker = MultiClassWorker("perfect", matrix)
+        assert exact_jq_multiclass([worker]) == pytest.approx(1.0)
+
+    def test_zero_entry_confusion_bucketed(self):
+        """Infinite log-ratios saturate instead of overflowing."""
+        matrix = ConfusionMatrix([[1.0, 0.0], [0.0, 1.0]])
+        worker = MultiClassWorker("perfect", matrix)
+        assert estimate_jq_multiclass([worker]) == pytest.approx(1.0)
+
+    def test_smoothing_recovers_estimator_accuracy(self):
+        sharp = ConfusionMatrix([[0.999, 0.001], [0.001, 0.999]])
+        worker = MultiClassWorker("sharp", sharp.smoothed(1e-4))
+        exact = exact_jq_multiclass([worker])
+        approx = estimate_jq_multiclass([worker], num_buckets=400)
+        assert approx == pytest.approx(exact, abs=1e-3)
+
+
+class TestCampaignEdges:
+    def test_candidate_pool_skips_unknown_qualities(self):
+        config = AMTConfig(
+            num_workers=12, num_tasks=20, questions_per_hit=10,
+            assignments_per_hit=6,
+        )
+        campaign = AMTSimulator(config, np.random.default_rng(0)).run()
+        task_id = sorted(campaign.tasks)[0]
+        # Provide qualities for only a subset of workers.
+        partial = dict(
+            list(campaign.estimated_qualities().items())[:3]
+        )
+        pool = campaign.candidate_pool(
+            task_id, partial, rng=np.random.default_rng(0)
+        )
+        assert all(w.worker_id in partial for w in pool)
+
+    def test_empty_pool_operations(self):
+        pool = WorkerPool()
+        assert pool.total_cost == 0.0
+        assert len(pool.sorted_by_quality()) == 0
+        assert len(pool.affordable(10)) == 0

@@ -1,0 +1,61 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The two heavy examples (sentiment_campaign, which simulates a full
+12,000-answer AMT campaign, and multiclass_moderation's 300-post EM)
+are exercised indirectly by the simulation/estimation test modules and
+the fig10 benchmarks; running them here would dominate suite time.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "strategy_showdown.py",
+    "budget_planning.py",
+    "adaptive_campaign.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reproduces_figure1():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "84.50%" in result.stdout
+    assert "86.95%" in result.stdout
+
+
+def test_strategy_showdown_shows_bv_optimal():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "strategy_showdown.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "<- optimal" in result.stdout
+    # BV must be among the optimal-marked strategies in section 1.
+    first_section = result.stdout.split("2)")[0]
+    optimal_lines = [
+        line for line in first_section.splitlines() if "<- optimal" in line
+    ]
+    assert any("BV" in line for line in optimal_lines)

@@ -1,0 +1,91 @@
+"""Tests for repro.frontier (cost-JQ Pareto frontiers)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EnumerationLimitError, Worker, WorkerPool
+from repro.frontier import (
+    Frontier,
+    FrontierPoint,
+    exact_frontier,
+    sampled_frontier,
+)
+from repro.selection import JQObjective
+
+
+class TestExactFrontier:
+    def test_monotone_and_nondominated(self, figure1_pool):
+        frontier = exact_frontier(figure1_pool)
+        assert frontier.exact
+        costs = [p.cost for p in frontier.points]
+        jqs = [p.jq for p in frontier.points]
+        assert costs == sorted(costs)
+        assert jqs == sorted(jqs)
+        # strictly increasing JQ (dominated points filtered)
+        assert all(b > a for a, b in zip(jqs, jqs[1:]))
+
+    def test_contains_figure1_optima(self, figure1_pool):
+        """The Figure-1 budget rows are exactly best_under() queries."""
+        frontier = exact_frontier(figure1_pool)
+        for budget, jq in [(5, 0.75), (10, 0.80), (15, 0.845), (20, 0.8695)]:
+            point = frontier.best_under(budget)
+            assert point is not None
+            assert point.jq == pytest.approx(jq, abs=1e-9)
+
+    def test_best_under_tiny_budget(self, figure1_pool):
+        frontier = exact_frontier(figure1_pool)
+        assert frontier.best_under(1.9) is None  # cheapest worker costs 2
+
+    def test_pool_size_guard(self):
+        pool = WorkerPool(Worker(f"w{i}", 0.7, 1.0) for i in range(20))
+        with pytest.raises(EnumerationLimitError):
+            exact_frontier(pool)
+
+    def test_knee(self, figure1_pool):
+        frontier = exact_frontier(figure1_pool)
+        knee = frontier.knee()
+        assert knee in frontier.points
+        # The knee is interior: not the very cheapest point.
+        assert knee.cost > frontier.points[0].cost
+
+    def test_knee_degenerate(self):
+        with pytest.raises(ValueError):
+            Frontier((), exact=True).knee()
+        single = Frontier((FrontierPoint(1.0, 0.7, ("a",)),), exact=True)
+        assert single.knee().cost == 1.0
+
+    def test_render(self, figure1_pool):
+        text = exact_frontier(figure1_pool).render()
+        assert "Cost" in text and "%" in text
+
+
+class TestSampledFrontier:
+    def test_subset_of_exact_quality(self, figure1_pool, rng):
+        exact = exact_frontier(figure1_pool)
+        sampled = sampled_frontier(
+            figure1_pool, budgets=[5, 10, 15, 20], rng=rng, restarts=3
+        )
+        assert not sampled.exact
+        # Every sampled point is dominated-or-equal to the exact curve.
+        for point in sampled.points:
+            reference = exact.best_under(point.cost)
+            assert reference is not None
+            assert point.jq <= reference.jq + 1e-9
+
+    def test_monotone(self, figure1_pool, rng):
+        sampled = sampled_frontier(
+            figure1_pool, budgets=[5, 10, 15, 20], rng=rng
+        )
+        jqs = [p.jq for p in sampled.points]
+        assert all(b > a for a, b in zip(jqs, jqs[1:]))
+
+    def test_objective_passthrough(self, figure1_pool, rng):
+        from repro.voting import MajorityVoting
+
+        sampled = sampled_frontier(
+            figure1_pool,
+            budgets=[15],
+            objective=JQObjective(MajorityVoting()),
+            rng=rng,
+        )
+        assert len(sampled.points) >= 1

@@ -1,0 +1,107 @@
+"""Tests for repro.io (CSV / JSON persistence)."""
+
+import pytest
+
+from repro.core import Worker, WorkerPool
+from repro.estimation import AnswerMatrix
+from repro.io import (
+    budget_table_to_json,
+    load_answers_csv,
+    load_pool_csv,
+    load_pool_json,
+    pool_from_json,
+    pool_to_json,
+    save_answers_csv,
+    save_budget_table_json,
+    save_pool_csv,
+    save_pool_json,
+)
+
+
+class TestPoolCSV:
+    def test_round_trip(self, figure1_pool, tmp_path):
+        path = tmp_path / "pool.csv"
+        save_pool_csv(figure1_pool, path)
+        loaded = load_pool_csv(path)
+        assert loaded == figure1_pool
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,quality\nw1,0.5\n")
+        with pytest.raises(ValueError, match="expected columns"):
+            load_pool_csv(path)
+
+    def test_bad_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("worker_id,quality,cost\nw1,not-a-number,1\n")
+        with pytest.raises(ValueError, match="bad.csv:2"):
+            load_pool_csv(path)
+
+    def test_out_of_range_quality_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("worker_id,quality,cost\nw1,1.5,1\n")
+        with pytest.raises(ValueError):
+            load_pool_csv(path)
+
+
+class TestPoolJSON:
+    def test_round_trip_string(self, figure1_pool):
+        assert pool_from_json(pool_to_json(figure1_pool)) == figure1_pool
+
+    def test_round_trip_file(self, figure1_pool, tmp_path):
+        path = tmp_path / "pool.json"
+        save_pool_json(figure1_pool, path)
+        assert load_pool_json(path) == figure1_pool
+
+    def test_missing_key(self):
+        with pytest.raises(ValueError, match="workers"):
+            pool_from_json("{}")
+
+
+class TestAnswersCSV:
+    def test_round_trip(self, tmp_path):
+        answers = AnswerMatrix(num_labels=3)
+        answers.record("w1", "t1", 2)
+        answers.record("w1", "t2", 0)
+        answers.record("w2", "t1", 1)
+        path = tmp_path / "answers.csv"
+        save_answers_csv(answers, path)
+        loaded = load_answers_csv(path, num_labels=3)
+        assert loaded.num_answers == 3
+        assert loaded.answers_by("w1") == {"t1": 2, "t2": 0}
+
+    def test_label_domain_enforced_on_load(self, tmp_path):
+        path = tmp_path / "answers.csv"
+        path.write_text("worker_id,task_id,label\nw1,t1,2\n")
+        with pytest.raises(ValueError):
+            load_answers_csv(path, num_labels=2)
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "answers.csv"
+        path.write_text("who,what\nw1,t1\n")
+        with pytest.raises(ValueError, match="expected columns"):
+            load_answers_csv(path)
+
+
+class TestBudgetTableJSON:
+    def test_export(self, figure1_pool, tmp_path):
+        import json
+
+        import numpy as np
+
+        from repro.selection import (
+            ExhaustiveSelector,
+            JQObjective,
+            budget_quality_table,
+        )
+
+        table = budget_quality_table(
+            figure1_pool, [5, 15], ExhaustiveSelector(JQObjective()),
+            rng=np.random.default_rng(0),
+        )
+        payload = json.loads(budget_table_to_json(table))
+        assert len(payload["rows"]) == 2
+        assert payload["rows"][0]["jq"] == pytest.approx(0.75)
+        path = tmp_path / "table.json"
+        save_budget_table_json(table, path)
+        assert json.loads(path.read_text()) == payload

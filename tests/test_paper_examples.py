@@ -1,0 +1,125 @@
+"""End-to-end checks against every number the paper states in prose.
+
+These are the repository's ground-truth anchors: if any of them fails,
+the reproduction has drifted from the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro import OptimalJurySelectionSystem, Worker, WorkerPool
+from repro.quality import (
+    estimate_jq,
+    exact_jq,
+    exact_jq_bv,
+    exact_jq_mv,
+    jury_quality,
+    paper_default_bound,
+)
+from repro.voting import BayesianVoting, MajorityVoting, make_strategy
+
+
+class TestIntroductionNumbers:
+    def test_jury_bef_mv(self):
+        """Page 1: jury {B, E, F} = (0.7, 0.6, 0.6) has MV probability
+        0.7*0.6*0.6 + 0.7*0.6*0.4 + 0.7*0.4*0.6 + 0.3*0.6*0.6 = 69.6%."""
+        assert exact_jq_mv([0.7, 0.6, 0.6]) == pytest.approx(0.696)
+
+
+class TestExample2And3:
+    def test_mv_is_79_2(self):
+        assert exact_jq([0.9, 0.6, 0.6], MajorityVoting()) == pytest.approx(
+            0.792
+        )
+
+    def test_bv_is_90(self):
+        assert exact_jq_bv([0.9, 0.6, 0.6]) == pytest.approx(0.90)
+
+    def test_bv_beats_mv_by_10_8_points(self):
+        gap = exact_jq_bv([0.9, 0.6, 0.6]) - exact_jq_mv([0.9, 0.6, 0.6])
+        assert gap == pytest.approx(0.108)
+
+    def test_example3_voting_011(self):
+        """Page 5: V = (0, 1, 1) with q = (0.9, 0.6, 0.6): BV returns 0
+        because 0.5*0.9*0.4*0.4 > 0.5*0.1*0.6*0.6; MV returns 1."""
+        bv, mv = BayesianVoting(), MajorityVoting()
+        q = [0.9, 0.6, 0.6]
+        assert bv.decide((0, 1, 1), q) == 0
+        assert mv.decide((0, 1, 1), q) == 1
+
+
+class TestFigure1Table:
+    BUDGET_ROWS = {
+        5: (0.75, 5),
+        10: (0.80, None),  # several 80% juries exist; cost may differ
+        15: (0.845, 14),
+        20: (0.8695, 20),
+    }
+
+    def test_all_rows(self, figure1_pool):
+        system = OptimalJurySelectionSystem(figure1_pool, seed=7)
+        for budget, (jq, required) in self.BUDGET_ROWS.items():
+            result = system.select_jury(budget)
+            assert result.jq == pytest.approx(jq, abs=1e-9), budget
+            if required is not None:
+                assert result.cost == pytest.approx(required), budget
+
+    def test_paper_jury_identities(self, figure1_pool):
+        """The juries named in Figure 1 achieve the stated JQs."""
+        assert exact_jq_bv([0.6, 0.75]) == pytest.approx(0.75)  # {F,G}
+        assert exact_jq_bv([0.8, 0.75]) == pytest.approx(0.80)  # {C,G}
+        assert exact_jq_bv([0.7, 0.8, 0.75]) == pytest.approx(0.845)  # {B,C,G}
+        assert exact_jq_bv([0.77, 0.8, 0.6, 0.75]) == pytest.approx(
+            0.8695
+        )  # {A,C,F,G}
+
+    def test_marginal_gain_15_to_20(self):
+        """Page 2: raising the budget from 15 to 20 buys ~2.5%."""
+        gain = 0.8695 - 0.845
+        assert gain == pytest.approx(0.0245, abs=1e-4)
+
+
+class TestSection44Bound:
+    def test_d200_bound(self):
+        """Setting d >= 200 bounds the error by 0.627% < 1%."""
+        assert paper_default_bound(200) == pytest.approx(0.00627, abs=1e-4)
+
+    def test_phi_099_below_5(self):
+        """Section 4.4 assumes phi(0.99) < 5."""
+        from repro.quality import log_odds
+
+        assert log_odds(0.99) < 5.0
+
+
+class TestJuryQualityFacade:
+    def test_auto_dispatch(self, example2_qualities):
+        assert jury_quality(example2_qualities) == pytest.approx(0.9)
+        assert jury_quality(
+            example2_qualities, MajorityVoting()
+        ) == pytest.approx(0.792)
+        assert jury_quality(
+            example2_qualities, make_strategy("RBV")
+        ) == pytest.approx(0.5)
+
+    def test_bucket_method(self, example2_qualities):
+        jq = jury_quality(example2_qualities, method="bucket", num_buckets=300)
+        assert jq == pytest.approx(0.9, abs=1e-4)
+
+    def test_bucket_requires_bv(self, example2_qualities):
+        with pytest.raises(ValueError):
+            jury_quality(example2_qualities, MajorityVoting(), method="bucket")
+
+    def test_unknown_method(self, example2_qualities):
+        with pytest.raises(ValueError):
+            jury_quality(example2_qualities, method="psychic")
+
+    def test_large_jury_auto_switches_to_bucket(self):
+        q = np.full(30, 0.7)
+        jq = jury_quality(q)  # would raise if it tried 2^30 enumeration
+        # Reference value 0.98835 from estimate_jq at numBuckets=2000.
+        assert jq == pytest.approx(0.9883, abs=1e-3)
+
+    def test_estimate_matches_exact_on_example(self, example2_qualities):
+        assert estimate_jq(
+            example2_qualities, num_buckets=500
+        ) == pytest.approx(exact_jq_bv(example2_qualities), abs=1e-4)

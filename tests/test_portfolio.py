@@ -1,0 +1,147 @@
+"""Tests for repro.portfolio (multi-task budget allocation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Worker, WorkerPool
+from repro.frontier import Frontier, FrontierPoint, exact_frontier
+from repro.portfolio import (
+    CampaignPlan,
+    TaskAllocation,
+    allocate_budget,
+    concave_envelope,
+    plan_campaign,
+)
+
+
+def frontier(*points):
+    return Frontier(
+        tuple(FrontierPoint(c, j, (f"w{i}",)) for i, (c, j) in enumerate(points)),
+        exact=True,
+    )
+
+
+class TestConcaveEnvelope:
+    def test_keeps_concave_points(self):
+        pts = frontier((1, 0.7), (2, 0.85), (3, 0.9)).points
+        hull = concave_envelope(pts, 0.5)
+        assert [p.cost for p in hull] == [0, 1, 2, 3]
+
+    def test_removes_convex_dip(self):
+        # The middle point gains little; a rational spender skips it.
+        pts = frontier((1, 0.55), (2, 0.9)).points
+        hull = concave_envelope(pts, 0.5)
+        assert [p.cost for p in hull] == [0, 2]
+
+    def test_drops_points_below_baseline(self):
+        pts = frontier((1, 0.4), (2, 0.8)).points
+        hull = concave_envelope(pts, 0.5)
+        assert [p.cost for p in hull] == [0, 2]
+
+    def test_slopes_strictly_decrease(self):
+        pts = frontier((1, 0.7), (2, 0.8), (4, 0.95), (8, 0.99)).points
+        hull = concave_envelope(pts, 0.5)
+        slopes = [
+            (b.jq - a.jq) / (b.cost - a.cost)
+            for a, b in zip(hull, hull[1:])
+        ]
+        assert all(s1 > s2 - 1e-12 for s1, s2 in zip(slopes, slopes[1:]))
+
+
+class TestAllocateBudget:
+    def test_prefers_high_marginal_task(self):
+        frontiers = {
+            "easy": frontier((1, 0.95)),   # huge gain per unit
+            "hard": frontier((1, 0.55)),   # tiny gain per unit
+        }
+        plan = allocate_budget(frontiers, budget=1)
+        assert plan.allocation_for("easy").point is not None
+        assert plan.allocation_for("hard").point is None
+        assert plan.total_cost == 1
+
+    def test_splits_budget_when_affordable(self):
+        frontiers = {
+            "a": frontier((1, 0.8)),
+            "b": frontier((1, 0.75)),
+        }
+        plan = allocate_budget(frontiers, budget=2)
+        assert plan.allocation_for("a").point is not None
+        assert plan.allocation_for("b").point is not None
+        assert plan.total_jq == pytest.approx(0.8 + 0.75)
+
+    def test_respects_budget(self):
+        frontiers = {
+            "a": frontier((1, 0.8), (5, 0.99)),
+            "b": frontier((1, 0.75), (5, 0.98)),
+        }
+        plan = allocate_budget(frontiers, budget=3)
+        assert plan.total_cost <= 3 + 1e-9
+
+    def test_zero_budget(self):
+        plan = allocate_budget({"a": frontier((1, 0.9))}, budget=0)
+        assert plan.total_cost == 0
+        assert plan.mean_jq == 0.5
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_budget({}, budget=-1)
+
+    def test_monotone_in_budget(self):
+        frontiers = {
+            "a": frontier((1, 0.7), (2, 0.85), (4, 0.95)),
+            "b": frontier((1, 0.65), (3, 0.9)),
+        }
+        jqs = [
+            allocate_budget(frontiers, budget=b).total_jq
+            for b in (0, 1, 2, 4, 7)
+        ]
+        assert all(x <= y + 1e-12 for x, y in zip(jqs, jqs[1:]))
+
+    def test_matches_brute_force_small(self):
+        """Greedy on concave envelopes is optimal when the budget lands
+        on step boundaries; verify against brute force."""
+        frontiers = {
+            "a": frontier((1, 0.7), (2, 0.85)),
+            "b": frontier((1, 0.8), (3, 0.9)),
+        }
+        budget = 3
+        plan = allocate_budget(frontiers, budget)
+        # Brute force over all (point-or-none) combinations.
+        best = 0.0
+        options_a = [None] + list(frontiers["a"].points)
+        options_b = [None] + list(frontiers["b"].points)
+        for pa in options_a:
+            for pb in options_b:
+                cost = (pa.cost if pa else 0) + (pb.cost if pb else 0)
+                if cost > budget:
+                    continue
+                jq = (pa.jq if pa else 0.5) + (pb.jq if pb else 0.5)
+                best = max(best, jq)
+        assert plan.total_jq == pytest.approx(best)
+
+    def test_render(self):
+        plan = allocate_budget({"a": frontier((1, 0.9))}, budget=1)
+        text = plan.render()
+        assert "Task" in text and "90.00%" in text
+
+
+class TestPlanCampaign:
+    def test_end_to_end_small_pools(self, rng):
+        pools = {
+            f"q{i}": WorkerPool(
+                Worker(f"q{i}-w{j}", float(q), float(c))
+                for j, (q, c) in enumerate(
+                    zip(rng.uniform(0.55, 0.9, 5), rng.uniform(0.5, 2.0, 5))
+                )
+            )
+            for i in range(4)
+        }
+        plan = plan_campaign(pools, budget=6.0, rng=rng)
+        assert isinstance(plan, CampaignPlan)
+        assert plan.total_cost <= 6.0 + 1e-9
+        assert plan.mean_jq > 0.5  # funding helps
+
+    def test_unknown_task_lookup(self):
+        plan = CampaignPlan((TaskAllocation("a", None),), 1.0, 0.5)
+        with pytest.raises(KeyError):
+            plan.allocation_for("missing")

@@ -1,0 +1,92 @@
+"""Tests for the OptimalJurySelectionSystem facade."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Jury,
+    OptimalJurySelectionSystem,
+    Worker,
+    WorkerPool,
+)
+
+
+class TestSelectJury:
+    def test_small_pool_exact(self, figure1_pool):
+        system = OptimalJurySelectionSystem(figure1_pool, seed=0)
+        result = system.select_jury(15)
+        assert result.jq == pytest.approx(0.845)
+        assert set(result.worker_ids) == {"B", "C", "G"}
+
+    def test_unconstrained_shortcut(self, figure1_pool):
+        system = OptimalJurySelectionSystem(figure1_pool, seed=0)
+        result = system.select_jury(1000)
+        assert result.jury.size == 7
+        assert result.selector == "special-case"
+
+    def test_uniform_cost_shortcut(self):
+        pool = WorkerPool(
+            [Worker("a", 0.9, 1.0), Worker("b", 0.6, 1.0), Worker("c", 0.8, 1.0)]
+        )
+        system = OptimalJurySelectionSystem(pool, seed=0)
+        result = system.select_jury(2.0)
+        assert result.selector == "special-case"
+        assert set(result.worker_ids) == {"a", "c"}
+
+    def test_large_pool_uses_annealer(self, rng):
+        workers = [
+            Worker(f"w{i}", float(q), float(c))
+            for i, (q, c) in enumerate(
+                zip(rng.uniform(0.5, 0.9, 30), rng.uniform(0.5, 2.0, 30))
+            )
+        ]
+        system = OptimalJurySelectionSystem(WorkerPool(workers), seed=0)
+        result = system.select_jury(3.0)
+        assert result.selector == "annealing"
+        assert result.cost <= 3.0 + 1e-9
+
+    def test_prior_influences_selection_quality(self, figure1_pool):
+        flat = OptimalJurySelectionSystem(figure1_pool, alpha=0.5, seed=0)
+        biased = OptimalJurySelectionSystem(figure1_pool, alpha=0.9, seed=0)
+        # A confident prior raises the achievable JQ.
+        assert biased.select_jury(5).jq >= flat.select_jury(5).jq
+
+
+class TestBudgetQualityTable:
+    def test_figure1_walkthrough(self, figure1_pool):
+        system = OptimalJurySelectionSystem(figure1_pool, seed=0)
+        table = system.budget_quality_table([5, 10, 15, 20])
+        assert [round(r.jq, 4) for r in table.rows] == [
+            0.75, 0.80, 0.845, 0.8695,
+        ]
+
+
+class TestDecide:
+    def test_unanimous_yes(self, figure1_pool):
+        system = OptimalJurySelectionSystem(figure1_pool, seed=0)
+        jury = Jury([figure1_pool.get("B"), figure1_pool.get("C")])
+        verdict = system.decide(jury, [1, 1])
+        assert verdict.answer == 1
+        assert verdict.confidence > 0.9
+
+    def test_high_quality_dissenter_wins(self, figure1_pool):
+        system = OptimalJurySelectionSystem(figure1_pool, seed=0)
+        jury = Jury(
+            [figure1_pool.get("C"), figure1_pool.get("E"), figure1_pool.get("F")]
+        )
+        # C (0.8) says no; E, F (0.6) say yes: 0.8*0.4*0.4 > 0.2*0.6*0.6.
+        verdict = system.decide(jury, [0, 1, 1])
+        assert verdict.answer == 0
+
+    def test_confidence_is_posterior_of_answer(self, figure1_pool):
+        system = OptimalJurySelectionSystem(figure1_pool, seed=0)
+        jury = Jury([figure1_pool.get("C")])
+        verdict = system.decide(jury, [1])
+        assert verdict.answer == 1
+        assert verdict.confidence == pytest.approx(0.8)
+        assert verdict.posterior_zero == pytest.approx(0.2)
+
+    def test_predicted_quality(self, figure1_pool):
+        system = OptimalJurySelectionSystem(figure1_pool, seed=0)
+        jury = Jury([figure1_pool.get("F"), figure1_pool.get("G")])
+        assert system.predicted_quality(jury) == pytest.approx(0.75)

@@ -1,0 +1,228 @@
+"""Tests for the binary voting strategies (repro.voting)."""
+
+import numpy as np
+import pytest
+
+from repro.voting import (
+    BayesianVoting,
+    HalfVoting,
+    MajorityVoting,
+    RandomBallotVoting,
+    RandomizedMajorityVoting,
+    RandomizedWeightedMajorityVoting,
+    TriadicConsensus,
+    WeightedMajorityVoting,
+    all_strategies,
+    available_strategies,
+    log_odds_weight,
+    make_strategy,
+    posterior_zero,
+    register_strategy,
+)
+
+Q3 = np.array([0.9, 0.6, 0.6])
+
+
+class TestMajorityVoting:
+    def test_strict_majority(self):
+        mv = MajorityVoting()
+        assert mv.decide((0, 0, 1), Q3) == 0
+        assert mv.decide((1, 1, 0), Q3) == 1
+        assert mv.decide((0, 0, 0), Q3) == 0
+
+    def test_even_tie_goes_to_one(self):
+        mv = MajorityVoting()
+        q = np.array([0.7, 0.7])
+        assert mv.decide((0, 1), q) == 1
+
+    def test_prob_zero_is_indicator(self):
+        mv = MajorityVoting()
+        assert mv.prob_zero((0, 0, 1), Q3) == 1.0
+        assert mv.prob_zero((1, 1, 0), Q3) == 0.0
+
+    def test_ignores_qualities(self):
+        mv = MajorityVoting()
+        assert mv.decide((0, 1, 1), Q3) == 1  # high-quality 0 outvoted
+
+
+class TestHalfVoting:
+    def test_tie_goes_to_zero(self):
+        q = np.array([0.7, 0.7])
+        assert HalfVoting().decide((0, 1), q) == 0
+
+    def test_agrees_with_mv_on_odd(self):
+        mv, half = MajorityVoting(), HalfVoting()
+        for votes in [(0, 0, 1), (1, 1, 0), (1, 0, 1)]:
+            assert mv.decide(votes, Q3) == half.decide(votes, Q3)
+
+
+class TestBayesianVoting:
+    def test_follows_high_quality_worker(self):
+        # Example 3: worker 1 (q=0.9) outweighs two q=0.6 workers.
+        bv = BayesianVoting()
+        assert bv.decide((0, 1, 1), Q3) == 0
+        assert bv.decide((1, 0, 0), Q3) == 1
+
+    def test_tie_goes_to_zero(self):
+        bv = BayesianVoting()
+        q = np.array([0.7, 0.7])
+        assert bv.decide((0, 1), q) == 0  # P0 == P1 -> 0 per Theorem 1
+
+    def test_prior_shifts_decision(self):
+        bv = BayesianVoting()
+        q = np.array([0.6])
+        assert bv.decide((1,), q, alpha=0.5) == 1
+        # A strong prior for 0 overrides a single weak "yes" vote:
+        # 0.9 * 0.4 > 0.1 * 0.6.
+        assert bv.decide((1,), q, alpha=0.9) == 0
+
+    def test_posterior_sums_to_one(self):
+        bv = BayesianVoting()
+        p0, p1 = bv.posterior((0, 1, 1), Q3, 0.3)
+        assert p0 + p1 == pytest.approx(1.0)
+        assert 0.0 <= p0 <= 1.0
+
+    def test_posterior_zero_matches_bayes_by_hand(self):
+        # alpha=0.5, q=(0.9,0.6,0.6), V=(1,0,0):
+        # P0 = .5 * .1 * .6 * .6 = .018 ; P1 = .5 * .9 * .4 * .4 = .072
+        p0 = posterior_zero((1, 0, 0), Q3, 0.5)
+        assert p0 == pytest.approx(0.018 / 0.090)
+
+    def test_infallible_worker_dominates(self):
+        bv = BayesianVoting()
+        q = np.array([1.0, 0.6, 0.6])
+        assert bv.decide((0, 1, 1), q) == 0
+        assert bv.decide((1, 0, 0), q) == 1
+
+    def test_low_quality_worker_is_flipped_evidence(self):
+        bv = BayesianVoting()
+        q = np.array([0.1])  # votes 1 -> evidence for 0
+        assert bv.decide((1,), q) == 0
+        assert bv.decide((0,), q) == 1
+
+    def test_extreme_priors(self):
+        bv = BayesianVoting()
+        q = np.array([0.8])
+        assert bv.decide((1,), q, alpha=1.0) == 0
+        assert bv.decide((0,), q, alpha=0.0) == 1
+
+
+class TestRandomizedStrategies:
+    def test_rmv_vote_share(self):
+        rmv = RandomizedMajorityVoting()
+        assert rmv.prob_zero((0, 0, 1), Q3) == pytest.approx(2 / 3)
+        assert rmv.prob_zero((1, 1, 1), Q3) == 0.0
+
+    def test_rbv_always_half(self):
+        rbv = RandomBallotVoting()
+        assert rbv.prob_zero((0, 0, 0), Q3) == 0.5
+        assert rbv.prob_zero((1, 1, 1), Q3) == 0.5
+
+    def test_randomized_decide_needs_rng(self):
+        rmv = RandomizedMajorityVoting()
+        with pytest.raises(ValueError, match="rng"):
+            rmv.decide((0, 1, 1), Q3)
+        # Degenerate cases decide without an rng.
+        assert rmv.decide((0, 0, 0), Q3) == 0
+        assert rmv.decide((1, 1, 1), Q3) == 1
+
+    def test_randomized_decide_samples(self, rng):
+        rmv = RandomizedMajorityVoting()
+        draws = [rmv.decide((0, 0, 1), Q3, rng=rng) for _ in range(2000)]
+        assert np.mean([d == 0 for d in draws]) == pytest.approx(2 / 3, abs=0.05)
+
+
+class TestWeightedStrategies:
+    def test_wmv_weights_by_quality(self):
+        wmv = WeightedMajorityVoting()
+        q = np.array([0.9, 0.55, 0.56])
+        # zero side weight .9 > one side .55+.56=1.11? No: 1.11 > 0.9 -> 1
+        assert wmv.decide((0, 1, 1), q) == 1
+        q = np.array([0.95, 0.4, 0.4])
+        assert wmv.decide((0, 1, 1), q) == 0
+
+    def test_wmv_log_odds_equals_bv_at_flat_prior(self, rng):
+        wmv = WeightedMajorityVoting(log_odds_weight)
+        bv = BayesianVoting()
+        for _ in range(50):
+            q = rng.uniform(0.5, 0.95, size=5)
+            votes = tuple(rng.integers(0, 2, size=5).tolist())
+            assert wmv.decide(votes, q) == bv.decide(votes, q)
+
+    def test_rwmv_weight_share(self):
+        rwmv = RandomizedWeightedMajorityVoting()
+        q = np.array([0.8, 0.2])
+        assert rwmv.prob_zero((0, 1), q) == pytest.approx(0.8)
+
+    def test_rwmv_zero_total_weight(self):
+        rwmv = RandomizedWeightedMajorityVoting(lambda q: 0.0)
+        assert rwmv.prob_zero((0, 1), np.array([0.7, 0.7])) == 0.5
+
+
+class TestTriadicConsensus:
+    def test_unanimous(self):
+        tc = TriadicConsensus()
+        assert tc.prob_zero((0, 0, 0), Q3) == pytest.approx(1.0)
+        assert tc.prob_zero((1, 1, 1), Q3) == pytest.approx(0.0)
+
+    def test_single_vote(self):
+        tc = TriadicConsensus()
+        assert tc.prob_zero((0,), np.array([0.7])) == 1.0
+
+    def test_majority_of_three(self):
+        tc = TriadicConsensus()
+        # One triad, majority 0.
+        assert tc.prob_zero((0, 0, 1), Q3) == pytest.approx(1.0)
+
+    def test_probability_in_unit_interval(self, rng):
+        tc = TriadicConsensus()
+        for n in (2, 4, 5, 7):
+            q = np.full(n, 0.7)
+            votes = tuple(rng.integers(0, 2, size=n).tolist())
+            p = tc.prob_zero(votes, q)
+            assert 0.0 <= p <= 1.0
+
+    def test_monotone_in_zero_count(self):
+        tc = TriadicConsensus()
+        q = np.full(5, 0.7)
+        probs = [
+            tc.prob_zero(tuple([0] * k + [1] * (5 - k)), q)
+            for k in range(6)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))
+
+
+class TestVoteValidation:
+    @pytest.mark.parametrize("strategy", all_strategies())
+    def test_rejects_bad_votes(self, strategy):
+        with pytest.raises(ValueError):
+            strategy.prob_zero((0, 2, 1), Q3)
+        with pytest.raises(ValueError):
+            strategy.prob_zero((0, 1), Q3)
+        with pytest.raises(ValueError):
+            strategy.prob_zero((), np.array([]))
+
+
+class TestRegistry:
+    def test_known_strategies_present(self):
+        names = available_strategies()
+        for expected in ("MV", "BV", "RMV", "RBV", "WMV", "RWMV", "TRIADIC"):
+            assert expected in names
+
+    def test_make_strategy_case_insensitive(self):
+        assert isinstance(make_strategy("bv"), BayesianVoting)
+        assert isinstance(make_strategy("MV"), MajorityVoting)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            make_strategy("nope")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            register_strategy("MV", MajorityVoting)
+
+    def test_all_strategies_instantiates_everything(self):
+        strategies = all_strategies()
+        assert len(strategies) == len(available_strategies())
+        deterministic = {s.name for s in strategies if s.is_deterministic}
+        assert {"MV", "BV", "HALF", "WMV"} <= deterministic
