@@ -38,6 +38,9 @@ Subpackages
     Synthetic pools (Section 6.1.1) and the simulated AMT platform.
 ``repro.experiments``
     Drivers that regenerate every table and figure of Section 6.
+``repro.engine``
+    Event-driven, capacity-aware campaign serving: worker registry,
+    shared JQ cache, budget-paced scheduler, metrics.
 """
 
 from .core import (
@@ -64,6 +67,14 @@ from .selection import (
     SelectionResult,
     budget_quality_table,
 )
+from .engine import (
+    CampaignEngine,
+    EngineConfig,
+    EngineMetrics,
+    EngineTask,
+    JQCache,
+    WorkerRegistry,
+)
 from .frontier import Frontier, FrontierPoint, exact_frontier, sampled_frontier
 from .online import OnlineDecisionSession, OnlineOutcome, run_online
 from .portfolio import CampaignPlan, allocate_budget, plan_campaign
@@ -80,11 +91,16 @@ __version__ = "1.0.0"
 __all__ = [
     "AnnealingSelector",
     "BayesianVoting",
+    "CampaignEngine",
     "CampaignPlan",
     "DecisionTask",
+    "EngineConfig",
+    "EngineMetrics",
+    "EngineTask",
     "ExhaustiveSelector",
     "Frontier",
     "FrontierPoint",
+    "JQCache",
     "JQObjective",
     "Jury",
     "MVJSSelector",
@@ -100,6 +116,7 @@ __all__ = [
     "VotingStrategy",
     "Worker",
     "WorkerPool",
+    "WorkerRegistry",
     "__version__",
     "allocate_budget",
     "budget_quality_table",

@@ -1,0 +1,58 @@
+"""Campaign engine: event-driven, capacity-aware jury-selection serving.
+
+The paper answers "which jury for *one* task with a known pool"; this
+package answers "which juries for a *stream* of tasks sharing one pool,
+one budget, and finite worker attention".  See the module docstrings:
+
+``events``
+    The deterministic event algebra and queue.
+``state``
+    :class:`WorkerRegistry` — capacity, load, spend, vote history, and
+    EM-backed quality drift.
+``cache``
+    :class:`JQCache` / :class:`CachedJQObjective` — campaign-wide JQ
+    memoization.
+``scheduler``
+    :class:`CampaignScheduler` — batch admission, budget pacing,
+    capacity-aware seating over the portfolio/frontier machinery.
+``engine``
+    :class:`CampaignEngine` — the event loop.
+``metrics``
+    :class:`EngineMetrics` — throughput, realized-vs-predicted
+    accuracy, spend, cache stats.
+"""
+
+from .cache import CachedJQObjective, CacheStats, JQCache
+from .engine import CampaignEngine, EngineConfig
+from .events import (
+    EngineTask,
+    Event,
+    EventQueue,
+    TaskArrival,
+    TaskComplete,
+    VoteArrival,
+)
+from .metrics import EngineMetrics, TaskRecord
+from .scheduler import Assignment, CampaignScheduler, SchedulerStats
+from .state import CapacityError, WorkerRegistry, WorkerState
+
+__all__ = [
+    "Assignment",
+    "CachedJQObjective",
+    "CacheStats",
+    "CampaignEngine",
+    "CampaignScheduler",
+    "CapacityError",
+    "EngineConfig",
+    "EngineMetrics",
+    "EngineTask",
+    "Event",
+    "EventQueue",
+    "SchedulerStats",
+    "TaskArrival",
+    "TaskComplete",
+    "TaskRecord",
+    "VoteArrival",
+    "WorkerRegistry",
+    "WorkerState",
+]

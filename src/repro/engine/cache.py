@@ -1,0 +1,195 @@
+"""A memoized Jury Quality oracle shared across all selections.
+
+Heavy traffic re-evaluates near-identical juries constantly: every
+batch the scheduler admits rebuilds a frontier over (mostly) the same
+available workers, and the annealer/exhaustive enumeration revisits
+the same subsets thousands of times.  JQ depends only on the *multiset*
+of member qualities (plus ``alpha`` and the bucket resolution), not on
+worker identity or order, so one campaign-wide cache keyed on the
+canonically sorted quality vector collapses all of that repeated work.
+
+Two key modes:
+
+* ``quantization=None`` — keys are the exact sorted qualities.  A hit
+  returns the **bitwise-identical** value the uncached objective would
+  compute (the cache evaluates misses through a stock
+  :class:`~repro.selection.base.JQObjective` on the same canonical
+  ordering).
+* ``quantization=k`` — qualities are snapped to a ``1/k`` grid *before*
+  keying and evaluating.  Juries whose qualities differ by less than
+  half a grid step share an entry, trading a bounded JQ perturbation
+  (the bucket estimator itself discretizes log-odds far more coarsely
+  at the default 50 buckets) for a much higher hit rate once
+  re-estimation makes qualities drift continuously.
+
+``bench_engine_throughput`` measures the hit rate and speedup under
+simulated load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.task import UNINFORMATIVE_PRIOR
+from ..quality import DEFAULT_NUM_BUCKETS
+from ..selection.base import JQObjective
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache counters."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def render(self) -> str:
+        return (
+            f"JQ cache: {self.lookups} lookups, {self.hits} hits "
+            f"({self.hit_rate:.1%}), {self.entries} entries"
+        )
+
+
+class JQCache:
+    """Campaign-wide memoization of ``qualities -> JQ(BV, alpha)``.
+
+    Parameters
+    ----------
+    alpha:
+        The task prior baked into every cached evaluation.  Campaigns
+        mixing priors need one cache per distinct alpha (the engine
+        keys its cache on its configured alpha).
+    num_buckets:
+        Bucket resolution forwarded to the underlying objective.
+    quantization:
+        ``None`` for exact keys, or the number of quality grid steps
+        per unit (e.g. 200 snaps qualities to the nearest 0.005).
+    exact_cutoff:
+        Forwarded to :class:`JQObjective`: juries at or below this size
+        are evaluated exactly, larger ones with the bucket estimator.
+    """
+
+    def __init__(
+        self,
+        alpha: float = UNINFORMATIVE_PRIOR,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+        quantization: int | None = None,
+        exact_cutoff: int = 12,
+    ) -> None:
+        if quantization is not None and quantization < 1:
+            raise ValueError("quantization must be >= 1 grid steps (or None)")
+        self.alpha = float(alpha)
+        self.num_buckets = num_buckets
+        self.quantization = quantization
+        self._objective = JQObjective(
+            alpha=alpha, num_buckets=num_buckets, exact_cutoff=exact_cutoff
+        )
+        self._store: dict[tuple[float, ...], float] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def canonicalize(self, qualities: Sequence[float] | np.ndarray) -> tuple[float, ...]:
+        """The cache key: sorted (and optionally grid-snapped) qualities."""
+        arr = np.asarray(qualities, dtype=float)
+        if self.quantization is not None:
+            arr = np.round(arr * self.quantization) / self.quantization
+            arr = np.clip(arr, 0.0, 1.0)
+        return tuple(np.sort(arr).tolist())
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def jq(self, qualities: Sequence[float] | np.ndarray) -> float:
+        """JQ of a quality multiset under BV at the cache's alpha."""
+        key = self.canonicalize(qualities)
+        cached = self._store.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        if len(key) == 0:
+            value = max(self.alpha, 1.0 - self.alpha)
+        else:
+            value = self._objective(Jury(_quality_jury_workers(key)))
+        self._store[key] = value
+        return value
+
+    def jq_jury(self, jury: Jury) -> float:
+        return self.jq(jury.qualities)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(self._hits, self._misses, len(self._store))
+
+    @property
+    def underlying_evaluations(self) -> int:
+        """JQ computations actually performed (the misses' work)."""
+        return self._objective.evaluations
+
+    def clear(self) -> None:
+        self._store.clear()
+        self._hits = 0
+        self._misses = 0
+        self._objective.reset_counter()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JQCache(alpha={self.alpha}, {self.stats.render()})"
+
+
+def _quality_jury_workers(qualities: tuple[float, ...]):
+    """Anonymous single-use workers carrying a quality vector.
+
+    The objective only reads ``jury.qualities``; ids exist solely to
+    satisfy the distinctness invariant.
+    """
+    from ..core.worker import Worker
+
+    return (Worker(f"q{i}", q) for i, q in enumerate(qualities))
+
+
+class CachedJQObjective(JQObjective):
+    """A drop-in :class:`JQObjective` that answers through a shared
+    :class:`JQCache`.
+
+    Anything that accepts a ``JQObjective`` — selectors, frontiers, the
+    portfolio planner — can be pointed at the campaign cache by passing
+    one of these instead.  ``evaluations`` still counts *calls* (so
+    selector work accounting is unchanged); the cache's own stats
+    report how many calls were served without recomputation.
+    """
+
+    def __init__(self, cache: JQCache) -> None:
+        super().__init__(
+            alpha=cache.alpha,
+            num_buckets=cache.num_buckets,
+            exact_cutoff=cache._objective.exact_cutoff,
+        )
+        self.cache = cache
+
+    def __call__(self, jury: Jury) -> float:
+        self.evaluations += 1
+        return self.cache.jq(jury.qualities)

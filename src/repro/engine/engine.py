@@ -1,0 +1,412 @@
+"""The campaign engine: a deterministic event loop over shared state.
+
+This is the serving layer the one-shot library lacked.  One
+:class:`CampaignEngine` owns
+
+* a :class:`~repro.engine.state.WorkerRegistry` (capacity, load, spend,
+  drifting quality estimates),
+* a campaign-wide :class:`~repro.engine.cache.JQCache`,
+* a :class:`~repro.engine.scheduler.CampaignScheduler` (budget pacing +
+  capacity-aware jury seating), and
+* an :class:`~repro.engine.metrics.EngineMetrics` accumulator,
+
+and advances them by draining an :class:`~repro.engine.events.EventQueue`:
+
+``task-arrival``
+    buffered into batches; a full batch (or the last arrival) triggers
+    scheduling, which seats juries and enqueues their members' votes.
+``vote-arrival``
+    feeds the task's :class:`~repro.online.OnlineDecisionSession`;
+    when the posterior clears the confidence target with votes still
+    outstanding the task **stops early** — outstanding votes are
+    cancelled, their workers released, and the unspent reservation
+    refunded to the campaign budget.
+``task-complete``
+    finalizes the verdict, releases seats, credits worker agreement
+    stats, optionally triggers quality re-estimation, and retries any
+    deferred tasks now that capacity freed up.
+
+Runs are reproducible: event order is ``(logical time, enqueue
+serial)``, all randomness flows through one seeded generator consumed
+in pop order, and wall-clock time is only ever *measured* (for the
+throughput metric), never branched on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.task import UNINFORMATIVE_PRIOR, validate_prior
+from ..core.worker import WorkerPool
+from ..online import OnlineDecisionSession
+from .cache import JQCache
+from .events import (
+    EngineTask,
+    Event,
+    EventQueue,
+    TaskArrival,
+    TaskComplete,
+    VoteArrival,
+)
+from .metrics import EngineMetrics, TaskRecord
+from .scheduler import Assignment, CampaignScheduler
+from .state import WorkerRegistry, informativeness_key
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of one campaign.
+
+    Parameters
+    ----------
+    budget:
+        Total campaign budget across all tasks.
+    expected_tasks:
+        Expected campaign size, for budget pacing.  ``None`` means "the
+        tasks submitted before :meth:`CampaignEngine.run`".
+    capacity:
+        Max concurrent jury seats per worker.
+    batch_size:
+        Arrivals buffered before the scheduler runs.
+    alpha:
+        Selection prior ``Pr(t = 0)`` used by the JQ cache and
+        scheduler.  Per-task priors (``EngineTask.prior``) govern the
+        *aggregation* posterior of each task.
+    confidence_target:
+        Early-stop threshold for the per-task online session.
+    num_buckets:
+        JQ bucket resolution for large juries.
+    quantization:
+        JQ-cache key grid (``None`` = exact keys; see
+        :class:`~repro.engine.cache.JQCache`).
+    frontier_pool_size:
+        Per-batch candidate pool size (exact frontier; keep <= 12).
+    reestimate_every:
+        Re-fit worker qualities after every N completed tasks
+        (0 disables).
+    reestimate_method / reestimate_rate:
+        Forwarded to :meth:`WorkerRegistry.reestimate`.
+    vote_latency:
+        Logical ticks between consecutive jurors' votes.
+    seed:
+        Seed for the engine's single random generator (vote simulation
+        and latent-truth draws).
+    """
+
+    budget: float
+    expected_tasks: int | None = None
+    capacity: int = 4
+    batch_size: int = 25
+    alpha: float = UNINFORMATIVE_PRIOR
+    confidence_target: float = 0.97
+    num_buckets: int = 50
+    quantization: int | None = 200
+    frontier_pool_size: int = 10
+    reestimate_every: int = 0
+    reestimate_method: str = "one-coin"
+    reestimate_rate: float = 0.3
+    vote_latency: float = 1.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError("budget must be non-negative")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.reestimate_every < 0:
+            raise ValueError("reestimate_every must be >= 0")
+        if self.vote_latency <= 0:
+            raise ValueError("vote_latency must be positive")
+        if not 0.5 <= self.confidence_target <= 1.0:
+            raise ValueError("confidence_target must lie in [0.5, 1]")
+        validate_prior(self.alpha)
+
+
+@dataclass
+class _TaskRuntime:
+    """Mutable per-task serving state while a task is in flight."""
+
+    task: EngineTask
+    assignment: Assignment
+    session: OnlineDecisionSession
+    sim_truth: int  # vote-generating latent truth (drawn when unknown)
+    scored_truth: int | None  # only set when the caller supplied it
+    pending_workers: list[str] = field(default_factory=list)
+    done: bool = False
+
+
+class CampaignEngine:
+    """Event-driven jury-selection serving for one campaign.
+
+    Usage::
+
+        engine = CampaignEngine(pool, EngineConfig(budget=50, seed=7))
+        engine.submit(EngineTask(f"t{i}", ground_truth=...) for i in ...)
+        metrics = engine.run()
+        print(metrics.render(budget=50))
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        config: EngineConfig,
+        initial_quality: float | dict[str, float] | None = None,
+    ) -> None:
+        self.config = config
+        self.registry = WorkerRegistry(
+            pool, capacity=config.capacity, initial_quality=initial_quality
+        )
+        self.cache = JQCache(
+            alpha=config.alpha,
+            num_buckets=config.num_buckets,
+            quantization=config.quantization,
+        )
+        self.metrics = EngineMetrics()
+        self.scheduler: CampaignScheduler | None = None
+        self._queue = EventQueue()
+        self._rng = np.random.default_rng(config.seed)
+        self._batch: list[EngineTask] = []
+        self._deferred: list[EngineTask] = []
+        self._active: dict[str, _TaskRuntime] = {}
+        self._task_ids: set[str] = set()
+        self._clock = 0.0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tasks,
+        start_time: float = 0.0,
+        spacing: float = 1.0,
+    ) -> int:
+        """Enqueue task arrivals at evenly spaced logical times.
+
+        Returns the number of tasks enqueued.  May be called repeatedly
+        before :meth:`run`.
+        """
+        count = 0
+        for i, task in enumerate(tasks):
+            if not isinstance(task, EngineTask):
+                raise TypeError(f"expected EngineTask, got {type(task).__name__}")
+            if task.task_id in self._task_ids:
+                raise ValueError(f"duplicate task id {task.task_id!r}")
+            self._task_ids.add(task.task_id)
+            self._queue.push(TaskArrival(start_time + i * spacing, task))
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run(self) -> EngineMetrics:
+        """Drain the event queue and return the campaign metrics."""
+        if self._ran:
+            raise RuntimeError("a CampaignEngine instance runs one campaign")
+        self._ran = True
+        expected = self.config.expected_tasks or max(
+            self._queue.pending(TaskArrival), 1
+        )
+        self.scheduler = CampaignScheduler(
+            self.registry,
+            self.cache,
+            budget=self.config.budget,
+            expected_tasks=expected,
+            frontier_pool_size=self.config.frontier_pool_size,
+        )
+
+        start = time.perf_counter()
+        while self._queue:
+            event = self._queue.pop()
+            self._clock = max(self._clock, event.time)
+            self._dispatch(event)
+        # Anything still deferred when the queue drains could never be
+        # seated (pathological capacity/budget starvation): answer the
+        # prior rather than drop the task on the floor.
+        for task in self._deferred:
+            self._finalize_unfunded(task)
+        self._deferred = []
+        self.metrics.wall_seconds = time.perf_counter() - start
+
+        self.metrics.peak_worker_load = self.registry.peak_load
+        self.metrics.cache_stats = self.cache.stats
+        self.metrics.reestimations = self.registry.reestimations
+        if self.registry.reestimations:
+            self.metrics.quality_estimation_error = (
+                self.registry.estimation_error()
+            )
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _dispatch(self, event: Event) -> None:
+        if isinstance(event, TaskArrival):
+            self._on_arrival(event)
+        elif isinstance(event, VoteArrival):
+            self._on_vote(event)
+        elif isinstance(event, TaskComplete):
+            self._on_complete(event)
+        else:  # pragma: no cover - closed event algebra
+            raise TypeError(f"unknown event {type(event).__name__}")
+
+    def _on_arrival(self, event: TaskArrival) -> None:
+        self._batch.append(event.task)
+        self.metrics.submitted += 1
+        if (
+            len(self._batch) >= self.config.batch_size
+            or self._queue.pending(TaskArrival) == 0
+        ):
+            self._flush_batch()
+
+    def _flush_batch(self) -> None:
+        """Schedule everything waiting: deferred tasks first (they have
+        waited longest), then the fresh batch."""
+        waiting = self._deferred + self._batch
+        self._batch = []
+        if not waiting:
+            self._deferred = []
+            return
+        # Cap each scheduling pass at one batch so a long deferred
+        # backlog (capacity starvation) costs O(batch) per retry, not
+        # O(backlog).
+        take = waiting[: self.config.batch_size]
+        rest = waiting[self.config.batch_size :]
+        assert self.scheduler is not None
+        assignments, deferred = self.scheduler.admit(take)
+        self._deferred = deferred + rest
+        for assignment in assignments:
+            self._start_task(assignment)
+
+    def _start_task(self, assignment: Assignment) -> None:
+        task = assignment.task
+        truth = task.ground_truth
+        if truth is None:
+            # Simulation needs *some* latent truth to generate votes;
+            # drawn tasks are excluded from accuracy scoring.
+            truth = 0 if self._rng.random() < task.prior else 1
+        session = OnlineDecisionSession(
+            alpha=task.prior,
+            confidence_target=self.config.confidence_target,
+        )
+        runtime = _TaskRuntime(
+            task=task,
+            assignment=assignment,
+            session=session,
+            sim_truth=truth,
+            scored_truth=task.ground_truth,
+            pending_workers=[],
+        )
+        self._active[task.task_id] = runtime
+        if not assignment.funded:
+            self._queue.push(
+                TaskComplete(self._clock, task.task_id, "unfunded")
+            )
+            return
+        jurors = sorted(assignment.jury, key=informativeness_key)
+        runtime.pending_workers = [w.worker_id for w in jurors]
+        for k, worker in enumerate(jurors):
+            self._queue.push(
+                VoteArrival(
+                    self._clock + (k + 1) * self.config.vote_latency,
+                    task.task_id,
+                    worker.worker_id,
+                )
+            )
+
+    def _on_vote(self, event: VoteArrival) -> None:
+        runtime = self._active.get(event.task_id)
+        if runtime is None or runtime.done:
+            self.metrics.votes_cancelled += 1  # landed after early stop
+            return
+        worker = self.registry.worker(event.worker_id)
+        q_true = self.registry.true_quality(event.worker_id)
+        truth = runtime.sim_truth
+        vote = truth if self._rng.random() < q_true else 1 - truth
+        runtime.session.add_vote(worker, vote)
+        self.registry.record_vote(event.worker_id, event.task_id, vote)
+        self.metrics.votes_cast += 1
+        runtime.pending_workers.remove(event.worker_id)
+
+        if not runtime.pending_workers:
+            runtime.done = True
+            self._queue.push(
+                TaskComplete(event.time, event.task_id, "all-votes")
+            )
+        elif runtime.session.should_stop:
+            runtime.done = True
+            self._queue.push(
+                TaskComplete(event.time, event.task_id, "early-stop")
+            )
+
+    def _on_complete(self, event: TaskComplete) -> None:
+        runtime = self._active.pop(event.task_id)
+        assignment = runtime.assignment
+        session = runtime.session
+        assert self.scheduler is not None
+
+        if event.reason == "unfunded":
+            self.metrics.record_task(self._unfunded_record(runtime.task))
+        else:
+            answer = session.answer
+            spent = session.cost
+            # Release every seat (voted or not) and refund what the
+            # early stop left unspent.
+            for worker_id in assignment.jury.worker_ids:
+                self.registry.release(worker_id, event.task_id)
+            self.scheduler.refund(assignment.reserved_cost - spent)
+            self.registry.resolve(event.task_id, answer)
+            self.metrics.record_task(
+                TaskRecord(
+                    task_id=event.task_id,
+                    answer=answer,
+                    confidence=session.confidence,
+                    predicted_jq=assignment.predicted_jq,
+                    reserved_cost=assignment.reserved_cost,
+                    spent_cost=spent,
+                    votes_used=session.votes_used,
+                    reason=event.reason,
+                    correct=None
+                    if runtime.scored_truth is None
+                    else (answer == runtime.scored_truth),
+                )
+            )
+
+        every = self.config.reestimate_every
+        if every and self.metrics.completed % every == 0:
+            self.registry.reestimate(
+                method=self.config.reestimate_method,
+                learning_rate=self.config.reestimate_rate,
+            )
+
+        # Freed capacity may unblock deferred tasks.
+        if self._deferred and self._queue.pending(TaskArrival) == 0:
+            self._flush_batch()
+
+    def _finalize_unfunded(self, task: EngineTask) -> None:
+        """Terminal fallback for tasks that never found a seat."""
+        self.metrics.record_task(self._unfunded_record(task))
+
+    @staticmethod
+    def _unfunded_record(task: EngineTask) -> TaskRecord:
+        """A task served no jury answers its prior's mode; both the
+        confidence and the 'predicted' accuracy are the prior mass."""
+        answer = 0 if task.prior >= 0.5 else 1
+        confidence = max(task.prior, 1.0 - task.prior)
+        return TaskRecord(
+            task_id=task.task_id,
+            answer=answer,
+            confidence=confidence,
+            predicted_jq=confidence,
+            reserved_cost=0.0,
+            spent_cost=0.0,
+            votes_used=0,
+            reason="unfunded",
+            correct=None
+            if task.ground_truth is None
+            else (answer == task.ground_truth),
+        )

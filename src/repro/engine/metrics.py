@@ -1,0 +1,158 @@
+"""Campaign observability: throughput, accuracy, spend, cache stats.
+
+A serving layer is only trustworthy if its promises are measurable.
+:class:`EngineMetrics` accumulates per-task records as the event loop
+runs and renders one report answering the questions a campaign
+operator actually asks:
+
+* **throughput** — tasks completed per wall-clock second;
+* **realized accuracy vs predicted JQ** — does the frontier's promise
+  (mean predicted JQ at assignment time) match the fraction of tasks
+  answered correctly?  (The Figure-10(d) validation, now continuous.)
+* **spend** — gross reservations, refunds from early stops, and net
+  spend against the campaign budget;
+* **cache** — hit rate and entry count of the shared JQ cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cache import CacheStats
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Outcome of one completed task."""
+
+    task_id: str
+    answer: int
+    confidence: float
+    predicted_jq: float
+    reserved_cost: float
+    spent_cost: float
+    votes_used: int
+    reason: str  # "all-votes" | "early-stop" | "unfunded"
+    correct: bool | None  # None when ground truth is unknown
+
+    @property
+    def refund(self) -> float:
+        return self.reserved_cost - self.spent_cost
+
+
+@dataclass
+class EngineMetrics:
+    """Mutable accumulator the engine feeds while running."""
+
+    records: list[TaskRecord] = field(default_factory=list)
+    submitted: int = 0
+    votes_cast: int = 0
+    votes_cancelled: int = 0
+    wall_seconds: float = 0.0
+    peak_worker_load: int = 0
+    cache_stats: CacheStats | None = None
+    reestimations: int = 0
+    quality_estimation_error: float | None = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_task(self, record: TaskRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def early_stopped(self) -> int:
+        return sum(1 for r in self.records if r.reason == "early-stop")
+
+    @property
+    def unfunded(self) -> int:
+        return sum(1 for r in self.records if r.reason == "unfunded")
+
+    @property
+    def total_spend(self) -> float:
+        """Net spend: what the campaign actually paid workers."""
+        return float(sum(r.spent_cost for r in self.records))
+
+    @property
+    def total_refunded(self) -> float:
+        return float(sum(r.refund for r in self.records))
+
+    @property
+    def throughput(self) -> float:
+        """Completed tasks per wall-clock second (0 before any run)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    @property
+    def mean_predicted_jq(self) -> float | None:
+        funded = [r.predicted_jq for r in self.records if r.reason != "unfunded"]
+        if not funded:
+            return None
+        return float(np.mean(funded))
+
+    @property
+    def realized_accuracy(self) -> float | None:
+        """Fraction correct among scored (truth-known, funded) tasks."""
+        scored = [
+            r.correct
+            for r in self.records
+            if r.correct is not None and r.reason != "unfunded"
+        ]
+        if not scored:
+            return None
+        return float(np.mean(scored))
+
+    @property
+    def mean_votes_per_task(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.votes_used for r in self.records]))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def render(self, budget: float | None = None) -> str:
+        def pct(x: float | None) -> str:
+            return "n/a" if x is None else f"{x:.2%}"
+
+        lines = [
+            "Campaign engine report",
+            "----------------------",
+            f"tasks        : {self.completed}/{self.submitted} completed "
+            f"({self.early_stopped} early-stopped, {self.unfunded} unfunded)",
+            f"votes        : {self.votes_cast} cast, "
+            f"{self.votes_cancelled} cancelled by early stop "
+            f"({self.mean_votes_per_task:.2f}/task)",
+            f"throughput   : {self.throughput:,.0f} tasks/s "
+            f"({self.wall_seconds:.3f}s wall)",
+            f"accuracy     : realized {pct(self.realized_accuracy)} "
+            f"vs predicted JQ {pct(self.mean_predicted_jq)}",
+        ]
+        spend_line = (
+            f"spend        : {self.total_spend:.4g} net "
+            f"(refunded {self.total_refunded:.4g})"
+        )
+        if budget is not None:
+            spend_line += f" / budget {budget:g}"
+        lines.append(spend_line)
+        lines.append(f"peak load    : {self.peak_worker_load} concurrent seats")
+        if self.reestimations:
+            err = self.quality_estimation_error
+            err_txt = "n/a" if err is None else f"{err:.4f}"
+            lines.append(
+                f"re-estimation: {self.reestimations} passes, "
+                f"mean |q_est - q_true| = {err_txt}"
+            )
+        if self.cache_stats is not None:
+            lines.append(f"cache        : {self.cache_stats.render()}")
+        return "\n".join(lines)

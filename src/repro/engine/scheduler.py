@@ -1,0 +1,357 @@
+"""Capacity-aware batch scheduling of campaign tasks.
+
+The scheduler turns "a batch of tasks just arrived" into concrete jury
+assignments, under two global constraints the one-shot library never
+had to enforce:
+
+* **campaign budget** — total reserved spend across all tasks (minus
+  refunds from early-stopped tasks) never exceeds the campaign budget;
+* **worker capacity** — a worker sits on at most ``capacity``
+  concurrent juries, so one high-quality worker cannot be placed on
+  10,000 tasks at once.
+
+Mechanics per batch:
+
+1. rank the registry's *available* workers by marginal information per
+   dollar (``phi(q) / cost``, the Lemma-2 ordering) and keep the top
+   ``frontier_pool_size`` as the batch's candidate pool;
+2. build that pool's exact cost-JQ frontier through the shared
+   :class:`~repro.engine.cache.JQCache` (batch after batch re-evaluates
+   the same juries — this is where the cache earns its keep);
+3. split the batch's budget share across tasks with the existing
+   concave-envelope greedy (:func:`repro.portfolio.allocate_budget`);
+4. materialize each funded allocation into an actual jury, substituting
+   same-or-cheaper available workers for any member who saturated while
+   earlier tasks in the batch were being seated.  Tasks that cannot be
+   seated at all are *deferred* back to the engine for the next batch.
+
+Budget pacing: admitting a batch grows the campaign's cumulative
+*entitlement* by the batch's pro-rata share
+``budget * batch_size / expected_tasks``; a batch may reserve up to the
+entitlement not yet spent — so early arrivals cannot starve the rest of
+the campaign, while unspent shares and early-stop refunds carry over to
+later batches instead of being forfeited.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.jury import Jury
+from ..core.worker import WorkerPool
+from ..frontier import Frontier, exact_frontier
+from ..portfolio import allocate_budget
+from ..quality.bucket import log_odds
+from .cache import CachedJQObjective, JQCache
+from .events import EngineTask
+from .state import WorkerRegistry, informativeness_key
+
+
+#: Exact frontiers over a 10-worker pool can carry hundreds of points;
+#: the budget-split greedy walks every envelope step of every task, so
+#: allocation uses a thinned frontier of at most this many points.
+MAX_ALLOCATION_POINTS = 24
+
+#: Distinct candidate-pool configurations memoized before the frontier
+#: memo is flushed — a drift backstop, not a tuned working-set size.
+MAX_FRONTIER_MEMO = 256
+
+
+def _thin_frontier(frontier: Frontier) -> Frontier:
+    """Subsample a frontier for allocation without losing its range.
+
+    Keeps the cheapest and best points and an even spread in between.
+    The retained points are the original :class:`FrontierPoint` objects
+    (their ``worker_ids`` drive seating), so thinning only coarsens the
+    budget split's step resolution, never the juries themselves.
+    """
+    points = frontier.points
+    if len(points) <= MAX_ALLOCATION_POINTS:
+        return frontier
+    idx = np.unique(
+        np.linspace(0, len(points) - 1, MAX_ALLOCATION_POINTS).astype(int)
+    )
+    return Frontier(tuple(points[i] for i in idx), exact=False)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """The scheduler's decision for one admitted task."""
+
+    task: EngineTask
+    jury: Jury  # empty jury = unfunded, answer the prior
+    predicted_jq: float
+    reserved_cost: float
+
+    @property
+    def funded(self) -> bool:
+        return self.jury.size > 0
+
+
+@dataclass
+class SchedulerStats:
+    """Running counters for observability."""
+
+    batches: int = 0
+    admitted: int = 0
+    unfunded: int = 0
+    deferred: int = 0
+    substitutions: int = 0
+    dropped_seats: int = 0  # planned jurors lost to capacity with no substitute
+
+
+class CampaignScheduler:
+    """Admits task batches against shared budget and worker capacity.
+
+    Parameters
+    ----------
+    registry:
+        The shared worker state (capacity, load, current quality
+        estimates).
+    cache:
+        The campaign JQ cache; all frontier evaluations go through it.
+    budget:
+        Total campaign budget across every task that will ever arrive.
+    expected_tasks:
+        How many tasks the campaign expects in total; sets the pro-rata
+        batch budget share.
+    frontier_pool_size:
+        Size of the per-batch candidate pool (exact frontiers enumerate
+        ``2^k`` juries, so keep this <= 12; default 10).
+    """
+
+    def __init__(
+        self,
+        registry: WorkerRegistry,
+        cache: JQCache,
+        budget: float,
+        expected_tasks: int,
+        frontier_pool_size: int = 10,
+    ) -> None:
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        if expected_tasks < 1:
+            raise ValueError("expected_tasks must be >= 1")
+        if not 1 <= frontier_pool_size <= 12:
+            raise ValueError("frontier_pool_size must lie in [1, 12]")
+        self.registry = registry
+        self.cache = cache
+        self.budget = float(budget)
+        self.expected_tasks = expected_tasks
+        self.frontier_pool_size = frontier_pool_size
+        self.objective = CachedJQObjective(cache)
+        self._reserved = 0.0
+        self._refunded = 0.0
+        self._entitled = 0.0
+        self._entitled_tasks: set[str] = set()
+        # Frontier memo: steady-state serving cycles through a handful
+        # of available-pool configurations, so the (expensive, 2^k-jury)
+        # exact frontier is keyed on the candidate set and reused.
+        # Qualities in the key are snapped to the cache's grid so
+        # re-estimation drift within half a grid step keeps hitting,
+        # and the memo is cleared at a size bound so drift cannot
+        # accumulate stale frontiers forever.
+        self._frontier_memo: dict[tuple, Frontier] = {}
+        self.stats = SchedulerStats()
+
+    # ------------------------------------------------------------------
+    # Budget accounting
+    # ------------------------------------------------------------------
+    @property
+    def reserved(self) -> float:
+        """Gross spend reserved so far (before refunds)."""
+        return self._reserved
+
+    @property
+    def remaining_budget(self) -> float:
+        return self.budget - self._reserved + self._refunded
+
+    def refund(self, amount: float) -> None:
+        """Return unspent reservation (early-stopped task) to the pot."""
+        if amount < -1e-9:
+            raise ValueError(f"refund must be non-negative, got {amount}")
+        self._refunded += max(float(amount), 0.0)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(
+        self, tasks: Sequence[EngineTask]
+    ) -> tuple[list[Assignment], list[EngineTask]]:
+        """Assign juries to a batch of arriving tasks.
+
+        Returns ``(assignments, deferred)``: assignments carry either a
+        seated jury or an empty one (unfunded — the engine answers the
+        prior); deferred tasks found no seatable jury (capacity
+        exhausted) and should be retried once workers free up.
+        """
+        if not tasks:
+            return [], []
+        self.stats.batches += 1
+        # Each *distinct* task grows the entitlement once — a deferred
+        # task retried across many batches must not mint fresh shares.
+        new_ids = {t.task_id for t in tasks} - self._entitled_tasks
+        self._entitled_tasks |= new_ids
+        share = self.budget * len(new_ids) / self.expected_tasks
+        self._entitled = min(self._entitled + share, self.budget)
+        net_reserved = self._reserved - self._refunded
+        batch_budget = min(
+            self.remaining_budget, max(self._entitled - net_reserved, 0.0)
+        )
+
+        candidates = self._candidate_pool()
+        if len(candidates) == 0:
+            # No seats anywhere: defer everything rather than answer
+            # priors for tasks that could be served next batch.
+            self.stats.deferred += len(tasks)
+            return [], list(tasks)
+
+        grid = self.cache.quantization
+        memo_key = tuple(
+            (
+                w.worker_id,
+                round(w.quality * grid) / grid if grid else w.quality,
+                w.cost,
+            )
+            for w in candidates
+        )
+        frontier = self._frontier_memo.get(memo_key)
+        if frontier is None:
+            if len(self._frontier_memo) >= MAX_FRONTIER_MEMO:
+                self._frontier_memo.clear()
+            frontier = _thin_frontier(
+                exact_frontier(candidates, self.objective)
+            )
+            self._frontier_memo[memo_key] = frontier
+
+        alpha = self.cache.alpha
+        baseline = max(alpha, 1.0 - alpha)
+        plan = allocate_budget(
+            {task.task_id: frontier for task in tasks},
+            batch_budget,
+            baseline_jq=baseline,
+        )
+        by_id = {task.task_id: task for task in tasks}
+
+        # Substitution candidates, best-informativeness first; computed
+        # once per batch (capacity is re-checked live while seating).
+        ranked_substitutes = sorted(
+            self.registry.states,
+            key=lambda s: informativeness_key(s.worker),
+        )
+
+        assignments: list[Assignment] = []
+        deferred: list[EngineTask] = []
+        for allocation in plan.allocations:
+            task = by_id[allocation.task_id]
+            if allocation.point is None:
+                assignments.append(
+                    Assignment(task, Jury(()), baseline, 0.0)
+                )
+                self.stats.unfunded += 1
+                continue
+            jury = self._seat_jury(
+                task,
+                allocation.point.worker_ids,
+                allocation.point.cost,
+                ranked_substitutes,
+            )
+            if jury is None:
+                deferred.append(task)
+                self.stats.deferred += 1
+                continue
+            cost = jury.cost
+            self._reserved += cost
+            assignments.append(
+                Assignment(task, jury, self.objective(jury), cost)
+            )
+            self.stats.admitted += 1
+        return assignments, deferred
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _candidate_pool(self) -> WorkerPool:
+        """Top available workers by log-odds per dollar."""
+        available = self.registry.available_pool()
+
+        def score(worker) -> float:
+            phi = log_odds(max(worker.quality, 1.0 - worker.quality))
+            if math.isinf(phi):
+                phi = 1e6  # perfect workers: huge but finite priority
+            return phi / max(worker.cost, 1e-9)
+
+        ranked = sorted(
+            available, key=lambda w: (-score(w), w.worker_id)
+        )
+        return WorkerPool(ranked[: self.frontier_pool_size])
+
+    def _seat_jury(
+        self,
+        task: EngineTask,
+        planned_ids: Sequence[str],
+        planned_cost: float,
+        ranked_substitutes: Sequence,
+    ) -> Jury | None:
+        """Seat the planned jury, substituting saturated members.
+
+        Substitutes must cost no more than the member they replace, so
+        the seated jury never exceeds the allocation's planned cost —
+        which is what keeps the batch within its budget share.  Returns
+        ``None`` (and releases any partial seating) when not a single
+        seat could be filled.
+        """
+        seated: list[str] = []
+        taken: set[str] = set()
+        for worker_id in planned_ids:
+            if (
+                worker_id not in taken
+                and self.registry.free_capacity(worker_id) > 0
+            ):
+                self.registry.assign(worker_id, task.task_id)
+                seated.append(worker_id)
+                taken.add(worker_id)
+                continue
+            # Saturated — or already seated on this jury as an earlier
+            # member's substitute; either way this seat needs a fresh
+            # (no-dearer) worker.
+            substitute = self._best_substitute(
+                ranked_substitutes,
+                max_cost=self.registry.worker(worker_id).cost,
+                exclude=taken,
+            )
+            if substitute is None:
+                self.stats.dropped_seats += 1
+                continue
+            self.registry.assign(substitute, task.task_id)
+            seated.append(substitute)
+            taken.add(substitute)
+            self.stats.substitutions += 1
+        if not seated:
+            return None
+        jury = Jury(self.registry.worker(w) for w in seated)
+        # Defensive: substitution-by-cheaper guarantees this bound.
+        assert jury.cost <= planned_cost + 1e-9
+        return jury
+
+    @staticmethod
+    def _best_substitute(
+        ranked_substitutes: Sequence, max_cost: float, exclude: set[str]
+    ) -> str | None:
+        """First (= most informative) available worker at or under
+        ``max_cost``.  ``ranked_substitutes`` is pre-sorted by
+        descending informativeness; capacity is checked live so the
+        scan short-circuits at the first seatable candidate."""
+        for state in ranked_substitutes:
+            worker = state.worker
+            if (
+                worker.worker_id not in exclude
+                and state.free_capacity > 0
+                and worker.cost <= max_cost + 1e-12
+            ):
+                return worker.worker_id
+        return None

@@ -1,0 +1,112 @@
+"""JQ cache: identity with the uncached objective, keying, stats."""
+
+import numpy as np
+import pytest
+
+from repro.core import Jury, Worker
+from repro.engine import CachedJQObjective, JQCache
+from repro.selection import JQObjective
+
+
+def jury_of(qualities):
+    return Jury(Worker(f"w{i}", q, 1.0) for i, q in enumerate(qualities))
+
+
+class TestExactKeys:
+    def test_bitwise_identical_to_uncached_objective(self):
+        """With exact keys, the cache must return exactly the float the
+        stock objective computes (same canonical evaluation order)."""
+        cache = JQCache(alpha=0.3, num_buckets=50, quantization=None)
+        uncached = JQObjective(alpha=0.3, num_buckets=50)
+        rng = np.random.default_rng(42)
+        for n in (1, 3, 5, 13, 17):  # spans exact and bucket paths
+            qualities = np.sort(rng.uniform(0.05, 0.98, size=n))
+            jury = jury_of(qualities)
+            assert cache.jq_jury(jury) == uncached(jury)
+
+    def test_hit_returns_same_float(self):
+        cache = JQCache()
+        q = [0.8, 0.7, 0.65]
+        first = cache.jq(q)
+        second = cache.jq(q)
+        assert first == second
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_order_invariance_shares_one_entry(self):
+        """JQ depends on the quality multiset, so permutations must hit
+        the same entry (and agree to float tolerance with the uncached
+        objective applied to any ordering)."""
+        cache = JQCache()
+        uncached = JQObjective()
+        qualities = [0.9, 0.6, 0.75, 0.55]
+        value = cache.jq(qualities)
+        permuted = cache.jq(list(reversed(qualities)))
+        assert value == permuted
+        assert cache.stats.entries == 1
+        assert value == pytest.approx(uncached(jury_of(qualities)), abs=1e-12)
+
+    def test_empty_jury_scores_prior_mode(self):
+        cache = JQCache(alpha=0.8)
+        assert cache.jq([]) == 0.8
+
+
+class TestQuantizedKeys:
+    def test_nearby_qualities_share_an_entry(self):
+        cache = JQCache(quantization=200)  # 0.005 grid
+        a = cache.jq([0.7001, 0.8002])
+        b = cache.jq([0.6999, 0.7998])
+        assert a == b
+        assert cache.stats.entries == 1
+        assert cache.stats.hits == 1
+
+    def test_value_matches_objective_on_snapped_qualities(self):
+        cache = JQCache(quantization=200)
+        uncached = JQObjective()
+        value = cache.jq([0.7002, 0.8004])
+        assert value == uncached(jury_of([0.70, 0.80]))
+
+    def test_distant_qualities_do_not_collide(self):
+        cache = JQCache(quantization=200)
+        cache.jq([0.7])
+        cache.jq([0.75])
+        assert cache.stats.entries == 2
+
+    def test_invalid_quantization_rejected(self):
+        with pytest.raises(ValueError):
+            JQCache(quantization=0)
+
+
+class TestCachedObjective:
+    def test_drop_in_for_jq_objective(self):
+        """Selectors and frontiers accept the cached objective and get
+        the same answers."""
+        from repro.frontier import exact_frontier
+        from repro.core import WorkerPool
+
+        pool = WorkerPool(
+            [Worker("a", 0.8, 2.0), Worker("b", 0.7, 1.0), Worker("c", 0.6, 0.5)]
+        )
+        cache = JQCache()
+        cached = exact_frontier(pool, CachedJQObjective(cache))
+        plain = exact_frontier(pool, JQObjective())
+        assert [(p.cost, p.jq) for p in cached.points] == [
+            (p.cost, p.jq) for p in plain.points
+        ]
+        assert cache.stats.lookups == 7  # 2^3 - 1 juries
+
+    def test_evaluations_counter_still_counts_calls(self):
+        cache = JQCache()
+        objective = CachedJQObjective(cache)
+        jury = jury_of([0.7, 0.8])
+        objective(jury)
+        objective(jury)
+        assert objective.evaluations == 2
+        assert cache.stats.hits == 1
+
+    def test_clear_resets_everything(self):
+        cache = JQCache()
+        cache.jq([0.7])
+        cache.clear()
+        assert cache.stats.lookups == 0
+        assert len(cache) == 0

@@ -1,0 +1,205 @@
+"""Scheduler invariants: capacity, budget pacing, substitution."""
+
+import numpy as np
+import pytest
+
+from repro.core import Worker, WorkerPool
+from repro.engine import (
+    CampaignScheduler,
+    EngineTask,
+    JQCache,
+    WorkerRegistry,
+)
+
+
+def make_scheduler(
+    pool, budget, expected_tasks, capacity=2, frontier_pool_size=6
+):
+    registry = WorkerRegistry(pool, capacity=capacity)
+    cache = JQCache()
+    return CampaignScheduler(
+        registry,
+        cache,
+        budget=budget,
+        expected_tasks=expected_tasks,
+        frontier_pool_size=frontier_pool_size,
+    )
+
+
+@pytest.fixture
+def pool():
+    rng = np.random.default_rng(9)
+    return WorkerPool(
+        Worker(f"w{i}", float(rng.uniform(0.55, 0.9)), float(rng.uniform(0.2, 1.0)))
+        for i in range(12)
+    )
+
+
+def tasks(n, start=0):
+    return [EngineTask(f"t{i}") for i in range(start, start + n)]
+
+
+class TestCapacityInvariant:
+    def test_no_worker_exceeds_capacity(self, pool):
+        scheduler = make_scheduler(pool, budget=100.0, expected_tasks=30,
+                                   capacity=2)
+        seated = []
+        for batch_start in (0, 10, 20):
+            assignments, _ = scheduler.admit(tasks(10, batch_start))
+            seated.extend(assignments)
+            for state in scheduler.registry.states:
+                assert state.load <= state.capacity
+                assert state.peak_load <= state.capacity
+
+    def test_saturated_workers_get_substituted_or_deferred(self, pool):
+        """With capacity 1 and plenty of budget, 30 concurrent tasks
+        cannot all get the frontier-optimal jury; whatever happens, no
+        seat is double-booked and every funded jury is non-empty."""
+        scheduler = make_scheduler(pool, budget=300.0, expected_tasks=30,
+                                   capacity=1)
+        assignments, deferred = scheduler.admit(tasks(30))
+        seats: dict[str, int] = {}
+        for assignment in assignments:
+            for worker_id in assignment.jury.worker_ids:
+                seats[worker_id] = seats.get(worker_id, 0) + 1
+        assert all(count == 1 for count in seats.values())
+        # 12 workers, capacity 1 -> at most 12 funded juries at once.
+        funded = [a for a in assignments if a.funded]
+        assert len(funded) <= 12
+        assert len(funded) + len(deferred) + sum(
+            1 for a in assignments if not a.funded
+        ) == 30
+
+    def test_planned_member_already_seated_as_substitute(self):
+        """A planned juror who was already seated earlier in the loop —
+        as a saturated member's substitute — must not be double-booked
+        (regression: this used to raise and abort the campaign)."""
+        pool = WorkerPool([Worker("A", 0.9, 1.0), Worker("B", 0.85, 1.0)])
+        registry = WorkerRegistry(pool, capacity={"A": 1, "B": 4})
+        registry.assign("A", "other")  # saturate A
+        scheduler = CampaignScheduler(
+            registry, JQCache(), budget=100.0, expected_tasks=1,
+            frontier_pool_size=2,
+        )
+        ranked = sorted(
+            registry.states,
+            key=lambda s: (
+                -max(s.worker.quality, 1.0 - s.worker.quality),
+                s.worker.worker_id,
+            ),
+        )
+        jury = scheduler._seat_jury(
+            EngineTask("t1"), ["A", "B"], 2.0, ranked
+        )
+        assert jury is not None
+        assert jury.worker_ids == ("B",)
+        assert registry.state("B").load == 1
+
+    def test_everything_deferred_when_no_seats(self, pool):
+        scheduler = make_scheduler(pool, budget=100.0, expected_tasks=10,
+                                   capacity=1)
+        for worker in pool:
+            scheduler.registry.assign(worker.worker_id, "blocker")
+        assignments, deferred = scheduler.admit(tasks(5))
+        assert assignments == []
+        assert len(deferred) == 5
+
+
+class TestBudgetInvariant:
+    def test_reserved_never_exceeds_budget(self, pool):
+        budget = 6.0
+        scheduler = make_scheduler(pool, budget=budget, expected_tasks=40,
+                                   capacity=4)
+        for batch_start in range(0, 40, 10):
+            scheduler.admit(tasks(10, batch_start))
+        assert scheduler.reserved <= budget + 1e-9
+        assert scheduler.remaining_budget >= -1e-9
+
+    def test_batch_share_paces_spend(self, pool):
+        """The first batch may only reserve its pro-rata share, leaving
+        budget for later arrivals."""
+        budget = 40.0
+        scheduler = make_scheduler(pool, budget=budget, expected_tasks=40,
+                                   capacity=4)
+        scheduler.admit(tasks(10))
+        assert scheduler.reserved <= budget * 10 / 40 + 1e-9
+        assert scheduler.remaining_budget >= budget * 30 / 40 - 1e-9
+
+    def test_refund_returns_to_the_pot(self, pool):
+        scheduler = make_scheduler(pool, budget=10.0, expected_tasks=10)
+        assignments, _ = scheduler.admit(tasks(10))
+        reserved = scheduler.reserved
+        assert reserved > 0
+        scheduler.refund(0.5)
+        assert scheduler.remaining_budget == pytest.approx(
+            10.0 - reserved + 0.5
+        )
+
+    def test_refunds_carry_over_to_later_batches(self):
+        """Budget refunded by early stops (and shares a batch left
+        unspent) must be reservable by later batches, not forfeited
+        (regression: pacing used to cap every batch at its bare
+        pro-rata share)."""
+        pool = WorkerPool(
+            Worker(f"w{i}", 0.72 + 0.01 * i, 2.0) for i in range(5)
+        )
+        scheduler = make_scheduler(pool, budget=10.0, expected_tasks=2,
+                                   capacity=5, frontier_pool_size=5)
+        first, _ = scheduler.admit([EngineTask("t0")])
+        cost_first = first[0].reserved_cost
+        assert 0 < cost_first <= 5.0 + 1e-9  # paced to its share
+        scheduler.refund(cost_first)  # t0 stopped before any vote
+        second, _ = scheduler.admit([EngineTask("t1")])
+        # t1's batch may now draw on the refunded share too.
+        assert second[0].reserved_cost > 5.0 + 1e-9
+        assert scheduler.remaining_budget >= -1e-9
+
+    def test_negative_refund_rejected(self, pool):
+        scheduler = make_scheduler(pool, budget=10.0, expected_tasks=10)
+        with pytest.raises(ValueError):
+            scheduler.refund(-1.0)
+
+    def test_jury_cost_within_planned_cost(self, pool):
+        """Substitution never produces a jury dearer than the frontier
+        point the allocation bought."""
+        scheduler = make_scheduler(pool, budget=50.0, expected_tasks=20,
+                                   capacity=1)
+        assignments, _ = scheduler.admit(tasks(20))
+        for assignment in assignments:
+            if assignment.funded:
+                assert assignment.jury.cost <= assignment.reserved_cost + 1e-9
+
+
+class TestAdmitMechanics:
+    def test_empty_batch_is_noop(self, pool):
+        scheduler = make_scheduler(pool, budget=10.0, expected_tasks=10)
+        assert scheduler.admit([]) == ([], [])
+
+    def test_zero_budget_answers_priors(self, pool):
+        scheduler = make_scheduler(pool, budget=0.0, expected_tasks=5)
+        assignments, deferred = scheduler.admit(tasks(5))
+        assert deferred == []
+        assert all(not a.funded for a in assignments)
+        assert all(a.reserved_cost == 0.0 for a in assignments)
+
+    def test_predicted_jq_is_cached_objective_value(self, pool):
+        scheduler = make_scheduler(pool, budget=50.0, expected_tasks=5)
+        assignments, _ = scheduler.admit(tasks(5))
+        funded = [a for a in assignments if a.funded]
+        assert funded
+        for assignment in funded:
+            assert assignment.predicted_jq == scheduler.cache.jq_jury(
+                assignment.jury
+            )
+
+    def test_validation(self, pool):
+        registry = WorkerRegistry(pool)
+        with pytest.raises(ValueError):
+            CampaignScheduler(registry, JQCache(), budget=-1.0,
+                              expected_tasks=5)
+        with pytest.raises(ValueError):
+            CampaignScheduler(registry, JQCache(), budget=1.0,
+                              expected_tasks=0)
+        with pytest.raises(ValueError):
+            CampaignScheduler(registry, JQCache(), budget=1.0,
+                              expected_tasks=5, frontier_pool_size=13)

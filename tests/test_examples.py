@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "strategy_showdown.py",
     "budget_planning.py",
     "adaptive_campaign.py",
+    "engine_campaign.py",
 ]
 
 
