@@ -15,12 +15,24 @@ demo shows the three things the serving layer adds:
    are re-fit from streamed votes every 100 completions (one-coin EM),
    pulling selection toward the truly good workers.
 
+A second act scales past the exact-frontier pool cap: the same traffic
+shape against a 64-worker pool, served by **4 shards** under a
+top-level budget allocator (`repro.engine.sharding`) — per-shard
+schedulers and JQ caches, quality-mass-proportional budget grants,
+least-loaded task routing, and idle-worker rebalancing.
+
 Run:  python examples/engine_campaign.py
 """
 
 import numpy as np
 
-from repro.engine import CampaignEngine, EngineConfig, EngineTask
+from repro.engine import (
+    CampaignEngine,
+    EngineConfig,
+    EngineTask,
+    ShardedCampaignEngine,
+    ShardingConfig,
+)
 from repro.simulation import SyntheticPoolConfig, generate_pool
 
 
@@ -72,6 +84,41 @@ def main() -> None:
         f"{engine.registry.estimation_error():.4f} "
         f"(started at cold prior 0.65)"
     )
+
+    sharded_act(rng)
+
+
+def sharded_act(rng: np.random.Generator) -> None:
+    """64 workers is far past the exact-frontier cap — serve the pool
+    as 4 shards under one budget allocator."""
+    pool = generate_pool(
+        SyntheticPoolConfig(num_workers=64, quality_ceiling=0.95), rng
+    )
+    num_tasks = 400
+    budget = 140.0
+    config = EngineConfig(
+        budget=budget,
+        capacity=5,
+        batch_size=50,
+        confidence_target=0.92,
+        seed=2015,
+    )
+    engine = ShardedCampaignEngine(
+        pool,
+        config,
+        ShardingConfig(4, policy="least-loaded"),
+    )
+    truths = rng.integers(0, 2, size=num_tasks)
+    engine.submit(
+        EngineTask(f"shard-task-{i:04d}", ground_truth=int(t))
+        for i, t in enumerate(truths)
+    )
+
+    print(f"\n{'=' * 60}")
+    print(f"Sharded serving: {num_tasks} tasks, {len(pool)} workers "
+          f"across 4 shards, budget {budget:g}...\n")
+    metrics = engine.run()
+    print(metrics.render(budget=budget))
 
 
 if __name__ == "__main__":

@@ -38,7 +38,14 @@ from .experiments import (
     run_fig9d,
     run_table3,
 )
-from .engine import CampaignEngine, EngineConfig, EngineTask
+from .engine import (
+    ROUTING_POLICIES,
+    CampaignEngine,
+    EngineConfig,
+    EngineTask,
+    ShardedCampaignEngine,
+    ShardingConfig,
+)
 from .frontier import exact_frontier, sampled_frontier
 from .io import load_pool_csv, save_pool_csv
 from .quality import jury_quality
@@ -85,6 +92,26 @@ def _parse_floats(text: str) -> list[float]:
         return [float(x) for x in text.split(",") if x.strip()]
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"bad float list {text!r}") from exc
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad integer {text!r}") from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad integer {text!r}") from exc
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -161,6 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = off)")
     p_eng.add_argument("--quantization", type=int, default=200,
                        help="JQ-cache key grid steps (0 = exact keys)")
+    p_eng.add_argument("--shards", type=_positive_int, default=1,
+                       help="worker-pool shards (1 = unsharded engine)")
+    p_eng.add_argument("--shard-policy", default="hash",
+                       choices=ROUTING_POLICIES,
+                       help="task-to-shard routing policy")
+    p_eng.add_argument("--cache-max-entries", type=_nonnegative_int,
+                       default=0,
+                       help="LRU bound per JQ cache (0 = unbounded)")
     p_eng.add_argument("--seed", type=int, default=None)
 
     return parser
@@ -264,9 +299,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             confidence_target=args.confidence,
             reestimate_every=args.reestimate_every,
             quantization=args.quantization or None,
+            cache_max_entries=args.cache_max_entries or None,
             seed=args.seed,
         )
-        engine = CampaignEngine(pool, config)
+        if args.shards > 1:
+            engine = ShardedCampaignEngine(
+                pool,
+                config,
+                ShardingConfig(args.shards, policy=args.shard_policy),
+            )
+        else:
+            engine = CampaignEngine(pool, config)
         # Truths must follow the declared prior, or the report's
         # realized-vs-predicted comparison is miscalibrated.
         truths = (rng.random(args.num_tasks) >= args.alpha).astype(int)

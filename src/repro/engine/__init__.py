@@ -15,11 +15,16 @@ one budget, and finite worker attention".  See the module docstrings:
 ``scheduler``
     :class:`CampaignScheduler` — batch admission, budget pacing,
     capacity-aware seating over the portfolio/frontier machinery.
+``sharding``
+    :class:`ShardedCampaignEngine` / :class:`ShardedScheduler` /
+    :class:`BudgetAllocator` — K shard schedulers (each inside the
+    exact-frontier cap) under one quality-mass-proportional budget
+    allocator, with task routing and idle-worker rebalancing.
 ``engine``
     :class:`CampaignEngine` — the event loop.
 ``metrics``
     :class:`EngineMetrics` — throughput, realized-vs-predicted
-    accuracy, spend, cache stats.
+    accuracy, spend, cache stats, per-shard/allocator snapshots.
 """
 
 from .cache import CachedJQObjective, CacheStats, JQCache
@@ -32,12 +37,35 @@ from .events import (
     TaskComplete,
     VoteArrival,
 )
-from .metrics import EngineMetrics, TaskRecord
+from .metrics import (
+    AllocatorSnapshot,
+    EngineMetrics,
+    ShardSnapshot,
+    TaskRecord,
+)
 from .scheduler import Assignment, CampaignScheduler, SchedulerStats
-from .state import CapacityError, WorkerRegistry, WorkerState
+from .sharding import (
+    ROUTING_POLICIES,
+    BudgetAllocator,
+    Shard,
+    ShardedCampaignEngine,
+    ShardedScheduler,
+    ShardingConfig,
+    ShardRegistryView,
+    partition_members,
+)
+from .state import (
+    CapacityError,
+    WorkerRegistry,
+    WorkerState,
+    informativeness,
+    quality_mass,
+)
 
 __all__ = [
+    "AllocatorSnapshot",
     "Assignment",
+    "BudgetAllocator",
     "CachedJQObjective",
     "CacheStats",
     "CampaignEngine",
@@ -48,11 +76,21 @@ __all__ = [
     "EngineTask",
     "Event",
     "EventQueue",
+    "ROUTING_POLICIES",
     "SchedulerStats",
+    "Shard",
+    "ShardRegistryView",
+    "ShardSnapshot",
+    "ShardedCampaignEngine",
+    "ShardedScheduler",
+    "ShardingConfig",
     "TaskArrival",
     "TaskComplete",
     "TaskRecord",
     "VoteArrival",
     "WorkerRegistry",
     "WorkerState",
+    "informativeness",
+    "partition_members",
+    "quality_mass",
 ]

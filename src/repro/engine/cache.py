@@ -46,6 +46,7 @@ class CacheStats:
     hits: int
     misses: int
     entries: int
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -58,11 +59,23 @@ class CacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Pool counters from another cache (e.g. per-shard caches)."""
+        return CacheStats(
+            self.hits + other.hits,
+            self.misses + other.misses,
+            self.entries + other.entries,
+            self.evictions + other.evictions,
+        )
+
     def render(self) -> str:
-        return (
+        text = (
             f"JQ cache: {self.lookups} lookups, {self.hits} hits "
             f"({self.hit_rate:.1%}), {self.entries} entries"
         )
+        if self.evictions:
+            text += f", {self.evictions} evicted"
+        return text
 
 
 class JQCache:
@@ -82,6 +95,12 @@ class JQCache:
     exact_cutoff:
         Forwarded to :class:`JQObjective`: juries at or below this size
         are evaluated exactly, larger ones with the bucket estimator.
+    max_entries:
+        LRU bound on stored entries (``None`` = unbounded).  When the
+        store is full the least-recently-*used* key is evicted; hits
+        refresh recency.  Eviction only forgets memoized values — a
+        re-miss recomputes the identical JQ — so bounding the cache
+        never changes any returned value.
     """
 
     def __init__(
@@ -90,18 +109,23 @@ class JQCache:
         num_buckets: int = DEFAULT_NUM_BUCKETS,
         quantization: int | None = None,
         exact_cutoff: int = 12,
+        max_entries: int | None = None,
     ) -> None:
         if quantization is not None and quantization < 1:
             raise ValueError("quantization must be >= 1 grid steps (or None)")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
         self.alpha = float(alpha)
         self.num_buckets = num_buckets
         self.quantization = quantization
+        self.max_entries = max_entries
         self._objective = JQObjective(
             alpha=alpha, num_buckets=num_buckets, exact_cutoff=exact_cutoff
         )
         self._store: dict[tuple[float, ...], float] = {}
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------------
     # Keying
@@ -123,6 +147,10 @@ class JQCache:
         cached = self._store.get(key)
         if cached is not None:
             self._hits += 1
+            if self.max_entries is not None:
+                # Refresh recency: dict order is the LRU order.
+                del self._store[key]
+                self._store[key] = cached
             return cached
         self._misses += 1
         if len(key) == 0:
@@ -130,6 +158,9 @@ class JQCache:
         else:
             value = self._objective(Jury(_quality_jury_workers(key)))
         self._store[key] = value
+        if self.max_entries is not None and len(self._store) > self.max_entries:
+            del self._store[next(iter(self._store))]
+            self._evictions += 1
         return value
 
     def jq_jury(self, jury: Jury) -> float:
@@ -140,7 +171,9 @@ class JQCache:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(self._hits, self._misses, len(self._store))
+        return CacheStats(
+            self._hits, self._misses, len(self._store), self._evictions
+        )
 
     @property
     def underlying_evaluations(self) -> int:
@@ -151,6 +184,7 @@ class JQCache:
         self._store.clear()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
         self._objective.reset_counter()
 
     def __len__(self) -> int:

@@ -82,6 +82,10 @@ class EngineConfig:
     quantization:
         JQ-cache key grid (``None`` = exact keys; see
         :class:`~repro.engine.cache.JQCache`).
+    cache_max_entries:
+        LRU bound on each JQ cache (``None`` = unbounded).  Applies to
+        the engine's campaign cache, and per shard in the sharded
+        engine.
     frontier_pool_size:
         Per-batch candidate pool size (exact frontier; keep <= 12).
     reestimate_every:
@@ -104,6 +108,7 @@ class EngineConfig:
     confidence_target: float = 0.97
     num_buckets: int = 50
     quantization: int | None = 200
+    cache_max_entries: int | None = None
     frontier_pool_size: int = 10
     reestimate_every: int = 0
     reestimate_method: str = "one-coin"
@@ -122,6 +127,8 @@ class EngineConfig:
             raise ValueError("vote_latency must be positive")
         if not 0.5 <= self.confidence_target <= 1.0:
             raise ValueError("confidence_target must lie in [0.5, 1]")
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ValueError("cache_max_entries must be >= 1 (or None)")
         validate_prior(self.alpha)
 
 
@@ -163,6 +170,7 @@ class CampaignEngine:
             alpha=config.alpha,
             num_buckets=config.num_buckets,
             quantization=config.quantization,
+            max_entries=config.cache_max_entries,
         )
         self.metrics = EngineMetrics()
         self.scheduler: CampaignScheduler | None = None
@@ -211,13 +219,7 @@ class CampaignEngine:
         expected = self.config.expected_tasks or max(
             self._queue.pending(TaskArrival), 1
         )
-        self.scheduler = CampaignScheduler(
-            self.registry,
-            self.cache,
-            budget=self.config.budget,
-            expected_tasks=expected,
-            frontier_pool_size=self.config.frontier_pool_size,
-        )
+        self.scheduler = self._make_scheduler(expected)
 
         start = time.perf_counter()
         while self._queue:
@@ -231,7 +233,25 @@ class CampaignEngine:
             self._finalize_unfunded(task)
         self._deferred = []
         self.metrics.wall_seconds = time.perf_counter() - start
+        self._collect_stats()
+        return self.metrics
 
+    def _make_scheduler(self, expected_tasks: int):
+        """Build this campaign's scheduler.  Subclass hook: the sharded
+        engine returns a coordinator with the same ``admit``/``refund``
+        surface instead of a single :class:`CampaignScheduler`."""
+        return CampaignScheduler(
+            self.registry,
+            self.cache,
+            budget=self.config.budget,
+            expected_tasks=expected_tasks,
+            frontier_pool_size=self.config.frontier_pool_size,
+        )
+
+    def _collect_stats(self) -> None:
+        """Fold end-of-run state into the metrics.  Subclass hook: the
+        sharded engine aggregates per-shard caches and attaches shard
+        and allocator snapshots."""
         self.metrics.peak_worker_load = self.registry.peak_load
         self.metrics.cache_stats = self.cache.stats
         self.metrics.reestimations = self.registry.reestimations
@@ -239,7 +259,6 @@ class CampaignEngine:
             self.metrics.quality_estimation_error = (
                 self.registry.estimation_error()
             )
-        return self.metrics
 
     # ------------------------------------------------------------------
     # Event handlers

@@ -16,11 +16,59 @@ operator actually asks:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .cache import CacheStats
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """End-of-run summary of one shard (sharded engine only)."""
+
+    shard_id: int
+    workers: int
+    admitted: int
+    unfunded: int
+    deferred: int
+    substitutions: int
+    reserved: float
+    migrations_in: int
+    migrations_out: int
+    cache: CacheStats
+
+    def render(self) -> str:
+        return (
+            f"shard {self.shard_id}: {self.workers} workers, "
+            f"{self.admitted} admitted ({self.unfunded} unfunded, "
+            f"{self.deferred} deferrals, {self.substitutions} subs), "
+            f"reserved {self.reserved:.4g}, "
+            f"migrations +{self.migrations_in}/-{self.migrations_out}, "
+            f"cache {self.cache.hit_rate:.0%} hit"
+        )
+
+
+@dataclass(frozen=True)
+class AllocatorSnapshot:
+    """End-of-run ledger of the top-level budget allocator."""
+
+    budget: float
+    entitled: float
+    granted: float
+    reserved: float
+    refunded: float
+    reabsorbed: float
+    rounds: int
+
+    def render(self) -> str:
+        return (
+            f"allocator: {self.rounds} rounds, "
+            f"granted {self.granted:.4g}, reserved {self.reserved:.4g}, "
+            f"re-absorbed {self.reabsorbed:.4g} unspent "
+            f"+ {self.refunded:.4g} refunds"
+        )
 
 
 @dataclass(frozen=True)
@@ -55,6 +103,8 @@ class EngineMetrics:
     cache_stats: CacheStats | None = None
     reestimations: int = 0
     quality_estimation_error: float | None = None
+    shard_snapshots: tuple[ShardSnapshot, ...] | None = None
+    allocator_snapshot: AllocatorSnapshot | None = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -119,6 +169,40 @@ class EngineMetrics:
         return float(np.mean([r.votes_used for r in self.records]))
 
     # ------------------------------------------------------------------
+    # Replay identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Deterministic digest of everything a replay must reproduce.
+
+        Covers every task record (full float precision) and the
+        campaign counters, and deliberately excludes wall-clock-derived
+        values (``wall_seconds``, throughput) and the shard/allocator
+        snapshots — so two runs of the same seeded campaign, or a
+        single-shard run vs. the plain engine, compare byte-identical
+        exactly when their *decisions* were identical.
+        """
+        lines = [
+            f"{r.task_id}|{r.answer}|{r.confidence!r}|{r.predicted_jq!r}"
+            f"|{r.reserved_cost!r}|{r.spent_cost!r}|{r.votes_used}"
+            f"|{r.reason}|{r.correct}"
+            for r in self.records
+        ]
+        lines.append(
+            f"submitted={self.submitted}|votes={self.votes_cast}"
+            f"|cancelled={self.votes_cancelled}"
+            f"|peak={self.peak_worker_load}"
+            f"|reestimations={self.reestimations}"
+            f"|qerr={self.quality_estimation_error!r}"
+        )
+        if self.cache_stats is not None:
+            lines.append(
+                f"cache={self.cache_stats.hits}/{self.cache_stats.misses}"
+                f"/{self.cache_stats.entries}"
+            )
+        digest = hashlib.sha256("\n".join(lines).encode("utf-8"))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def render(self, budget: float | None = None) -> str:
@@ -155,4 +239,9 @@ class EngineMetrics:
             )
         if self.cache_stats is not None:
             lines.append(f"cache        : {self.cache_stats.render()}")
+        if self.allocator_snapshot is not None:
+            lines.append(f"sharding     : {self.allocator_snapshot.render()}")
+        if self.shard_snapshots:
+            for snapshot in self.shard_snapshots:
+                lines.append(f"  {snapshot.render()}")
         return "\n".join(lines)

@@ -35,7 +35,6 @@ later batches instead of being forfeited.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -45,10 +44,9 @@ from ..core.jury import Jury
 from ..core.worker import WorkerPool
 from ..frontier import Frontier, exact_frontier
 from ..portfolio import allocate_budget
-from ..quality.bucket import log_odds
 from .cache import CachedJQObjective, JQCache
 from .events import EngineTask
-from .state import WorkerRegistry, informativeness_key
+from .state import WorkerRegistry, informativeness, informativeness_key
 
 
 #: Exact frontiers over a 10-worker pool can carry hundreds of points;
@@ -59,6 +57,35 @@ MAX_ALLOCATION_POINTS = 24
 #: Distinct candidate-pool configurations memoized before the frontier
 #: memo is flushed — a drift backstop, not a tuned working-set size.
 MAX_FRONTIER_MEMO = 256
+
+
+def pro_rata_round_budget(
+    budget: float,
+    expected_tasks: int,
+    entitled: float,
+    new_tasks: int,
+    reserved: float,
+    refunded: float,
+) -> tuple[float, float]:
+    """The engine's one budget-pacing rule.
+
+    Each *new* task grows the cumulative entitlement by its pro-rata
+    share ``budget / expected_tasks`` (capped at the budget); a round
+    may spend up to the entitlement not yet (net) reserved, and never
+    more than what remains of the budget.  Returns ``(new_entitled,
+    round_budget)``.
+
+    Shared verbatim by :meth:`CampaignScheduler.admit` (single-
+    scheduler pacing) and the sharded engine's
+    :meth:`~repro.engine.sharding.BudgetAllocator.open_round`
+    (campaign-wide pacing) — one definition is what keeps the pinned
+    single-shard byte-identity structural rather than coincidental.
+    """
+    share = budget * new_tasks / expected_tasks
+    entitled = min(entitled + share, budget)
+    net_reserved = reserved - refunded
+    remaining = budget - reserved + refunded
+    return entitled, min(remaining, max(entitled - net_reserved, 0.0))
 
 
 def _thin_frontier(frontier: Frontier) -> Frontier:
@@ -167,6 +194,11 @@ class CampaignScheduler:
         return self._reserved
 
     @property
+    def refunded(self) -> float:
+        """Unspent reservation returned by early-stopped tasks."""
+        return self._refunded
+
+    @property
     def remaining_budget(self) -> float:
         return self.budget - self._reserved + self._refunded
 
@@ -180,7 +212,9 @@ class CampaignScheduler:
     # Admission
     # ------------------------------------------------------------------
     def admit(
-        self, tasks: Sequence[EngineTask]
+        self,
+        tasks: Sequence[EngineTask],
+        batch_budget: float | None = None,
     ) -> tuple[list[Assignment], list[EngineTask]]:
         """Assign juries to a batch of arriving tasks.
 
@@ -188,20 +222,33 @@ class CampaignScheduler:
         seated jury or an empty one (unfunded — the engine answers the
         prior); deferred tasks found no seatable jury (capacity
         exhausted) and should be retried once workers free up.
+
+        ``batch_budget`` switches off the scheduler's own entitlement
+        pacing: a top-level allocator (the sharded engine's
+        :class:`~repro.engine.sharding.BudgetAllocator`) has already
+        paced the campaign globally and this call may reserve at most
+        the given grant.  ``None`` (the default, single-scheduler mode)
+        keeps the built-in pro-rata pacing byte-for-byte unchanged.
         """
         if not tasks:
             return [], []
         self.stats.batches += 1
-        # Each *distinct* task grows the entitlement once — a deferred
-        # task retried across many batches must not mint fresh shares.
-        new_ids = {t.task_id for t in tasks} - self._entitled_tasks
-        self._entitled_tasks |= new_ids
-        share = self.budget * len(new_ids) / self.expected_tasks
-        self._entitled = min(self._entitled + share, self.budget)
-        net_reserved = self._reserved - self._refunded
-        batch_budget = min(
-            self.remaining_budget, max(self._entitled - net_reserved, 0.0)
-        )
+        if batch_budget is None:
+            # Each *distinct* task grows the entitlement once — a
+            # deferred task retried across many batches must not mint
+            # fresh shares.
+            new_ids = {t.task_id for t in tasks} - self._entitled_tasks
+            self._entitled_tasks |= new_ids
+            self._entitled, batch_budget = pro_rata_round_budget(
+                self.budget,
+                self.expected_tasks,
+                self._entitled,
+                len(new_ids),
+                self._reserved,
+                self._refunded,
+            )
+        else:
+            batch_budget = max(float(batch_budget), 0.0)
 
         candidates = self._candidate_pool()
         if len(candidates) == 0:
@@ -280,10 +327,7 @@ class CampaignScheduler:
         available = self.registry.available_pool()
 
         def score(worker) -> float:
-            phi = log_odds(max(worker.quality, 1.0 - worker.quality))
-            if math.isinf(phi):
-                phi = 1e6  # perfect workers: huge but finite priority
-            return phi / max(worker.cost, 1e-9)
+            return informativeness(worker) / max(worker.cost, 1e-9)
 
         ranked = sorted(
             available, key=lambda w: (-score(w), w.worker_id)

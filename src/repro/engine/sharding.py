@@ -1,0 +1,666 @@
+"""Sharded worker pools under a top-level budget allocator.
+
+The exact cost-JQ frontier enumerates ``2^k`` juries, which caps any
+one scheduler's candidate pool at ~12 workers — a hard ceiling the
+single-scheduler engine inherits no matter how many workers register.
+This module lifts that ceiling *structurally* instead of numerically:
+
+* the global :class:`~repro.engine.state.WorkerRegistry` is partitioned
+  into K **shards** (a stratified most-informative-first deal, so every
+  shard starts with a comparable quality profile);
+* each shard gets its own :class:`~repro.engine.scheduler.CampaignScheduler`
+  and :class:`~repro.engine.cache.JQCache`, so every frontier is built
+  over at most one shard's members and stays inside the exact cap;
+* a top-level :class:`BudgetAllocator` paces the campaign budget
+  globally and splits each scheduling round's entitlement across shards
+  **proportional to shard quality mass**, re-absorbing unspent grants
+  and early-stop refunds into the shared pot each round;
+* a routing policy (``hash``, ``least-loaded``, ``quality-balanced``)
+  assigns arriving tasks to shards, and **rebalancing** migrates idle
+  workers from underloaded to overloaded shards when load skews.
+
+The DB-nets line of work (Montali & Rivkin) treats state transitions of
+a data-aware process as explicit, checkable invariants; the sharded
+engine is built to the same discipline — every grant, reservation,
+re-absorption, and refund flows through one allocator ledger whose
+conservation laws are asserted by ``tests/engine/test_invariants.py``.
+
+Worker *state* stays global: seats, spend, vote history, and EM quality
+re-estimation still live in the one registry, so sharding changes who
+*schedules* a worker, never what is known about them.
+
+Usage::
+
+    engine = ShardedCampaignEngine(pool, config, ShardingConfig(4))
+    engine.submit(...)
+    metrics = engine.run()   # identical surface to CampaignEngine
+
+With ``ShardingConfig(1)`` the sharded engine reproduces the plain
+:class:`~repro.engine.engine.CampaignEngine` byte-for-byte (same seed
+=> same :meth:`~repro.engine.metrics.EngineMetrics.fingerprint`), which
+the regression suite pins.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..core.worker import WorkerPool
+from .cache import CacheStats, JQCache
+from .engine import CampaignEngine, EngineConfig
+from .events import EngineTask
+from .metrics import AllocatorSnapshot, ShardSnapshot
+from .scheduler import (
+    Assignment,
+    CampaignScheduler,
+    SchedulerStats,
+    pro_rata_round_budget,
+)
+from .state import (
+    WorkerRegistry,
+    WorkerState,
+    informativeness_key,
+    quality_mass,
+)
+
+#: Routing policies understood by :class:`ShardingConfig`.
+ROUTING_POLICIES = ("hash", "least-loaded", "quality-balanced")
+
+#: Rebalancing never strips a shard below this many members — a shard
+#: with one worker left cannot meaningfully seat juries, let alone
+#: donate.
+MIN_SHARD_MEMBERS = 2
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Tunables of the sharded serving layer.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards (>= 1; at most the pool size).
+    policy:
+        Task-routing policy: ``"hash"`` (stable id hash — sticky and
+        stateless), ``"least-loaded"`` (lowest seat-utilisation shard),
+        or ``"quality-balanced"`` (highest available quality mass per
+        in-flight task).
+    rebalance_threshold:
+        Migrate idle workers when the gap between the most- and
+        least-utilised shard's seat ratio exceeds this (``1.0``
+        effectively disables rebalancing — the gap never exceeds 1).
+    rebalance_max_moves:
+        Max workers migrated per scheduling round (0 disables).
+    """
+
+    num_shards: int
+    policy: str = "hash"
+    rebalance_threshold: float = 0.25
+    rebalance_max_moves: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.policy!r} "
+                f"(expected one of {', '.join(ROUTING_POLICIES)})"
+            )
+        if not 0.0 < self.rebalance_threshold <= 1.0:
+            raise ValueError("rebalance_threshold must lie in (0, 1]")
+        if self.rebalance_max_moves < 0:
+            raise ValueError("rebalance_max_moves must be >= 0")
+
+
+class ShardRegistryView:
+    """A shard's window onto the global :class:`WorkerRegistry`.
+
+    Presents the registry surface the scheduler consumes —
+    ``available_pool`` / ``states`` / ``worker`` / ``free_capacity`` /
+    ``assign`` — restricted to the shard's member ids, so an unmodified
+    :class:`CampaignScheduler` plugged into a view can only ever see or
+    seat its own shard's workers.  Iteration follows the *global*
+    registry order (filtered by membership), keeping every downstream
+    ranking deterministic and making the one-shard view behave
+    identically to the bare registry.
+
+    Membership is mutable: rebalancing moves an idle worker between
+    shards by removing the id here and adding it to the other view.
+    The underlying worker state (seats, spend, votes) never moves — it
+    lives in the global registry.
+    """
+
+    def __init__(self, registry: WorkerRegistry, member_ids: Iterable[str]) -> None:
+        self._registry = registry
+        self._members = set(member_ids)
+        for worker_id in self._members:
+            if worker_id not in registry:
+                raise KeyError(f"unknown worker {worker_id!r}")
+        # Member states change only on migration; states themselves are
+        # mutated in place by the registry, so the filtered tuple stays
+        # valid between membership changes.
+        self._states_cache: tuple[WorkerState, ...] | None = None
+
+    # -- membership ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._members
+
+    @property
+    def member_ids(self) -> tuple[str, ...]:
+        """Member ids in global registry order."""
+        return tuple(
+            w for w in self._registry.worker_ids if w in self._members
+        )
+
+    def add_member(self, worker_id: str) -> None:
+        if worker_id not in self._registry:
+            raise KeyError(f"unknown worker {worker_id!r}")
+        self._members.add(worker_id)
+        self._states_cache = None
+
+    def remove_member(self, worker_id: str) -> None:
+        self._members.remove(worker_id)
+        self._states_cache = None
+
+    # -- the registry surface the scheduler consumes -------------------
+    @property
+    def states(self) -> tuple[WorkerState, ...]:
+        if self._states_cache is None:
+            self._states_cache = tuple(
+                s
+                for s in self._registry.states
+                if s.worker.worker_id in self._members
+            )
+        return self._states_cache
+
+    def available_pool(self, exclude: Iterable[str] = ()) -> WorkerPool:
+        excluded = set(exclude)
+        return WorkerPool(
+            s.worker
+            for s in self.states
+            if s.free_capacity > 0 and s.worker.worker_id not in excluded
+        )
+
+    def worker(self, worker_id: str):
+        return self._registry.worker(worker_id)
+
+    def free_capacity(self, worker_id: str) -> int:
+        if worker_id not in self._members:
+            return 0  # not ours to seat
+        return self._registry.free_capacity(worker_id)
+
+    def assign(self, worker_id: str, task_id: str) -> None:
+        if worker_id not in self._members:
+            raise KeyError(
+                f"worker {worker_id!r} is not a member of this shard"
+            )
+        self._registry.assign(worker_id, task_id)
+
+    # -- shard-level aggregates ----------------------------------------
+    @property
+    def active_seats(self) -> int:
+        return sum(s.load for s in self.states)
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(s.capacity for s in self.states)
+
+    @property
+    def load_ratio(self) -> float:
+        """Occupied fraction of the shard's jury seats."""
+        capacity = self.total_capacity
+        if capacity == 0:
+            return 1.0  # an empty shard is "full": route nothing here
+        return self.active_seats / capacity
+
+    def quality_mass(self, available_only: bool = True) -> float:
+        return quality_mass(self.states, available_only=available_only)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardRegistryView({len(self)} members, "
+            f"{self.active_seats}/{self.total_capacity} seats)"
+        )
+
+
+class BudgetAllocator:
+    """Top-level budget ledger for a sharded campaign.
+
+    Reproduces the single scheduler's pro-rata pacing at campaign scope
+    — cumulative *entitlement* grows with each distinct task admitted,
+    a round may grant at most the entitlement not yet (net) reserved —
+    then splits each round's budget across shards proportional to their
+    available quality mass.  Shards reserve out of their grant; whatever
+    a grant leaves unreserved is **re-absorbed** immediately (it was
+    never debited), and early-stop refunds flow back here rather than
+    to any one shard, so the whole campaign — not the lucky shard —
+    re-spends them.
+
+    Conservation laws (asserted by the invariant harness):
+
+    * ``granted == reserved_from_grants + reabsorbed`` per round and
+      cumulatively;
+    * ``reserved - refunded <= budget`` at every instant;
+    * ``entitled <= budget`` always.
+    """
+
+    def __init__(self, budget: float, expected_tasks: int) -> None:
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        if expected_tasks < 1:
+            raise ValueError("expected_tasks must be >= 1")
+        self.budget = float(budget)
+        self.expected_tasks = expected_tasks
+        self._entitled = 0.0
+        self._entitled_tasks: set[str] = set()
+        self._reserved = 0.0
+        self._refunded = 0.0
+        self._granted = 0.0
+        self._reabsorbed = 0.0
+        self._rounds = 0
+
+    # -- introspection -------------------------------------------------
+    @property
+    def entitled(self) -> float:
+        return self._entitled
+
+    @property
+    def reserved(self) -> float:
+        """Gross spend reserved so far (before refunds)."""
+        return self._reserved
+
+    @property
+    def refunded(self) -> float:
+        return self._refunded
+
+    @property
+    def granted(self) -> float:
+        return self._granted
+
+    @property
+    def reabsorbed(self) -> float:
+        return self._reabsorbed
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    @property
+    def remaining_budget(self) -> float:
+        return self.budget - self._reserved + self._refunded
+
+    # -- the per-round protocol ----------------------------------------
+    def open_round(self, task_ids: Iterable[str]) -> float:
+        """Start a scheduling round; returns the round's budget.
+
+        Entitlement grows once per *distinct* task id — deferred tasks
+        retried across rounds must not mint fresh shares.  The pacing
+        arithmetic is :func:`~repro.engine.scheduler.pro_rata_round_budget`
+        — the same function the single scheduler paces itself with,
+        applied campaign-wide, which is what makes the pinned
+        single-shard byte-identity structural.
+        """
+        self._rounds += 1
+        new_ids = set(task_ids) - self._entitled_tasks
+        self._entitled_tasks |= new_ids
+        self._entitled, round_budget = pro_rata_round_budget(
+            self.budget,
+            self.expected_tasks,
+            self._entitled,
+            len(new_ids),
+            self._reserved,
+            self._refunded,
+        )
+        return round_budget
+
+    def split(
+        self, round_budget: float, masses: Mapping[int, float]
+    ) -> dict[int, float]:
+        """Split a round's budget across shards proportional to mass.
+
+        ``masses`` maps shard id -> available quality mass; only shards
+        present get a grant.  All-zero masses (every listed shard fully
+        saturated) fall back to an equal split — the tasks were already
+        routed there, so starving them entirely would just defer the
+        whole round.
+        """
+        if not masses:
+            return {}
+        round_budget = max(float(round_budget), 0.0)
+        if len(masses) == 1:
+            # Sole recipient takes the round exactly — no proportional
+            # arithmetic, so a one-shard campaign's grants match the
+            # single scheduler's pacing bit-for-bit.
+            grants = {next(iter(masses)): round_budget}
+            self._granted += round_budget
+            return grants
+        total = float(sum(masses.values()))
+        if total <= 0.0:
+            grants = {k: round_budget / len(masses) for k in masses}
+        else:
+            grants = {
+                k: round_budget * mass / total for k, mass in masses.items()
+            }
+        self._granted += sum(grants.values())
+        return grants
+
+    def settle(self, granted: float, reserved: float) -> None:
+        """Record one shard's round outcome: commit what it reserved,
+        re-absorb the rest of its grant."""
+        if reserved > granted + 1e-9:
+            raise ValueError(
+                f"shard reserved {reserved} beyond its grant {granted}"
+            )
+        self._reserved += max(float(reserved), 0.0)
+        self._reabsorbed += max(float(granted) - float(reserved), 0.0)
+
+    def refund(self, amount: float) -> None:
+        """Return unspent reservation (early-stopped task) to the pot."""
+        if amount < -1e-9:
+            raise ValueError(f"refund must be non-negative, got {amount}")
+        self._refunded += max(float(amount), 0.0)
+
+    def snapshot(self) -> AllocatorSnapshot:
+        return AllocatorSnapshot(
+            budget=self.budget,
+            entitled=self._entitled,
+            granted=self._granted,
+            reserved=self._reserved,
+            refunded=self._refunded,
+            reabsorbed=self._reabsorbed,
+            rounds=self._rounds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BudgetAllocator(budget={self.budget:g}, "
+            f"reserved={self._reserved:.3g}, refunded={self._refunded:.3g})"
+        )
+
+
+@dataclass
+class Shard:
+    """One shard: a registry view, its scheduler, and its JQ cache."""
+
+    shard_id: int
+    view: ShardRegistryView
+    cache: JQCache
+    scheduler: CampaignScheduler
+    migrations_in: int = 0
+    migrations_out: int = 0
+
+    def snapshot(self) -> ShardSnapshot:
+        stats = self.scheduler.stats
+        return ShardSnapshot(
+            shard_id=self.shard_id,
+            workers=len(self.view),
+            admitted=stats.admitted,
+            unfunded=stats.unfunded,
+            deferred=stats.deferred,
+            substitutions=stats.substitutions,
+            reserved=self.scheduler.reserved,
+            migrations_in=self.migrations_in,
+            migrations_out=self.migrations_out,
+            cache=self.cache.stats,
+        )
+
+
+def partition_members(
+    registry: WorkerRegistry, num_shards: int
+) -> list[list[str]]:
+    """Stratified partition: rank workers most-informative-first and
+    deal them round-robin, so every shard opens with a comparable
+    quality profile (no shard is born a frontier desert)."""
+    if not 1 <= num_shards <= len(registry):
+        raise ValueError(
+            f"num_shards must lie in [1, {len(registry)}] "
+            f"(pool size), got {num_shards}"
+        )
+    ranked = sorted(
+        registry.states, key=lambda s: informativeness_key(s.worker)
+    )
+    members: list[list[str]] = [[] for _ in range(num_shards)]
+    for i, state in enumerate(ranked):
+        members[i % num_shards].append(state.worker.worker_id)
+    return members
+
+
+class ShardedScheduler:
+    """Routes task batches to shards under one budget allocator.
+
+    Presents the same ``admit`` / ``refund`` / ``stats`` surface as
+    :class:`CampaignScheduler`, so the engine event loop drives either
+    interchangeably.  Per round it (1) opens the allocator's round,
+    (2) routes each task to a shard, (3) grants each participating
+    shard its quality-mass share of the round budget, (4) lets each
+    shard's scheduler admit its sub-batch inside its grant, settling
+    reservations and re-absorbing the unspent remainder, and (5)
+    rebalances idle workers if shard load has skewed.
+    """
+
+    def __init__(
+        self,
+        registry: WorkerRegistry,
+        config: EngineConfig,
+        sharding: ShardingConfig,
+        expected_tasks: int,
+    ) -> None:
+        self.registry = registry
+        self.sharding = sharding
+        self.allocator = BudgetAllocator(config.budget, expected_tasks)
+        self.shards: list[Shard] = []
+        for shard_id, member_ids in enumerate(
+            partition_members(registry, sharding.num_shards)
+        ):
+            view = ShardRegistryView(registry, member_ids)
+            cache = JQCache(
+                alpha=config.alpha,
+                num_buckets=config.num_buckets,
+                quantization=config.quantization,
+                max_entries=config.cache_max_entries,
+            )
+            scheduler = CampaignScheduler(
+                view,
+                cache,
+                budget=config.budget,
+                expected_tasks=expected_tasks,
+                frontier_pool_size=config.frontier_pool_size,
+            )
+            self.shards.append(Shard(shard_id, view, cache, scheduler))
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    # The CampaignScheduler surface
+    # ------------------------------------------------------------------
+    def admit(
+        self, tasks: Sequence[EngineTask]
+    ) -> tuple[list[Assignment], list[EngineTask]]:
+        if not tasks:
+            return [], []
+        round_budget = self.allocator.open_round(t.task_id for t in tasks)
+        routed = self.route(tasks)
+        masses = {
+            shard_id: self.shards[shard_id].view.quality_mass()
+            for shard_id in routed
+        }
+        grants = self.allocator.split(round_budget, masses)
+        assignments: list[Assignment] = []
+        deferred: list[EngineTask] = []
+        for shard_id in sorted(routed):
+            shard = self.shards[shard_id]
+            admitted, shard_deferred = shard.scheduler.admit(
+                routed[shard_id], batch_budget=grants[shard_id]
+            )
+            reserved = sum(a.reserved_cost for a in admitted)
+            self.allocator.settle(grants[shard_id], reserved)
+            assignments.extend(admitted)
+            deferred.extend(shard_deferred)
+        self.rebalance()
+        return assignments, deferred
+
+    def refund(self, amount: float) -> None:
+        self.allocator.refund(amount)
+
+    @property
+    def stats(self) -> SchedulerStats:
+        merged = SchedulerStats()
+        for shard in self.shards:
+            stats = shard.scheduler.stats
+            merged.batches += stats.batches
+            merged.admitted += stats.admitted
+            merged.unfunded += stats.unfunded
+            merged.deferred += stats.deferred
+            merged.substitutions += stats.substitutions
+            merged.dropped_seats += stats.dropped_seats
+        return merged
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(
+        self, tasks: Sequence[EngineTask]
+    ) -> dict[int, list[EngineTask]]:
+        """Assign each task to a shard; returns shard id -> sub-batch
+        (task order preserved within each shard)."""
+        routed: dict[int, list[EngineTask]] = {}
+        if self.sharding.policy == "hash":
+            for task in tasks:
+                shard_id = (
+                    zlib.crc32(task.task_id.encode("utf-8"))
+                    % len(self.shards)
+                )
+                routed.setdefault(shard_id, []).append(task)
+            return routed
+
+        # Load-aware policies spread *this* round too: a task routed
+        # now will occupy seats before the next task is placed, so the
+        # running per-shard count joins the live seat load.  Seats and
+        # quality mass cannot change while routing (nothing is seated
+        # yet), so the live aggregates are computed once per round.
+        pending = [0] * len(self.shards)
+        seats = [shard.view.active_seats for shard in self.shards]
+        if self.sharding.policy == "least-loaded":
+            capacity = [
+                max(shard.view.total_capacity, 1) for shard in self.shards
+            ]
+
+            def score(shard: Shard) -> tuple:
+                k = shard.shard_id
+                return ((seats[k] + pending[k]) / capacity[k], k)
+
+        else:  # quality-balanced
+            mass = [shard.view.quality_mass() for shard in self.shards]
+
+            def score(shard: Shard) -> tuple:
+                k = shard.shard_id
+                # Highest mass per in-flight unit wins; negate for min().
+                return (-mass[k] / (1.0 + seats[k] + pending[k]), k)
+
+        for task in tasks:
+            best = min(self.shards, key=score)
+            pending[best.shard_id] += 1
+            routed.setdefault(best.shard_id, []).append(task)
+        return routed
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+    def rebalance(self) -> int:
+        """Migrate idle workers from the least- to the most-utilised
+        shard when seat-load skew exceeds the configured threshold.
+        Returns the number of workers moved."""
+        if len(self.shards) < 2 or self.sharding.rebalance_max_moves == 0:
+            return 0
+        by_ratio = sorted(
+            self.shards, key=lambda s: (s.view.load_ratio, s.shard_id)
+        )
+        donor, needy = by_ratio[0], by_ratio[-1]
+        skew = needy.view.load_ratio - donor.view.load_ratio
+        if skew <= self.sharding.rebalance_threshold:
+            return 0
+        idle = sorted(
+            (s for s in donor.view.states if s.load == 0),
+            key=lambda s: informativeness_key(s.worker),
+        )
+        moved = 0
+        for state in idle:
+            if moved >= self.sharding.rebalance_max_moves:
+                break
+            if len(donor.view) <= MIN_SHARD_MEMBERS:
+                break
+            worker_id = state.worker.worker_id
+            donor.view.remove_member(worker_id)
+            needy.view.add_member(worker_id)
+            donor.migrations_out += 1
+            needy.migrations_in += 1
+            moved += 1
+        self.migrations += moved
+        return moved
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def shard_snapshots(self) -> tuple[ShardSnapshot, ...]:
+        return tuple(shard.snapshot() for shard in self.shards)
+
+    def merged_cache_stats(self) -> CacheStats:
+        merged = CacheStats(0, 0, 0, 0)
+        for shard in self.shards:
+            merged = merged.merge(shard.cache.stats)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedScheduler({len(self.shards)} shards, "
+            f"policy={self.sharding.policy!r}, "
+            f"migrations={self.migrations})"
+        )
+
+
+class ShardedCampaignEngine(CampaignEngine):
+    """A :class:`CampaignEngine` whose scheduling layer is sharded.
+
+    Identical submission/run surface; the event loop, vote simulation,
+    early stopping, and re-estimation are all inherited untouched.  Only
+    the scheduler hook differs: batches are routed across K shard
+    schedulers under a :class:`BudgetAllocator` instead of admitted by
+    one scheduler.  With ``ShardingConfig(1)`` the engine is
+    byte-identical to the plain one on the same seed.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        config: EngineConfig,
+        sharding: ShardingConfig | int,
+        initial_quality: float | dict[str, float] | None = None,
+    ) -> None:
+        if isinstance(sharding, int):
+            sharding = ShardingConfig(sharding)
+        super().__init__(pool, config, initial_quality=initial_quality)
+        if sharding.num_shards > len(self.registry):
+            raise ValueError(
+                f"num_shards ({sharding.num_shards}) cannot exceed the "
+                f"pool size ({len(self.registry)})"
+            )
+        self.sharding = sharding
+
+    def _make_scheduler(self, expected_tasks: int) -> ShardedScheduler:
+        return ShardedScheduler(
+            self.registry, self.config, self.sharding, expected_tasks
+        )
+
+    def _collect_stats(self) -> None:
+        super()._collect_stats()
+        scheduler = self.scheduler
+        assert isinstance(scheduler, ShardedScheduler)
+        # The base class reported the (unused) campaign cache; the JQ
+        # work lives in the per-shard caches.
+        self.metrics.cache_stats = scheduler.merged_cache_stats()
+        self.metrics.shard_snapshots = scheduler.shard_snapshots()
+        self.metrics.allocator_snapshot = scheduler.allocator.snapshot()

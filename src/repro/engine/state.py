@@ -24,6 +24,7 @@ wrong and watch re-estimation pull them toward truth.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -32,6 +33,7 @@ import numpy as np
 from ..core.exceptions import ReproError
 from ..core.worker import Worker, WorkerPool
 from ..estimation import AnswerMatrix, dawid_skene, one_coin_em
+from ..quality.bucket import log_odds
 
 #: Estimated qualities are clamped inside (0, 1) so Bayesian updates
 #: never saturate and EM never locks in.
@@ -48,6 +50,37 @@ def informativeness_key(worker: Worker) -> tuple[float, str]:
     tiebreak.  Shared by the scheduler's substitute ranking and the
     engine's vote ordering so the two can never drift apart."""
     return (-max(worker.quality, 1.0 - worker.quality), worker.worker_id)
+
+
+def informativeness(worker: Worker) -> float:
+    """Finite log-odds informativeness ``phi(max(q, 1-q))``.
+
+    Perfect workers have infinite log-odds; they are clipped to a huge
+    finite priority so rankings and mass sums stay well-defined.  Used
+    by the scheduler's candidate ranking and the budget allocator's
+    shard quality mass — one definition keeps routing, granting, and
+    seating aligned."""
+    phi = log_odds(max(worker.quality, 1.0 - worker.quality))
+    if math.isinf(phi):
+        return 1e6
+    return float(phi)
+
+
+def quality_mass(states: Iterable["WorkerState"], available_only: bool = True) -> float:
+    """Total informativeness carried by a set of worker states.
+
+    The budget allocator splits each round's entitlement across shards
+    proportional to this mass; routing policies use it to keep shards'
+    serving power balanced.  With ``available_only`` (the default) only
+    workers holding at least one free jury seat count — saturated
+    workers contribute no schedulable quality this round."""
+    return float(
+        sum(
+            informativeness(s.worker)
+            for s in states
+            if not available_only or s.free_capacity > 0
+        )
+    )
 
 
 @dataclass
@@ -162,6 +195,16 @@ class WorkerRegistry:
     def peak_load(self) -> int:
         """Highest concurrent load any worker ever reached."""
         return max(s.peak_load for s in self._states.values())
+
+    @property
+    def active_seats(self) -> int:
+        """Jury seats currently occupied across all workers."""
+        return sum(s.load for s in self._states.values())
+
+    @property
+    def total_capacity(self) -> int:
+        """Jury seats that exist across all workers."""
+        return sum(s.capacity for s in self._states.values())
 
     def available_pool(self, exclude: Iterable[str] = ()) -> WorkerPool:
         """Workers with at least one free jury seat, as a pool carrying

@@ -110,3 +110,73 @@ class TestCachedObjective:
         cache.clear()
         assert cache.stats.lookups == 0
         assert len(cache) == 0
+
+
+class TestLRUBound:
+    def test_unbounded_by_default(self):
+        cache = JQCache()
+        for q in np.linspace(0.51, 0.94, 300):
+            cache.jq([q])
+        assert cache.stats.entries == 300
+        assert cache.stats.evictions == 0
+
+    def test_validates_max_entries(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            JQCache(max_entries=0)
+
+    def test_bounded_cache_never_exceeds_the_bound(self):
+        cache = JQCache(max_entries=10)
+        for q in np.linspace(0.51, 0.94, 50):
+            cache.jq([q])
+        assert cache.stats.entries == 10
+        assert cache.stats.evictions == 40
+
+    def test_evicts_the_least_recently_used_entry(self):
+        cache = JQCache(max_entries=2)
+        cache.jq([0.6])
+        cache.jq([0.7])
+        cache.jq([0.6])          # refresh 0.6 -> 0.7 is now the oldest
+        cache.jq([0.8])          # evicts 0.7
+        hits_before = cache.stats.hits
+        cache.jq([0.6])          # still resident
+        assert cache.stats.hits == hits_before + 1
+        misses_before = cache.stats.misses
+        cache.jq([0.7])          # was evicted: must re-miss
+        assert cache.stats.misses == misses_before + 1
+
+    def test_eviction_never_changes_returned_values(self):
+        """A bounded cache may forget, but a re-miss must recompute the
+        identical float the unbounded cache (and the stock objective)
+        returns."""
+        rng = np.random.default_rng(7)
+        juries = [
+            np.sort(rng.uniform(0.05, 0.98, size=rng.integers(1, 6)))
+            for _ in range(120)
+        ]
+        bounded = JQCache(max_entries=5)
+        unbounded = JQCache()
+        # Two interleaved passes: the second pass re-misses almost
+        # everything in the bounded cache.
+        for jury in juries + juries:
+            assert bounded.jq(jury) == unbounded.jq(jury)
+        assert bounded.stats.evictions > 0
+
+    def test_clear_resets_evictions(self):
+        cache = JQCache(max_entries=1)
+        cache.jq([0.6])
+        cache.jq([0.7])
+        assert cache.stats.evictions == 1
+        cache.clear()
+        assert cache.stats.evictions == 0
+
+    def test_cache_stats_merge_pools_counters(self):
+        a = JQCache(max_entries=1)
+        a.jq([0.6]); a.jq([0.7]); a.jq([0.7])
+        b = JQCache()
+        b.jq([0.8])
+        merged = a.stats.merge(b.stats)
+        assert merged.lookups == 4
+        assert merged.hits == 1
+        assert merged.entries == 2
+        assert merged.evictions == 1
+        assert "evicted" in merged.render()

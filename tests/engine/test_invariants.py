@@ -1,0 +1,256 @@
+"""Randomized campaign-invariant harness.
+
+The DB-nets direction in PAPERS.md treats state transitions of a
+data-aware process as explicit, checkable invariants.  This suite makes
+that executable for the (sharded) campaign engine: seeded randomized
+campaigns across pool sizes, shard counts, and routing policies, with
+the global serving invariants asserted **after every event** the loop
+dispatches:
+
+* **capacity** — no worker ever seated above their concurrent cap;
+* **budget** — gross reservations net of refunds never exceed the
+  campaign budget, and the allocator's entitlement never exceeds it;
+* **ledger conservation** — every granted unit is either reserved by a
+  shard or re-absorbed, cumulatively and exactly;
+* **spend** — workers are only ever paid out of reserved cost.
+
+End-of-run laws (refund conservation across shard re-absorption, spend
+reconciliation between registry and metrics, every submitted task
+completing) and **byte-identical replay** for identical seeds round out
+the harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CampaignEngine,
+    EngineConfig,
+    EngineTask,
+    ShardedCampaignEngine,
+    ShardedScheduler,
+    ShardingConfig,
+)
+from repro.simulation import SyntheticPoolConfig, generate_pool
+
+EPS = 1e-9
+SEEDS = (1, 7, 13, 42, 2015)
+
+
+class InvariantViolation(AssertionError):
+    pass
+
+
+class _CheckedMixin:
+    """Engine mixin asserting the global invariants after every event."""
+
+    def _dispatch(self, event):
+        super()._dispatch(event)
+        self.check_invariants()
+
+    def check_invariants(self):
+        budget = self.config.budget
+        for state in self.registry.states:
+            if state.load > state.capacity:
+                raise InvariantViolation(
+                    f"worker {state.worker.worker_id} seated "
+                    f"{state.load}/{state.capacity}"
+                )
+            if state.peak_load > state.capacity:
+                raise InvariantViolation(
+                    f"worker {state.worker.worker_id} peaked above capacity"
+                )
+
+        scheduler = self.scheduler
+        if scheduler is None:
+            return
+        if isinstance(scheduler, ShardedScheduler):
+            allocator = scheduler.allocator
+            gross_reserved = allocator.reserved
+            refunded = allocator.refunded
+            if allocator.entitled > budget + EPS:
+                raise InvariantViolation(
+                    f"entitled {allocator.entitled} beyond budget {budget}"
+                )
+            ledger_gap = abs(
+                allocator.granted
+                - (allocator.reserved + allocator.reabsorbed)
+            )
+            if ledger_gap > 1e-6:
+                raise InvariantViolation(
+                    f"allocator ledger leaks: granted {allocator.granted} "
+                    f"!= reserved {allocator.reserved} "
+                    f"+ reabsorbed {allocator.reabsorbed}"
+                )
+            shard_reserved = sum(
+                shard.scheduler.reserved for shard in scheduler.shards
+            )
+            if abs(shard_reserved - gross_reserved) > 1e-6:
+                raise InvariantViolation(
+                    f"shard reservations {shard_reserved} diverge from "
+                    f"allocator ledger {gross_reserved}"
+                )
+        else:
+            gross_reserved = scheduler.reserved
+            refunded = scheduler.refunded
+
+        if gross_reserved - refunded > budget + 1e-6:
+            raise InvariantViolation(
+                f"net reservations {gross_reserved - refunded} "
+                f"exceed budget {budget}"
+            )
+        # Workers are only ever paid out of reserved jury cost.
+        if self.registry.total_spend > gross_reserved + 1e-6:
+            raise InvariantViolation(
+                f"worker payouts {self.registry.total_spend} exceed "
+                f"gross reservations {gross_reserved}"
+            )
+
+
+class CheckedEngine(_CheckedMixin, CampaignEngine):
+    pass
+
+
+class CheckedShardedEngine(_CheckedMixin, ShardedCampaignEngine):
+    pass
+
+
+def build_campaign(
+    seed,
+    pool_size,
+    shards,
+    num_tasks=60,
+    policy="hash",
+    checked=True,
+    reestimate_every=0,
+    rebalance_threshold=0.25,
+):
+    rng = np.random.default_rng(seed)
+    pool = generate_pool(
+        SyntheticPoolConfig(num_workers=pool_size, quality_ceiling=0.95), rng
+    )
+    config = EngineConfig(
+        budget=0.3 * num_tasks,
+        capacity=3,
+        batch_size=20,
+        confidence_target=0.95,
+        reestimate_every=reestimate_every,
+        seed=seed,
+    )
+    if shards == 0:  # the plain, pre-sharding engine
+        cls = CheckedEngine if checked else CampaignEngine
+        engine = cls(pool, config)
+    else:
+        cls = CheckedShardedEngine if checked else ShardedCampaignEngine
+        engine = cls(
+            pool,
+            config,
+            ShardingConfig(
+                shards,
+                policy=policy,
+                rebalance_threshold=rebalance_threshold,
+            ),
+        )
+    truths = rng.integers(0, 2, size=num_tasks)
+    engine.submit(
+        EngineTask(f"t{i}", ground_truth=int(t))
+        for i, t in enumerate(truths)
+    )
+    return engine
+
+
+def final_laws(engine, metrics):
+    """End-of-run conservation laws, common to every configuration."""
+    budget = engine.config.budget
+    assert metrics.completed == metrics.submitted
+    assert metrics.total_spend <= budget + 1e-6
+    # Every landed vote was paid exactly once: the registry's payout
+    # ledger and the per-task records must reconcile.
+    assert metrics.total_spend == pytest.approx(
+        engine.registry.total_spend, abs=1e-9
+    )
+    if isinstance(engine.scheduler, ShardedScheduler):
+        allocator = engine.scheduler.allocator
+        # Refund conservation across shard re-absorption: everything
+        # the tasks handed back landed in the allocator's pot.
+        assert allocator.refunded == pytest.approx(
+            metrics.total_refunded, abs=1e-9
+        )
+        assert allocator.granted == pytest.approx(
+            allocator.reserved + allocator.reabsorbed, abs=1e-6
+        )
+        assert metrics.allocator_snapshot is not None
+        assert metrics.shard_snapshots is not None
+        reserved = sum(s.reserved for s in metrics.shard_snapshots)
+        assert reserved == pytest.approx(allocator.reserved, abs=1e-6)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("pool_size,shards", [(12, 1), (24, 2), (48, 4)])
+def test_invariants_hold_after_every_event(seed, pool_size, shards):
+    # Rotate routing policies with the seed so all three are exercised
+    # across the matrix.
+    policy = ("hash", "least-loaded", "quality-balanced")[seed % 3]
+    engine = build_campaign(seed, pool_size, shards, policy=policy)
+    metrics = engine.run()
+    final_laws(engine, metrics)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_invariants_under_quality_drift(seed):
+    """Re-estimation perturbs every quality estimate mid-campaign;
+    the budget and capacity laws must be indifferent to it."""
+    engine = build_campaign(
+        seed, 32, 4, policy="least-loaded", reestimate_every=25
+    )
+    metrics = engine.run()
+    final_laws(engine, metrics)
+    assert metrics.reestimations > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_replay_is_byte_identical(seed):
+    """Identical seeds => identical campaigns, fingerprint-for-
+    fingerprint — across a run that routes, grants, rebalances, and
+    early-stops."""
+    first = build_campaign(seed, 32, 4, checked=False).run()
+    second = build_campaign(seed, 32, 4, checked=False).run()
+    assert first.fingerprint() == second.fingerprint()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_shard_matches_presharding_engine(seed):
+    """The single-shard path is pinned to the pre-sharding engine:
+    same seed => byte-identical metrics (fingerprints cover every task
+    record at full float precision plus all campaign counters)."""
+    plain = build_campaign(seed, 16, 0, checked=False).run()
+    sharded = build_campaign(seed, 16, 1, checked=False).run()
+    assert plain.fingerprint() == sharded.fingerprint()
+
+
+def test_unfunded_starved_campaign_still_conserves():
+    """Zero budget: every task must complete unfunded, spend nothing,
+    and violate nothing."""
+    rng = np.random.default_rng(3)
+    pool = generate_pool(SyntheticPoolConfig(num_workers=8), rng)
+    config = EngineConfig(budget=0.0, capacity=2, batch_size=5, seed=3)
+    engine = CheckedShardedEngine(pool, config, ShardingConfig(2))
+    engine.submit(EngineTask(f"t{i}") for i in range(20))
+    metrics = engine.run()
+    final_laws(engine, metrics)
+    assert metrics.unfunded == 20
+    assert metrics.total_spend == 0.0
+
+
+def test_rebalancing_campaign_migrates_and_conserves():
+    """A hash-routed campaign on a skewed pool should trigger idle
+    migrations; all laws must survive workers changing shards."""
+    engine = build_campaign(
+        11, 48, 4, num_tasks=120, policy="hash", rebalance_threshold=0.05
+    )
+    metrics = engine.run()
+    final_laws(engine, metrics)
+    assert engine.scheduler.migrations > 0
+    moved_in = sum(s.migrations_in for s in metrics.shard_snapshots)
+    moved_out = sum(s.migrations_out for s in metrics.shard_snapshots)
+    assert moved_in == moved_out == engine.scheduler.migrations

@@ -103,3 +103,62 @@ class TestSimulateAndExperiment:
     def test_missing_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestEngineCommand:
+    ARGS = [
+        "engine", "--budget", "20", "--num-tasks", "40",
+        "--num-workers", "24", "--seed", "11",
+    ]
+
+    @staticmethod
+    def stable_lines(output):
+        """Report lines minus the wall-clock-derived ones."""
+        return [
+            line for line in output.splitlines()
+            if "throughput" not in line
+        ]
+
+    def test_unsharded_run(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Campaign engine report" in out
+        assert "sharding" not in out
+
+    def test_sharded_run_reports_shards(self, capsys):
+        assert main(self.ARGS + ["--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sharding     : allocator:" in out
+        assert "shard 3:" in out
+
+    def test_shards_one_is_byte_identical_to_presharding(self, capsys):
+        """The CLI output contract: --shards 1 produces the exact
+        pre-sharding report (modulo wall clock) — e.g. no sharding
+        lines may appear.  The engine-level single-shard fingerprint
+        pin lives in tests/engine/test_invariants.py."""
+        assert main(self.ARGS) == 0
+        plain = self.stable_lines(capsys.readouterr().out)
+        assert main(self.ARGS + ["--shards", "1"]) == 0
+        sharded = self.stable_lines(capsys.readouterr().out)
+        assert plain == sharded
+
+    def test_shard_policy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--shards", "2", "--shard-policy", "rr"])
+
+    def test_nonpositive_shard_count_rejected(self):
+        """--shards 0 must fail loudly, not silently run unsharded."""
+        for bad in ("0", "-4"):
+            with pytest.raises(SystemExit):
+                main(self.ARGS + ["--shards", bad])
+
+    def test_cache_max_entries_flag(self, capsys):
+        """A tight bound on a real campaign must actually evict (the
+        report only prints 'evicted' when evictions happened)."""
+        assert main(self.ARGS + ["--cache-max-entries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "8 entries" in out and "evicted" in out
+
+    def test_negative_cache_max_entries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--cache-max-entries", "-5"])
