@@ -18,13 +18,7 @@ its accuracy must be no worse.
 
 import numpy as np
 
-from repro.engine import (
-    CampaignEngine,
-    EngineConfig,
-    EngineTask,
-    ShardedCampaignEngine,
-    ShardingConfig,
-)
+from repro.engine import Campaign, CampaignConfig, EngineTask
 from repro.experiments.reporting import ExperimentResult, SweepSeries
 from repro.simulation import SyntheticPoolConfig, generate_pool
 
@@ -44,25 +38,21 @@ def run_campaign(num_shards: int):
         SyntheticPoolConfig(num_workers=POOL_SIZE, quality_ceiling=0.95), rng
     )
     budget = BUDGET_PER_TASK * NUM_TASKS
-    config = EngineConfig(
+    config = CampaignConfig(
         budget=budget,
         capacity=CAPACITY,
         batch_size=BATCH_SIZE,
         confidence_target=0.95,
         seed=SEED,
+        num_shards=num_shards,
     )
-    if num_shards > 1:
-        engine = ShardedCampaignEngine(
-            pool, config, ShardingConfig(num_shards)
-        )
-    else:
-        engine = CampaignEngine(pool, config)
+    campaign = Campaign.open(pool, config)
     truths = rng.integers(0, 2, size=NUM_TASKS)
-    engine.submit(
+    campaign.submit(
         EngineTask(f"t{i}", ground_truth=int(t))
         for i, t in enumerate(truths)
     )
-    metrics = engine.run()
+    metrics = campaign.run()
 
     assert metrics.completed == NUM_TASKS
     assert metrics.peak_worker_load <= CAPACITY

@@ -18,7 +18,7 @@ cold/warm split below quantifies the speedup of the warm path).
 
 import numpy as np
 
-from repro.engine import CampaignEngine, EngineConfig, EngineTask
+from repro.engine import Campaign, CampaignConfig, EngineTask
 from repro.experiments.reporting import ExperimentResult, SweepSeries
 from repro.simulation import SyntheticPoolConfig, generate_pool
 
@@ -41,7 +41,7 @@ def run_campaign(
         SyntheticPoolConfig(num_workers=POOL_SIZE, quality_ceiling=0.95), rng
     )
     budget = BUDGET_PER_TASK * num_tasks
-    config = EngineConfig(
+    config = CampaignConfig(
         budget=budget,
         capacity=CAPACITY,
         batch_size=25,
@@ -50,14 +50,14 @@ def run_campaign(
         reestimate_every=reestimate_every,
         seed=SEED,
     )
-    engine = CampaignEngine(pool, config)
+    campaign = Campaign.open(pool, config)
     truths = rng.integers(0, 2, size=num_tasks)
-    engine.submit(
+    campaign.submit(
         EngineTask(f"t{i}", ground_truth=int(t))
         for i, t in enumerate(truths)
     )
-    metrics = engine.run()
-    return engine, metrics, budget
+    metrics = campaign.run()
+    return campaign, metrics, budget
 
 
 def test_engine_throughput(benchmark, emit):

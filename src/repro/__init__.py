@@ -39,8 +39,10 @@ Subpackages
 ``repro.experiments``
     Drivers that regenerate every table and figure of Section 6.
 ``repro.engine``
-    Event-driven, capacity-aware campaign serving: worker registry,
-    shared JQ cache, budget-paced scheduler, metrics.
+    Event-driven, capacity-aware campaign serving behind the
+    ``Campaign`` facade: resumable lifecycle, unified
+    ``CampaignConfig``, pluggable persistent state backends, worker
+    registry, shared JQ caches, budget-paced scheduler, metrics.
 """
 
 from .core import (
@@ -68,11 +70,16 @@ from .selection import (
     budget_quality_table,
 )
 from .engine import (
+    Campaign,
+    CampaignConfig,
     CampaignEngine,
     EngineConfig,
     EngineMetrics,
     EngineTask,
     JQCache,
+    MemoryBackend,
+    SQLiteBackend,
+    StateBackend,
     WorkerRegistry,
 )
 from .frontier import Frontier, FrontierPoint, exact_frontier, sampled_frontier
@@ -91,6 +98,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AnnealingSelector",
     "BayesianVoting",
+    "Campaign",
+    "CampaignConfig",
     "CampaignEngine",
     "CampaignPlan",
     "DecisionTask",
@@ -105,12 +114,15 @@ __all__ = [
     "Jury",
     "MVJSSelector",
     "MajorityVoting",
+    "MemoryBackend",
     "MultiChoiceTask",
     "OnlineDecisionSession",
     "OnlineOutcome",
     "OptimalJurySelectionSystem",
     "ReproError",
+    "SQLiteBackend",
     "SelectionResult",
+    "StateBackend",
     "Verdict",
     "Voting",
     "VotingStrategy",

@@ -17,6 +17,7 @@ CLI composes with shell pipelines and spreadsheets.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -40,11 +41,10 @@ from .experiments import (
 )
 from .engine import (
     ROUTING_POLICIES,
-    CampaignEngine,
-    EngineConfig,
+    Campaign,
+    CampaignConfig,
     EngineTask,
-    ShardedCampaignEngine,
-    ShardingConfig,
+    SQLiteBackend,
 )
 from .frontier import exact_frontier, sampled_frontier
 from .io import load_pool_csv, save_pool_csv
@@ -112,6 +112,29 @@ def _nonnegative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
+
+
+def _quantization(text: str):
+    """``auto`` | ``0`` (exact keys) | grid steps per unit."""
+    if text == "auto":
+        return "auto"
+    value = _nonnegative_int(text)
+    return value or None
+
+
+def _deprecated_flag(new_value, legacy_value, legacy_flag, new_flag, default):
+    """Resolve a renamed flag: the new spelling wins; the old one still
+    works but warns on stderr (deprecation, not removal)."""
+    if legacy_value is not None:
+        print(
+            f"warning: {legacy_flag} is deprecated; use {new_flag}",
+            file=sys.stderr,
+        )
+        if new_value is None:
+            return legacy_value
+    if new_value is not None:
+        return new_value
+    return default
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -186,16 +209,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_eng.add_argument("--reestimate-every", type=int, default=0,
                        help="re-fit worker qualities every N completions "
                             "(0 = off)")
-    p_eng.add_argument("--quantization", type=int, default=200,
-                       help="JQ-cache key grid steps (0 = exact keys)")
-    p_eng.add_argument("--shards", type=_positive_int, default=1,
+    p_eng.add_argument("--quantization", type=_quantization, default="auto",
+                       help="JQ-cache key grid steps (0 = exact keys; "
+                            "'auto' derives the grid from the bucket "
+                            "resolution)")
+    p_eng.add_argument("--num-shards", type=_positive_int, default=None,
                        help="worker-pool shards (1 = unsharded engine)")
-    p_eng.add_argument("--shard-policy", default="hash",
+    p_eng.add_argument("--shards", type=_positive_int, default=None,
+                       help=argparse.SUPPRESS)  # deprecated: --num-shards
+    p_eng.add_argument("--routing-policy", default=None,
                        choices=ROUTING_POLICIES,
                        help="task-to-shard routing policy")
+    p_eng.add_argument("--shard-policy", default=None,
+                       choices=ROUTING_POLICIES,
+                       help=argparse.SUPPRESS)  # deprecated: --routing-policy
     p_eng.add_argument("--cache-max-entries", type=_nonnegative_int,
                        default=0,
                        help="LRU bound per JQ cache (0 = unbounded)")
+    p_eng.add_argument("--backend", default="memory",
+                       choices=("memory", "sqlite"),
+                       help="campaign state backend (sqlite persists the "
+                            "campaign to --state-file)")
+    p_eng.add_argument("--state-file", default=None,
+                       help="SQLite state file (required with "
+                            "--backend sqlite)")
+    p_eng.add_argument("--resume", action="store_true",
+                       help="resume the campaign checkpointed in "
+                            "--state-file instead of starting fresh")
+    p_eng.add_argument("--run-until", type=_positive_int, default=None,
+                       help="pause after N completed tasks (with a sqlite "
+                            "backend the paused state is checkpointed, so "
+                            "--resume continues it)")
+    p_eng.add_argument("--cache-file", default=None,
+                       help="JQ-cache JSON: imported before a fresh run "
+                            "when the file exists, exported after every "
+                            "run — ships a warmed cache between campaigns")
     p_eng.add_argument("--seed", type=int, default=None)
 
     return parser
@@ -279,6 +327,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "engine":
+        return _run_engine_command(args)
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _run_engine_command(args) -> int:
+    num_shards = _deprecated_flag(
+        args.num_shards, args.shards, "--shards", "--num-shards", 1
+    )
+    routing_policy = _deprecated_flag(
+        args.routing_policy, args.shard_policy,
+        "--shard-policy", "--routing-policy", "hash",
+    )
+    backend = None
+    if args.backend == "sqlite":
+        if args.state_file is None:
+            print("error: --backend sqlite requires --state-file",
+                  file=sys.stderr)
+            return 2
+        backend = SQLiteBackend(args.state_file)
+    if args.resume:
+        if backend is None:
+            print("error: --resume requires --backend sqlite --state-file",
+                  file=sys.stderr)
+            return 2
+        campaign = Campaign.resume(backend)
+    else:
+        if backend is not None and backend.exists():
+            print(
+                f"error: {args.state_file} already holds a campaign "
+                "checkpoint; pass --resume to continue it, or point "
+                "--state-file at a new file",
+                file=sys.stderr,
+            )
+            return 2
         rng = np.random.default_rng(args.seed)
         if args.pool is not None:
             pool = load_pool_csv(args.pool)
@@ -291,37 +374,48 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ),
                 rng,
             )
-        config = EngineConfig(
+        config = CampaignConfig(
             budget=args.budget,
             capacity=args.capacity,
             batch_size=args.batch_size,
             alpha=args.alpha,
             confidence_target=args.confidence,
             reestimate_every=args.reestimate_every,
-            quantization=args.quantization or None,
+            quantization=args.quantization,
             cache_max_entries=args.cache_max_entries or None,
             seed=args.seed,
+            num_shards=num_shards,
+            routing_policy=routing_policy,
         )
-        if args.shards > 1:
-            engine = ShardedCampaignEngine(
-                pool,
-                config,
-                ShardingConfig(args.shards, policy=args.shard_policy),
-            )
-        else:
-            engine = CampaignEngine(pool, config)
+        campaign = Campaign.open(pool, config, backend=backend)
         # Truths must follow the declared prior, or the report's
         # realized-vs-predicted comparison is miscalibrated.
         truths = (rng.random(args.num_tasks) >= args.alpha).astype(int)
-        engine.submit(
+        campaign.submit(
             EngineTask(f"task-{i}", prior=args.alpha, ground_truth=int(t))
             for i, t in enumerate(truths)
         )
-        metrics = engine.run()
-        print(metrics.render(budget=args.budget))
-        return 0
-
-    raise AssertionError(f"unhandled command {args.command!r}")
+        if args.cache_file is not None and os.path.exists(args.cache_file):
+            warmed = campaign.import_cache(args.cache_file)
+            print(f"# warmed JQ cache: {warmed} entries from "
+                  f"{args.cache_file}")
+    metrics = campaign.run(until=args.run_until)
+    if backend is not None:
+        campaign.checkpoint()
+    if args.cache_file is not None:
+        exported = campaign.export_cache(args.cache_file)
+        print(f"# exported JQ cache: {exported} entries to "
+              f"{args.cache_file}")
+    if not campaign.done:
+        note = (
+            "checkpointed; rerun with --resume to continue"
+            if backend is not None
+            else "memory backend: paused state dies with this process"
+        )
+        print(f"# paused at {metrics.completed} completed tasks ({note})")
+    print(metrics.render(budget=campaign.config.budget))
+    campaign.close()
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

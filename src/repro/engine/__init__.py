@@ -25,9 +25,31 @@ one budget, and finite worker attention".  See the module docstrings:
 ``metrics``
     :class:`EngineMetrics` — throughput, realized-vs-predicted
     accuracy, spend, cache stats, per-shard/allocator snapshots.
+``campaign`` / ``config`` / ``backends``
+    :class:`Campaign` — the public serving facade: explicit lifecycle
+    (``open`` / ``submit`` / ``run(until=...)`` / ``checkpoint`` /
+    ``resume`` / ``close``) over one unified :class:`CampaignConfig`,
+    with pluggable persistent state (:class:`StateBackend` —
+    :class:`MemoryBackend`, :class:`SQLiteBackend`).  The engine
+    classes above remain as deprecated shims.
 """
 
-from .cache import CachedJQObjective, CacheStats, JQCache
+from .backends import (
+    BackendError,
+    MemoryBackend,
+    SQLiteBackend,
+    StateBackend,
+)
+from .cache import (
+    CachedJQObjective,
+    CacheStats,
+    JQCache,
+    adaptive_quantization,
+    load_cache_file,
+    save_cache_file,
+)
+from .campaign import Campaign
+from .config import CampaignConfig
 from .engine import CampaignEngine, EngineConfig
 from .events import (
     EngineTask,
@@ -43,7 +65,13 @@ from .metrics import (
     ShardSnapshot,
     TaskRecord,
 )
-from .scheduler import Assignment, CampaignScheduler, SchedulerStats
+from .scheduler import (
+    Assignment,
+    CampaignScheduler,
+    SchedulerStats,
+    SubstituteIndex,
+    linear_best_substitute,
+)
 from .sharding import (
     ROUTING_POLICIES,
     BudgetAllocator,
@@ -65,9 +93,12 @@ from .state import (
 __all__ = [
     "AllocatorSnapshot",
     "Assignment",
+    "BackendError",
     "BudgetAllocator",
     "CachedJQObjective",
     "CacheStats",
+    "Campaign",
+    "CampaignConfig",
     "CampaignEngine",
     "CampaignScheduler",
     "CapacityError",
@@ -76,7 +107,9 @@ __all__ = [
     "EngineTask",
     "Event",
     "EventQueue",
+    "MemoryBackend",
     "ROUTING_POLICIES",
+    "SQLiteBackend",
     "SchedulerStats",
     "Shard",
     "ShardRegistryView",
@@ -84,13 +117,19 @@ __all__ = [
     "ShardedCampaignEngine",
     "ShardedScheduler",
     "ShardingConfig",
+    "StateBackend",
+    "SubstituteIndex",
     "TaskArrival",
     "TaskComplete",
     "TaskRecord",
     "VoteArrival",
     "WorkerRegistry",
     "WorkerState",
+    "adaptive_quantization",
     "informativeness",
+    "linear_best_substitute",
+    "load_cache_file",
     "partition_members",
     "quality_mass",
+    "save_cache_file",
 ]

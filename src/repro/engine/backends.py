@@ -1,0 +1,329 @@
+"""Pluggable persistent state backends for campaign checkpoints.
+
+The DB-nets line of work (Montali & Rivkin) marries an event/net
+execution layer to a relational token store, so processes survive
+restarts and share state across executors.  This module is that store
+for the campaign engine: a :class:`~repro.engine.campaign.Campaign`
+serializes its complete serving state — worker registry (vote
+histories, drifted quality estimates, seats, spend), answer matrix,
+budget/allocator ledgers, shard membership, metrics, RNG state, the JQ
+caches and frontier memos, and every pending event — into one
+*snapshot* dict, and a :class:`StateBackend` persists it.
+
+Snapshot contract (all values plain JSON types)::
+
+    {
+      "version":  1,
+      "campaign": {...},   # config + event loop state (opaque JSON)
+      "workers":  [row, ...],          # one dict per worker
+      "votes":    [[worker_id, task_id, label, wpos, tpos], ...],
+      "ledger":   {scope: {...}, ...}, # budget/allocator/shard ledgers
+      "caches":   {cache_id: {...}, ...},  # serialized JQCaches
+    }
+
+Two implementations:
+
+* :class:`MemoryBackend` — the default; keeps the snapshot in-process.
+  Checkpoints survive ``Campaign.close()`` but not the process, which
+  is exactly the pre-facade behavior made explicit.
+* :class:`SQLiteBackend` — a WAL-mode SQLite file with ``campaign`` /
+  ``workers`` / ``votes`` / ``ledger`` / ``cache`` tables.  Campaigns
+  survive restarts; the WAL journal lets a reader (dashboard, another
+  engine process warming its cache) inspect the file while a writer
+  checkpoints.
+
+Both round-trip floats exactly: SQLite ``REAL`` columns are IEEE
+doubles, and JSON-encoded floats use ``repr`` shortest round-trip —
+which is what makes a resumed campaign's metrics fingerprint
+byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Protocol, runtime_checkable
+
+from ..core.exceptions import ReproError
+
+#: Current snapshot layout version.
+SNAPSHOT_VERSION = 1
+
+#: Top-level sections every snapshot must carry.
+SNAPSHOT_SECTIONS = ("campaign", "workers", "votes", "ledger", "caches")
+
+
+class BackendError(ReproError, RuntimeError):
+    """A state backend could not save or load a campaign snapshot."""
+
+
+@runtime_checkable
+class StateBackend(Protocol):
+    """What the :class:`~repro.engine.campaign.Campaign` facade needs
+    from a persistence layer.  Implement these four methods to plug in
+    any store (Redis, Postgres, an object store...)."""
+
+    def save(self, snapshot: dict) -> None:
+        """Persist a snapshot, replacing any previous one."""
+        ...
+
+    def load(self) -> dict:
+        """Return the last saved snapshot; raise :class:`BackendError`
+        when none exists."""
+        ...
+
+    def exists(self) -> bool:
+        """True when a snapshot is available to :meth:`load`."""
+        ...
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+        ...
+
+
+def _validate(snapshot: dict) -> None:
+    missing = [s for s in SNAPSHOT_SECTIONS if s not in snapshot]
+    if missing:
+        raise BackendError(f"snapshot is missing sections {missing}")
+
+
+class MemoryBackend:
+    """In-process snapshot store (the default backend).
+
+    Snapshots are stored through a JSON round trip, for two reasons:
+    the held snapshot cannot alias live campaign state, and a restore
+    sees *exactly* the value shapes (lists, not tuples) a disk backend
+    would produce — so the memory and SQLite paths exercise identical
+    restore code.
+    """
+
+    def __init__(self) -> None:
+        self._payload: str | None = None
+
+    def save(self, snapshot: dict) -> None:
+        _validate(snapshot)
+        self._payload = json.dumps(snapshot)
+
+    def load(self) -> dict:
+        if self._payload is None:
+            raise BackendError("MemoryBackend holds no checkpoint")
+        return json.loads(self._payload)
+
+    def exists(self) -> bool:
+        return self._payload is not None
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "empty" if self._payload is None else f"{len(self._payload)}B"
+        return f"MemoryBackend({state})"
+
+
+class SQLiteBackend:
+    """Campaign state in a WAL-mode SQLite file.
+
+    Schema (one campaign per file)::
+
+        campaign(key TEXT PRIMARY KEY, value TEXT)    -- version, config
+                                                      --  + event-loop JSON
+        workers(position INTEGER PRIMARY KEY, worker_id TEXT UNIQUE, ...)
+        votes(wpos INTEGER PRIMARY KEY, worker_id, task_id, label, tpos)
+        ledger(scope TEXT PRIMARY KEY, value TEXT)    -- budget/allocator/
+                                                      --  shard ledgers
+        cache(cache_id TEXT, position INTEGER, key TEXT, value REAL,
+              PRIMARY KEY(cache_id, position))        -- JQ-cache entries
+                                                      --  in LRU order
+
+    ``save`` replaces the whole snapshot inside one transaction, so a
+    reader never observes a half-written checkpoint.
+    """
+
+    _WORKER_COLUMNS = (
+        "position", "worker_id", "est_quality", "true_quality", "cost",
+        "capacity", "active_tasks", "votes_cast", "agreements",
+        "resolved_votes", "spend", "peak_load",
+    )
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._conn: sqlite3.Connection | None = None
+
+    def _connect(self) -> sqlite3.Connection:
+        """Open (and initialize) the database on first real use.
+
+        Connecting lazily keeps mistakes cheap: resuming from a
+        mistyped path raises :class:`BackendError` without littering
+        the directory with an empty ``.db`` (+ WAL sidecars) that a
+        later resume could be pointed at by accident.
+        """
+        if self._conn is None:
+            self._conn = sqlite3.connect(self.path)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._ensure_schema()
+        return self._conn
+
+    def _ensure_schema(self) -> None:
+        with self._conn:
+            self._conn.executescript(
+                """
+                CREATE TABLE IF NOT EXISTS campaign(
+                    key TEXT PRIMARY KEY, value TEXT NOT NULL);
+                CREATE TABLE IF NOT EXISTS workers(
+                    position INTEGER PRIMARY KEY,
+                    worker_id TEXT UNIQUE NOT NULL,
+                    est_quality REAL NOT NULL,
+                    true_quality REAL NOT NULL,
+                    cost REAL NOT NULL,
+                    capacity INTEGER NOT NULL,
+                    active_tasks TEXT NOT NULL,
+                    votes_cast INTEGER NOT NULL,
+                    agreements REAL NOT NULL,
+                    resolved_votes INTEGER NOT NULL,
+                    spend REAL NOT NULL,
+                    peak_load INTEGER NOT NULL);
+                CREATE TABLE IF NOT EXISTS votes(
+                    wpos INTEGER PRIMARY KEY,
+                    worker_id TEXT NOT NULL,
+                    task_id TEXT NOT NULL,
+                    label INTEGER NOT NULL,
+                    tpos INTEGER NOT NULL,
+                    UNIQUE(worker_id, task_id));
+                CREATE TABLE IF NOT EXISTS ledger(
+                    scope TEXT PRIMARY KEY, value TEXT NOT NULL);
+                CREATE TABLE IF NOT EXISTS cache(
+                    cache_id TEXT NOT NULL,
+                    position INTEGER NOT NULL,
+                    key TEXT NOT NULL,
+                    value REAL NOT NULL,
+                    PRIMARY KEY(cache_id, position));
+                """
+            )
+
+    # ------------------------------------------------------------------
+    # StateBackend surface
+    # ------------------------------------------------------------------
+    def save(self, snapshot: dict) -> None:
+        _validate(snapshot)
+        conn = self._connect()
+        with conn:
+            for table in ("campaign", "workers", "votes", "ledger", "cache"):
+                conn.execute(f"DELETE FROM {table}")
+            conn.execute(
+                "INSERT INTO campaign VALUES ('version', ?)",
+                (json.dumps(snapshot.get("version", SNAPSHOT_VERSION)),),
+            )
+            conn.execute(
+                "INSERT INTO campaign VALUES ('campaign', ?)",
+                (json.dumps(snapshot["campaign"]),),
+            )
+            conn.executemany(
+                "INSERT INTO workers VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    tuple(
+                        json.dumps(row[c]) if c == "active_tasks" else row[c]
+                        for c in self._WORKER_COLUMNS
+                    )
+                    for row in snapshot["workers"]
+                ),
+            )
+            conn.executemany(
+                "INSERT INTO votes VALUES (?,?,?,?,?)",
+                (
+                    (wpos, worker_id, task_id, label, tpos)
+                    for worker_id, task_id, label, wpos, tpos
+                    in snapshot["votes"]
+                ),
+            )
+            conn.executemany(
+                "INSERT INTO ledger VALUES (?,?)",
+                (
+                    (scope, json.dumps(value))
+                    for scope, value in snapshot["ledger"].items()
+                ),
+            )
+            for cache_id, cache_state in snapshot["caches"].items():
+                conn.execute(
+                    "INSERT INTO ledger VALUES (?,?)",
+                    (
+                        f"cache-meta:{cache_id}",
+                        json.dumps(
+                            {
+                                k: cache_state[k]
+                                for k in ("hits", "misses", "evictions")
+                            }
+                        ),
+                    ),
+                )
+                conn.executemany(
+                    "INSERT INTO cache VALUES (?,?,?,?)",
+                    (
+                        (cache_id, position, json.dumps(key), value)
+                        for position, (key, value)
+                        in enumerate(cache_state["entries"])
+                    ),
+                )
+
+    def load(self) -> dict:
+        if not os.path.exists(self.path):
+            raise BackendError(f"{self.path} holds no campaign checkpoint")
+        conn = self._connect()
+        rows = dict(conn.execute("SELECT key, value FROM campaign"))
+        if "campaign" not in rows:
+            raise BackendError(f"{self.path} holds no campaign checkpoint")
+        snapshot: dict = {
+            "version": json.loads(rows["version"]),
+            "campaign": json.loads(rows["campaign"]),
+            "workers": [],
+            "votes": [],
+            "ledger": {},
+            "caches": {},
+        }
+        for row in conn.execute(
+            f"SELECT {', '.join(self._WORKER_COLUMNS)} FROM workers "
+            "ORDER BY position"
+        ):
+            record = dict(zip(self._WORKER_COLUMNS, row))
+            record["active_tasks"] = json.loads(record["active_tasks"])
+            snapshot["workers"].append(record)
+        snapshot["votes"] = [
+            [worker_id, task_id, label, wpos, tpos]
+            for wpos, worker_id, task_id, label, tpos in conn.execute(
+                "SELECT wpos, worker_id, task_id, label, tpos FROM votes "
+                "ORDER BY wpos"
+            )
+        ]
+        cache_meta: dict[str, dict] = {}
+        for scope, value in conn.execute("SELECT scope, value FROM ledger"):
+            if scope.startswith("cache-meta:"):
+                cache_meta[scope[len("cache-meta:"):]] = json.loads(value)
+            else:
+                snapshot["ledger"][scope] = json.loads(value)
+        for cache_id, meta in cache_meta.items():
+            entries = [
+                [json.loads(key), value]
+                for key, value in conn.execute(
+                    "SELECT key, value FROM cache WHERE cache_id = ? "
+                    "ORDER BY position",
+                    (cache_id,),
+                )
+            ]
+            snapshot["caches"][cache_id] = {**meta, "entries": entries}
+        return snapshot
+
+    def exists(self) -> bool:
+        if not os.path.exists(self.path):
+            return False
+        row = self._connect().execute(
+            "SELECT 1 FROM campaign WHERE key = 'campaign'"
+        ).fetchone()
+        return row is not None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SQLiteBackend({self.path!r})"

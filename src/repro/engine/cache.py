@@ -28,8 +28,9 @@ simulated load.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -37,6 +38,26 @@ from ..core.jury import Jury
 from ..core.task import UNINFORMATIVE_PRIOR
 from ..quality import DEFAULT_NUM_BUCKETS
 from ..selection.base import JQObjective
+
+#: Key-grid steps per log-odds bucket used by :func:`adaptive_quantization`.
+ADAPTIVE_STEPS_PER_BUCKET = 4
+
+
+def adaptive_quantization(num_buckets: int) -> int:
+    """Key-grid resolution derived from the bucket estimator's resolution.
+
+    The bucket estimator discretizes the log-odds axis into
+    ``num_buckets`` buckets, so JQ itself cannot distinguish juries
+    whose qualities differ by much less than one bucket.  Keying the
+    cache at :data:`ADAPTIVE_STEPS_PER_BUCKET` grid steps per bucket
+    keeps the key-snapping perturbation well inside the estimator's own
+    discretization while still merging re-estimation drift into shared
+    entries.  At the paper's default resolution (50 buckets) this
+    reproduces the historical fixed grid of 200.
+    """
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be >= 1")
+    return ADAPTIVE_STEPS_PER_BUCKET * num_buckets
 
 
 @dataclass(frozen=True)
@@ -90,8 +111,10 @@ class JQCache:
     num_buckets:
         Bucket resolution forwarded to the underlying objective.
     quantization:
-        ``None`` for exact keys, or the number of quality grid steps
-        per unit (e.g. 200 snaps qualities to the nearest 0.005).
+        ``None`` for exact keys, the number of quality grid steps per
+        unit (e.g. 200 snaps qualities to the nearest 0.005), or
+        ``"auto"`` to derive the grid from ``num_buckets`` via
+        :func:`adaptive_quantization`.
     exact_cutoff:
         Forwarded to :class:`JQObjective`: juries at or below this size
         are evaluated exactly, larger ones with the bucket estimator.
@@ -107,12 +130,18 @@ class JQCache:
         self,
         alpha: float = UNINFORMATIVE_PRIOR,
         num_buckets: int = DEFAULT_NUM_BUCKETS,
-        quantization: int | None = None,
+        quantization: int | str | None = None,
         exact_cutoff: int = 12,
         max_entries: int | None = None,
     ) -> None:
-        if quantization is not None and quantization < 1:
-            raise ValueError("quantization must be >= 1 grid steps (or None)")
+        if quantization == "auto":
+            quantization = adaptive_quantization(num_buckets)
+        if quantization is not None and (
+            not isinstance(quantization, int) or quantization < 1
+        ):
+            raise ValueError(
+                "quantization must be >= 1 grid steps, 'auto', or None"
+            )
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None)")
         self.alpha = float(alpha)
@@ -187,11 +216,118 @@ class JQCache:
         self._evictions = 0
         self._objective.reset_counter()
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full cache state for checkpointing.
+
+        Entries are listed in LRU order (the store's dict order), so a
+        restored cache evicts in exactly the sequence the original
+        would have — required for byte-identical resumed campaigns.
+        """
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "entries": [[list(k), v] for k, v in self._store.items()],
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        """Restore counters and entries captured by :meth:`state_dict`."""
+        self._store = {
+            tuple(float(q) for q in key): float(value)
+            for key, value in state["entries"]
+        }
+        self._hits = int(state["hits"])
+        self._misses = int(state["misses"])
+        self._evictions = int(state["evictions"])
+
+    def warm(self, entries) -> int:
+        """Pre-populate from ``(qualities, value)`` pairs (e.g. a cache
+        shipped from an earlier campaign).  Keys are re-canonicalized
+        under *this* cache's grid; existing entries win, so warming
+        never changes a value a lookup would already return.  Returns
+        the number of entries added."""
+        added = 0
+        for qualities, value in entries:
+            key = self.canonicalize(qualities)
+            if key not in self._store:
+                self._store[key] = float(value)
+                added += 1
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                del self._store[next(iter(self._store))]
+                self._evictions += 1
+        return added
+
     def __len__(self) -> int:
         return len(self._store)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"JQCache(alpha={self.alpha}, {self.stats.render()})"
+
+
+def save_cache_file(path, caches: Sequence[JQCache]) -> int:
+    """Export the union of several caches' entries as a JSON warm file.
+
+    All caches must share alpha/num_buckets/quantization (one campaign's
+    campaign-level or per-shard caches do by construction).  Returns the
+    number of exported entries.
+    """
+    if not caches:
+        raise ValueError("need at least one cache to export")
+    first = caches[0]
+    for cache in caches[1:]:
+        if (
+            cache.alpha != first.alpha
+            or cache.num_buckets != first.num_buckets
+            or cache.quantization != first.quantization
+        ):
+            raise ValueError("caches to export must share their parameters")
+    entries: dict[tuple[float, ...], float] = {}
+    for cache in caches:
+        for key, value in cache._store.items():
+            entries.setdefault(key, value)
+    payload = {
+        "alpha": first.alpha,
+        "num_buckets": first.num_buckets,
+        "quantization": first.quantization,
+        "entries": [[list(k), v] for k, v in entries.items()],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return len(entries)
+
+
+def load_cache_file(path, caches: Sequence[JQCache]) -> int:
+    """Warm caches from a JSON file written by :func:`save_cache_file`.
+
+    The file's alpha and bucket resolution must match the target caches
+    — a JQ value computed under a different prior is simply a different
+    number.  Returns entries added to the *first* cache (all caches
+    receive the same entries).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    added = 0
+    for i, cache in enumerate(caches):
+        if (
+            payload["alpha"] != cache.alpha
+            or payload["num_buckets"] != cache.num_buckets
+            or payload["quantization"] != cache.quantization
+        ):
+            raise ValueError(
+                f"cache file {path!s} was built for alpha="
+                f"{payload['alpha']}, num_buckets={payload['num_buckets']}, "
+                f"quantization={payload['quantization']}; target cache has "
+                f"alpha={cache.alpha}, num_buckets={cache.num_buckets}, "
+                f"quantization={cache.quantization}"
+            )
+        count = cache.warm(payload["entries"])
+        if i == 0:
+            added = count
+    return added
 
 
 def _quality_jury_workers(qualities: tuple[float, ...]):

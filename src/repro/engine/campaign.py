@@ -1,0 +1,409 @@
+"""The `Campaign` facade: an explicit, resumable serving lifecycle.
+
+The pre-facade API was "construct ``CampaignEngine`` or
+``ShardedCampaignEngine`` with the right kwargs, ``submit()``,
+``run()`` once, lose everything".  :class:`Campaign` replaces that with
+a lifecycle::
+
+    campaign = Campaign.open(pool, CampaignConfig(budget=150, seed=7),
+                             backend=SQLiteBackend("campaign.db"))
+    campaign.submit(EngineTask(f"t{i}") for i in range(1000))
+    campaign.run(until=400)     # resumable stepping, not one-shot
+    campaign.checkpoint()       # full state -> backend
+    campaign.close()
+
+    # ... later, possibly in another process ...
+    campaign = Campaign.resume(SQLiteBackend("campaign.db"))
+    metrics = campaign.run()    # finishes the same campaign
+
+A checkpoint captures *everything* replay identity needs — worker
+registry (vote histories, drifted quality estimates, live seats),
+answer matrix, budget/allocator ledgers, shard membership, pending
+events, in-flight decision sessions, RNG state, metrics, the JQ caches
+and frontier memos — so a campaign checkpointed mid-run and resumed
+produces a :meth:`~repro.engine.metrics.EngineMetrics.fingerprint`
+byte-identical to an uninterrupted run (pinned by the invariant
+harness, across backends and shard counts).
+
+Shard count is a config field (``CampaignConfig(num_shards=K)``), not a
+class choice; the deprecated engine classes remain as shims.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from ..core.jury import Jury
+from ..core.worker import Worker, WorkerPool
+from ..online import OnlineDecisionSession
+from .backends import (
+    SNAPSHOT_VERSION,
+    BackendError,
+    MemoryBackend,
+    StateBackend,
+)
+from .config import CampaignConfig
+from .engine import CampaignEngine, _TaskRuntime
+from .events import EngineTask, EventQueue
+from .metrics import EngineMetrics
+from .scheduler import Assignment
+from .sharding import ShardedCampaignEngine, ShardedScheduler
+from .state import WorkerRegistry
+from .cache import load_cache_file, save_cache_file
+
+
+class _FacadeEngine(CampaignEngine):
+    """Engine core as constructed by the facade (no deprecation
+    warning — the facade *is* the supported entry point)."""
+
+
+class _FacadeShardedEngine(ShardedCampaignEngine):
+    """Sharded engine core as constructed by the facade."""
+
+
+def _build_engine(
+    pool: WorkerPool,
+    config: CampaignConfig,
+    initial_quality=None,
+):
+    sharding = config.sharding_config()
+    if sharding is None:
+        return _FacadeEngine(
+            pool, config.engine_config(), initial_quality=initial_quality
+        )
+    return _FacadeShardedEngine(
+        pool,
+        config.engine_config(),
+        sharding,
+        initial_quality=initial_quality,
+    )
+
+
+_INTERNAL = object()
+
+
+class Campaign:
+    """One campaign with an explicit open/run/checkpoint/close lifecycle.
+
+    Construct via :meth:`open` (fresh) or :meth:`resume` (from a
+    backend's checkpoint); the class is also a context manager
+    (``with Campaign.open(...) as campaign:``), closing the backend on
+    exit.
+    """
+
+    def __init__(self, *, _token=None) -> None:
+        if _token is not _INTERNAL:
+            raise TypeError(
+                "use Campaign.open(pool, config, backend=...) or "
+                "Campaign.resume(backend)"
+            )
+        self._engine: CampaignEngine | None = None
+        self._config: CampaignConfig | None = None
+        self._backend: StateBackend = MemoryBackend()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle entry points
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        pool: WorkerPool,
+        config: CampaignConfig,
+        backend: StateBackend | None = None,
+        initial_quality: float | dict[str, float] | None = None,
+    ) -> "Campaign":
+        """Start a fresh campaign over ``pool`` under ``config``.
+
+        ``backend`` receives :meth:`checkpoint` snapshots;
+        :class:`~repro.engine.backends.MemoryBackend` (in-process only)
+        when omitted.
+        """
+        campaign = cls(_token=_INTERNAL)
+        campaign._config = config
+        campaign._engine = _build_engine(pool, config, initial_quality)
+        if backend is not None:
+            campaign._backend = backend
+        return campaign
+
+    @classmethod
+    def resume(cls, backend: StateBackend) -> "Campaign":
+        """Rebuild a campaign from the backend's last checkpoint and
+        keep serving it — same decisions, same metrics fingerprint, as
+        if the run had never been interrupted."""
+        snapshot = backend.load()
+        version = snapshot.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise BackendError(
+                f"checkpoint version {version!r} is not supported "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        campaign = cls(_token=_INTERNAL)
+        campaign._backend = backend
+        campaign._restore(snapshot)
+        return campaign
+
+    def close(self) -> None:
+        """Release the backend (idempotent).  State already
+        checkpointed stays checkpointed; un-checkpointed progress is
+        lost — call :meth:`checkpoint` first to keep it."""
+        if not self._closed:
+            self._closed = True
+            self._backend.close()
+
+    def __enter__(self) -> "Campaign":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tasks: Iterable[EngineTask],
+        start_time: float = 0.0,
+        spacing: float = 1.0,
+    ) -> int:
+        """Enqueue task arrivals (see :meth:`CampaignEngine.submit`).
+        Allowed any time before the campaign finishes — including
+        between :meth:`run` calls and after a :meth:`resume`."""
+        self._require_serving()
+        return self._engine.submit(tasks, start_time, spacing)
+
+    def run(self, until: int | None = None) -> EngineMetrics:
+        """Advance the campaign and return the live metrics.
+
+        ``until=None`` drains the event queue (the campaign finishes);
+        ``until=N`` pauses as soon as at least ``N`` tasks have
+        completed, leaving juries in flight and every pending event
+        queued — exactly what :meth:`checkpoint` then persists.
+        Calling :meth:`run` again continues from the pause point.
+        """
+        self._require_open()
+        engine = self._engine
+        engine._start()
+        start = time.perf_counter()
+        while engine._queue and (
+            until is None or engine.metrics.completed < until
+        ):
+            engine._step()
+        if not engine._queue:
+            engine._finish()
+        engine.metrics.wall_seconds += time.perf_counter() - start
+        return engine.metrics
+
+    def checkpoint(self) -> None:
+        """Persist the full campaign state to the backend, replacing
+        any earlier checkpoint."""
+        self._require_open()
+        self._backend.save(self._snapshot())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> CampaignConfig:
+        return self._config
+
+    @property
+    def backend(self) -> StateBackend:
+        return self._backend
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        return self._engine.metrics
+
+    @property
+    def registry(self) -> WorkerRegistry:
+        return self._engine.registry
+
+    @property
+    def done(self) -> bool:
+        """True once the event queue has drained and finalization ran."""
+        return self._engine._finished
+
+    @property
+    def engine(self) -> CampaignEngine:
+        """The underlying engine core (single or sharded) — an escape
+        hatch for observability; drive the campaign through the facade."""
+        return self._engine
+
+    def render(self) -> str:
+        return self.metrics.render(budget=self._config.budget)
+
+    # ------------------------------------------------------------------
+    # Warm-cache shipping
+    # ------------------------------------------------------------------
+    def _caches(self):
+        engine = self._engine
+        if isinstance(engine.scheduler, ShardedScheduler):
+            return [shard.cache for shard in engine.scheduler.shards]
+        return [engine.cache]
+
+    def export_cache(self, path) -> int:
+        """Write this campaign's warmed JQ-cache entries (union across
+        shards) to a JSON file another campaign can import."""
+        self._require_open()
+        return save_cache_file(path, self._caches())
+
+    def import_cache(self, path) -> int:
+        """Warm this campaign's JQ caches from an exported file.  Call
+        after :meth:`submit` (importing forces the serving stack to
+        build, which fixes the expected-task pacing baseline)."""
+        self._require_open()
+        self._engine._start()
+        return load_cache_file(path, self._caches())
+
+    # ------------------------------------------------------------------
+    # Guards
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("campaign is closed")
+
+    def _require_serving(self) -> None:
+        self._require_open()
+        if self.done:
+            raise RuntimeError("campaign already finished")
+
+    # ------------------------------------------------------------------
+    # Snapshot assembly
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> dict:
+        engine = self._engine
+        runtime_states = [
+            {
+                "task": rt.task.state_dict(),
+                "jury": [
+                    [w.worker_id, w.quality, w.cost]
+                    for w in rt.assignment.jury.workers
+                ],
+                "predicted_jq": rt.assignment.predicted_jq,
+                "reserved_cost": rt.assignment.reserved_cost,
+                "session": rt.session.state_dict(),
+                "sim_truth": rt.sim_truth,
+                "scored_truth": rt.scored_truth,
+                "pending_workers": list(rt.pending_workers),
+                "done": rt.done,
+            }
+            for rt in engine._active.values()
+        ]
+        campaign_section = {
+            "config": self._config.to_dict(),
+            "clock": engine._clock,
+            "expected_tasks": engine._expected_tasks,
+            "finished": engine._finished,
+            "reestimations": engine.registry.reestimations,
+            "task_ids": sorted(engine._task_ids),
+            "batch": [t.state_dict() for t in engine._batch],
+            "deferred": [t.state_dict() for t in engine._deferred],
+            "active": runtime_states,
+            "queue": engine._queue.state_dict(),
+            "rng": engine._rng.bit_generator.state,
+            "metrics": engine.metrics.state_dict(),
+        }
+
+        scheduler = engine.scheduler
+        caches = {"campaign": engine.cache.state_dict()}
+        if scheduler is None:
+            ledger = {"mode": "unstarted"}
+        elif isinstance(scheduler, ShardedScheduler):
+            state = scheduler.state_dict()
+            ledger = {
+                "mode": "sharded",
+                "allocator": state["allocator"],
+                "migrations": state["migrations"],
+            }
+            for shard_state in state["shards"]:
+                ledger[f"shard:{shard_state['shard_id']}"] = shard_state
+            for shard in scheduler.shards:
+                caches[f"shard:{shard.shard_id}"] = shard.cache.state_dict()
+        else:
+            ledger = {"mode": "single", "scheduler": scheduler.state_dict()}
+
+        return {
+            "version": SNAPSHOT_VERSION,
+            "campaign": campaign_section,
+            "workers": engine.registry.worker_rows(),
+            "votes": engine.registry.answers.vote_rows(),
+            "ledger": ledger,
+            "caches": caches,
+        }
+
+    def _restore(self, snapshot: dict) -> None:
+        section = snapshot["campaign"]
+        config = CampaignConfig.from_dict(section["config"])
+        registry = WorkerRegistry.from_rows(
+            snapshot["workers"],
+            snapshot["votes"],
+            section["reestimations"],
+        )
+        engine = _build_engine(registry.original_pool(), config)
+        engine.registry = registry
+        engine.cache.load_state(snapshot["caches"]["campaign"])
+        engine._clock = float(section["clock"])
+        expected = section["expected_tasks"]
+        engine._expected_tasks = None if expected is None else int(expected)
+        engine._finished = bool(section["finished"])
+        engine._task_ids = set(section["task_ids"])
+        engine._batch = [
+            EngineTask.from_state(t) for t in section["batch"]
+        ]
+        engine._deferred = [
+            EngineTask.from_state(t) for t in section["deferred"]
+        ]
+        engine._queue = EventQueue.from_state(section["queue"])
+        engine._rng.bit_generator.state = section["rng"]
+        engine.metrics = EngineMetrics.from_state(section["metrics"])
+        engine._ran = True  # the facade owns the loop from here on
+        engine._active = {}
+        for rt_state in section["active"]:
+            task = EngineTask.from_state(rt_state["task"])
+            jury = Jury(
+                Worker(wid, float(q), float(c))
+                for wid, q, c in rt_state["jury"]
+            )
+            scored = rt_state["scored_truth"]
+            runtime = _TaskRuntime(
+                task=task,
+                assignment=Assignment(
+                    task,
+                    jury,
+                    float(rt_state["predicted_jq"]),
+                    float(rt_state["reserved_cost"]),
+                ),
+                session=OnlineDecisionSession.from_state(
+                    rt_state["session"]
+                ),
+                sim_truth=int(rt_state["sim_truth"]),
+                scored_truth=None if scored is None else int(scored),
+                pending_workers=list(rt_state["pending_workers"]),
+                done=bool(rt_state["done"]),
+            )
+            engine._active[task.task_id] = runtime
+
+        ledger = snapshot["ledger"]
+        if ledger["mode"] != "unstarted":
+            engine._start()  # honors the restored _expected_tasks
+            if ledger["mode"] == "single":
+                engine.scheduler.load_state(ledger["scheduler"])
+            else:
+                engine.scheduler.load_state(
+                    {
+                        "allocator": ledger["allocator"],
+                        "migrations": ledger["migrations"],
+                        "shards": [
+                            ledger[f"shard:{k}"]
+                            for k in range(config.num_shards)
+                        ],
+                    }
+                )
+                for shard in engine.scheduler.shards:
+                    shard.cache.load_state(
+                        snapshot["caches"][f"shard:{shard.shard_id}"]
+                    )
+        self._config = config
+        self._engine = engine

@@ -35,6 +35,7 @@ throughput metric), never branched on.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -80,8 +81,11 @@ class EngineConfig:
     num_buckets:
         JQ bucket resolution for large juries.
     quantization:
-        JQ-cache key grid (``None`` = exact keys; see
-        :class:`~repro.engine.cache.JQCache`).
+        JQ-cache key grid: ``None`` = exact keys, an int = grid steps
+        per unit, or ``"auto"`` (the default) to derive the grid from
+        ``num_buckets`` via
+        :func:`~repro.engine.cache.adaptive_quantization` (4 steps per
+        log-odds bucket — 200 at the default 50-bucket resolution).
     cache_max_entries:
         LRU bound on each JQ cache (``None`` = unbounded).  Applies to
         the engine's campaign cache, and per shard in the sharded
@@ -107,7 +111,7 @@ class EngineConfig:
     alpha: float = UNINFORMATIVE_PRIOR
     confidence_target: float = 0.97
     num_buckets: int = 50
-    quantization: int | None = 200
+    quantization: int | str | None = "auto"
     cache_max_entries: int | None = None
     frontier_pool_size: int = 10
     reestimate_every: int = 0
@@ -129,6 +133,11 @@ class EngineConfig:
             raise ValueError("confidence_target must lie in [0.5, 1]")
         if self.cache_max_entries is not None and self.cache_max_entries < 1:
             raise ValueError("cache_max_entries must be >= 1 (or None)")
+        if self.quantization is not None and self.quantization != "auto":
+            if not isinstance(self.quantization, int) or self.quantization < 1:
+                raise ValueError(
+                    "quantization must be >= 1 grid steps, 'auto', or None"
+                )
         validate_prior(self.alpha)
 
 
@@ -148,12 +157,19 @@ class _TaskRuntime:
 class CampaignEngine:
     """Event-driven jury-selection serving for one campaign.
 
-    Usage::
+    .. deprecated::
+        Direct construction is deprecated in favour of the
+        :class:`~repro.engine.campaign.Campaign` facade
+        (``Campaign.open(pool, CampaignConfig(...))``), which adds the
+        resumable lifecycle (``run(until=...)``, ``checkpoint()``,
+        ``resume()``) and pluggable persistent state backends.  This
+        class remains the engine core behind the facade; the classic
+        one-shot surface keeps working::
 
-        engine = CampaignEngine(pool, EngineConfig(budget=50, seed=7))
-        engine.submit(EngineTask(f"t{i}", ground_truth=...) for i in ...)
-        metrics = engine.run()
-        print(metrics.render(budget=50))
+            engine = CampaignEngine(pool, EngineConfig(budget=50, seed=7))
+            engine.submit(EngineTask(f"t{i}", ground_truth=...) for i in ...)
+            metrics = engine.run()
+            print(metrics.render(budget=50))
     """
 
     def __init__(
@@ -162,6 +178,13 @@ class CampaignEngine:
         config: EngineConfig,
         initial_quality: float | dict[str, float] | None = None,
     ) -> None:
+        if type(self) is CampaignEngine:
+            warnings.warn(
+                "CampaignEngine is deprecated; use "
+                "repro.engine.Campaign.open(pool, CampaignConfig(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.config = config
         self.registry = WorkerRegistry(
             pool, capacity=config.capacity, initial_quality=initial_quality
@@ -181,7 +204,9 @@ class CampaignEngine:
         self._active: dict[str, _TaskRuntime] = {}
         self._task_ids: set[str] = set()
         self._clock = 0.0
+        self._expected_tasks: int | None = None
         self._ran = False
+        self._finished = False
 
     # ------------------------------------------------------------------
     # Submission
@@ -216,25 +241,48 @@ class CampaignEngine:
         if self._ran:
             raise RuntimeError("a CampaignEngine instance runs one campaign")
         self._ran = True
-        expected = self.config.expected_tasks or max(
-            self._queue.pending(TaskArrival), 1
-        )
-        self.scheduler = self._make_scheduler(expected)
-
+        self._start()
         start = time.perf_counter()
         while self._queue:
-            event = self._queue.pop()
-            self._clock = max(self._clock, event.time)
-            self._dispatch(event)
-        # Anything still deferred when the queue drains could never be
-        # seated (pathological capacity/budget starvation): answer the
-        # prior rather than drop the task on the floor.
+            self._step()
+        self._finish()
+        self.metrics.wall_seconds += time.perf_counter() - start
+        return self.metrics
+
+    # Lifecycle primitives — the resumable surface the Campaign facade
+    # drives (run() above is the classic one-shot composition of them).
+    def _start(self) -> None:
+        """Build the scheduler on first use (idempotent).  A restored
+        campaign arrives with ``_expected_tasks`` already pinned — the
+        pacing baseline must not be re-derived from a queue whose
+        arrivals were partly consumed before the checkpoint."""
+        if self.scheduler is None:
+            if self._expected_tasks is None:
+                self._expected_tasks = self.config.expected_tasks or max(
+                    self._queue.pending(TaskArrival), 1
+                )
+            self.scheduler = self._make_scheduler(self._expected_tasks)
+
+    def _step(self) -> None:
+        """Pop and dispatch exactly one event."""
+        event = self._queue.pop()
+        self._clock = max(self._clock, event.time)
+        self._dispatch(event)
+
+    def _finish(self) -> None:
+        """Finalize once the queue has drained (idempotent).
+
+        Anything still deferred when the queue drains could never be
+        seated (pathological capacity/budget starvation): answer the
+        prior rather than drop the task on the floor.
+        """
+        if self._finished:
+            return
+        self._finished = True
         for task in self._deferred:
             self._finalize_unfunded(task)
         self._deferred = []
-        self.metrics.wall_seconds = time.perf_counter() - start
         self._collect_stats()
-        return self.metrics
 
     def _make_scheduler(self, expected_tasks: int):
         """Build this campaign's scheduler.  Subclass hook: the sharded

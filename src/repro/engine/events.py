@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from ..core.task import UNINFORMATIVE_PRIOR, validate_prior
 
@@ -52,6 +52,22 @@ class EngineTask:
                 f"ground_truth must be 0, 1 or None, got {self.ground_truth!r}"
             )
 
+    def state_dict(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "prior": self.prior,
+            "ground_truth": self.ground_truth,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "EngineTask":
+        truth = state["ground_truth"]
+        return cls(
+            task_id=state["task_id"],
+            prior=float(state["prior"]),
+            ground_truth=None if truth is None else int(truth),
+        )
+
 
 @dataclass(frozen=True)
 class Event:
@@ -81,6 +97,44 @@ class TaskComplete(Event):
 
     task_id: str
     reason: str  # "all-votes" | "early-stop" | "unfunded"
+
+
+def event_to_state(event: Event) -> dict:
+    """Serialize one event to a plain-JSON dict."""
+    if isinstance(event, TaskArrival):
+        return {
+            "kind": "task-arrival",
+            "time": event.time,
+            "task": event.task.state_dict(),
+        }
+    if isinstance(event, VoteArrival):
+        return {
+            "kind": "vote-arrival",
+            "time": event.time,
+            "task_id": event.task_id,
+            "worker_id": event.worker_id,
+        }
+    if isinstance(event, TaskComplete):
+        return {
+            "kind": "task-complete",
+            "time": event.time,
+            "task_id": event.task_id,
+            "reason": event.reason,
+        }
+    raise TypeError(f"unknown event {type(event).__name__}")
+
+
+def event_from_state(state: Mapping) -> Event:
+    """Inverse of :func:`event_to_state`."""
+    kind = state["kind"]
+    time = float(state["time"])
+    if kind == "task-arrival":
+        return TaskArrival(time, EngineTask.from_state(state["task"]))
+    if kind == "vote-arrival":
+        return VoteArrival(time, state["task_id"], state["worker_id"])
+    if kind == "task-complete":
+        return TaskComplete(time, state["task_id"], state["reason"])
+    raise ValueError(f"unknown event kind {kind!r}")
 
 
 @dataclass(order=True)
@@ -125,3 +179,34 @@ class EventQueue:
 
     def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debugging aid
         return (entry.event for entry in sorted(self._heap))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Pending events (in pop order, with their enqueue serials) and
+        the serial counter — everything replay identity needs."""
+        return {
+            "next_seq": self._seq,
+            "entries": [
+                [entry.time, entry.seq, event_to_state(entry.event)]
+                for entry in sorted(self._heap)
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "EventQueue":
+        """Rebuild a queue whose pops replay the captured order exactly
+        (``(time, seq)`` keys are unique, so heap layout is
+        irrelevant)."""
+        queue = cls()
+        for time, seq, event_state in state["entries"]:
+            event = event_from_state(event_state)
+            heapq.heappush(
+                queue._heap, _QueueEntry(float(time), int(seq), event)
+            )
+            queue._pending[type(event)] = (
+                queue._pending.get(type(event), 0) + 1
+            )
+        queue._seq = int(state["next_seq"])
+        return queue

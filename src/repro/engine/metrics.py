@@ -17,7 +17,8 @@ operator actually asks:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Mapping
 
 import numpy as np
 
@@ -167,6 +168,63 @@ class EngineMetrics:
         if not self.records:
             return 0.0
         return float(np.mean([r.votes_used for r in self.records]))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything the fingerprint covers plus the render-only
+        snapshot fields (so a resumed *finished* campaign still renders
+        its full report)."""
+        return {
+            "records": [asdict(r) for r in self.records],
+            "submitted": self.submitted,
+            "votes_cast": self.votes_cast,
+            "votes_cancelled": self.votes_cancelled,
+            "wall_seconds": self.wall_seconds,
+            "peak_worker_load": self.peak_worker_load,
+            "reestimations": self.reestimations,
+            "quality_estimation_error": self.quality_estimation_error,
+            "cache_stats": (
+                None if self.cache_stats is None else asdict(self.cache_stats)
+            ),
+            "shard_snapshots": (
+                None
+                if self.shard_snapshots is None
+                else [asdict(s) for s in self.shard_snapshots]
+            ),
+            "allocator_snapshot": (
+                None
+                if self.allocator_snapshot is None
+                else asdict(self.allocator_snapshot)
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "EngineMetrics":
+        metrics = cls()
+        for record in state["records"]:
+            metrics.records.append(TaskRecord(**record))
+        metrics.submitted = int(state["submitted"])
+        metrics.votes_cast = int(state["votes_cast"])
+        metrics.votes_cancelled = int(state["votes_cancelled"])
+        metrics.wall_seconds = float(state["wall_seconds"])
+        metrics.peak_worker_load = int(state["peak_worker_load"])
+        metrics.reestimations = int(state["reestimations"])
+        qerr = state["quality_estimation_error"]
+        metrics.quality_estimation_error = None if qerr is None else float(qerr)
+        if state["cache_stats"] is not None:
+            metrics.cache_stats = CacheStats(**state["cache_stats"])
+        if state["shard_snapshots"] is not None:
+            metrics.shard_snapshots = tuple(
+                ShardSnapshot(**{**s, "cache": CacheStats(**s["cache"])})
+                for s in state["shard_snapshots"]
+            )
+        if state["allocator_snapshot"] is not None:
+            metrics.allocator_snapshot = AllocatorSnapshot(
+                **state["allocator_snapshot"]
+            )
+        return metrics
 
     # ------------------------------------------------------------------
     # Replay identity

@@ -35,14 +35,16 @@ later batches instead of being forfeited.
 
 from __future__ import annotations
 
+import dataclasses
+import heapq
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..core.jury import Jury
 from ..core.worker import WorkerPool
-from ..frontier import Frontier, exact_frontier
+from ..frontier import Frontier, FrontierPoint, exact_frontier
 from ..portfolio import allocate_budget
 from .cache import CachedJQObjective, JQCache
 from .events import EngineTask
@@ -103,6 +105,97 @@ def _thin_frontier(frontier: Frontier) -> Frontier:
         np.linspace(0, len(points) - 1, MAX_ALLOCATION_POINTS).astype(int)
     )
     return Frontier(tuple(points[i] for i in idx), exact=False)
+
+
+class SubstituteIndex:
+    """Availability-indexed heap of substitution candidates.
+
+    The naive substitute search rescans the whole ranked pool for every
+    saturated seat — O(pool) per seat, and the scan's head fills up with
+    saturated high-informativeness workers precisely when substitution
+    is busiest (the profiled 64-worker bottleneck).  This index keeps
+    the same most-informative-first order in a heap and exploits the one
+    monotonicity ``admit`` guarantees: within a single batch, seats are
+    only ever *taken* (releases happen between batches), so a worker
+    observed saturated stays saturated for the rest of the batch and is
+    dropped from the heap permanently.  Candidates skipped for other,
+    per-query reasons (already on this jury, too expensive for this
+    seat) are pushed back.  A companion min-cost heap answers the
+    all-too-expensive case — the dropped-seat flood under saturation —
+    in O(1) amortized instead of a full scan.
+
+    Pop order equals the sorted order (``informativeness_key`` is
+    unique per worker), so the index returns *exactly* the worker the
+    linear scan would — :func:`linear_best_substitute` is the reference
+    oracle the equivalence tests compare against.
+    """
+
+    def __init__(self, states: Iterable) -> None:
+        states = list(states)
+        self._heap = [(informativeness_key(s.worker), s) for s in states]
+        heapq.heapify(self._heap)
+        # Companion min-cost heap: under saturation most queries *fail*
+        # (every available worker is dearer than the seat's cap), and a
+        # failed search is the one that scans everything.  The cheapest
+        # available cost only rises within a batch, so peeking it
+        # rejects those queries in O(1) amortized.
+        self._cost_heap = [
+            (s.worker.cost, s.worker.worker_id, s) for s in states
+        ]
+        heapq.heapify(self._cost_heap)
+
+    def _min_available_cost(self) -> float:
+        while self._cost_heap:
+            state = self._cost_heap[0][2]
+            if state.free_capacity <= 0:
+                heapq.heappop(self._cost_heap)  # saturated: gone for good
+                continue
+            return self._cost_heap[0][0]
+        return float("inf")
+
+    def best(self, max_cost: float, exclude: set[str]) -> str | None:
+        """Most informative available worker at or under ``max_cost``
+        and outside ``exclude`` (``None`` when nobody qualifies)."""
+        if self._min_available_cost() > max_cost + 1e-12:
+            return None  # nobody affordable, excluded or not
+        putback = []
+        found = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            state = entry[1]
+            if state.free_capacity <= 0:
+                continue  # saturated for the rest of this batch: drop
+            putback.append(entry)
+            worker = state.worker
+            if (
+                worker.worker_id in exclude
+                or worker.cost > max_cost + 1e-12
+            ):
+                continue  # disqualified for this seat only
+            found = worker.worker_id
+            break
+        for entry in putback:
+            heapq.heappush(self._heap, entry)
+        return found
+
+
+def linear_best_substitute(
+    ranked_states: Sequence, max_cost: float, exclude: set[str]
+) -> str | None:
+    """Reference substitute search: first available worker at or under
+    ``max_cost`` in a most-informative-first pre-sorted sequence.  This
+    is the original O(pool)-per-seat scan, kept as the oracle that
+    :class:`SubstituteIndex` must agree with (equivalence is asserted by
+    the scheduler tests and the substitution micro-benchmark)."""
+    for state in ranked_states:
+        worker = state.worker
+        if (
+            worker.worker_id not in exclude
+            and state.free_capacity > 0
+            and worker.cost <= max_cost + 1e-12
+        ):
+            return worker.worker_id
+    return None
 
 
 @dataclass(frozen=True)
@@ -284,12 +377,9 @@ class CampaignScheduler:
         )
         by_id = {task.task_id: task for task in tasks}
 
-        # Substitution candidates, best-informativeness first; computed
-        # once per batch (capacity is re-checked live while seating).
-        ranked_substitutes = sorted(
-            self.registry.states,
-            key=lambda s: informativeness_key(s.worker),
-        )
+        # Substitution candidates, indexed once per batch (capacity is
+        # re-checked lazily while seating).
+        substitutes = self._make_substitute_index()
 
         assignments: list[Assignment] = []
         deferred: list[EngineTask] = []
@@ -305,7 +395,7 @@ class CampaignScheduler:
                 task,
                 allocation.point.worker_ids,
                 allocation.point.cost,
-                ranked_substitutes,
+                substitutes,
             )
             if jury is None:
                 deferred.append(task)
@@ -334,12 +424,18 @@ class CampaignScheduler:
         )
         return WorkerPool(ranked[: self.frontier_pool_size])
 
+    def _make_substitute_index(self):
+        """Per-batch substitution index.  Hook: the substitution
+        micro-benchmark swaps in the linear reference scan here to
+        compare the two on identical traffic."""
+        return SubstituteIndex(self.registry.states)
+
     def _seat_jury(
         self,
         task: EngineTask,
         planned_ids: Sequence[str],
         planned_cost: float,
-        ranked_substitutes: Sequence,
+        substitutes: SubstituteIndex,
     ) -> Jury | None:
         """Seat the planned jury, substituting saturated members.
 
@@ -363,8 +459,7 @@ class CampaignScheduler:
             # Saturated — or already seated on this jury as an earlier
             # member's substitute; either way this seat needs a fresh
             # (no-dearer) worker.
-            substitute = self._best_substitute(
-                ranked_substitutes,
+            substitute = substitutes.best(
                 max_cost=self.registry.worker(worker_id).cost,
                 exclude=taken,
             )
@@ -382,20 +477,55 @@ class CampaignScheduler:
         assert jury.cost <= planned_cost + 1e-9
         return jury
 
-    @staticmethod
-    def _best_substitute(
-        ranked_substitutes: Sequence, max_cost: float, exclude: set[str]
-    ) -> str | None:
-        """First (= most informative) available worker at or under
-        ``max_cost``.  ``ranked_substitutes`` is pre-sorted by
-        descending informativeness; capacity is checked live so the
-        scan short-circuits at the first seatable candidate."""
-        for state in ranked_substitutes:
-            worker = state.worker
-            if (
-                worker.worker_id not in exclude
-                and state.free_capacity > 0
-                and worker.cost <= max_cost + 1e-12
-            ):
-                return worker.worker_id
-        return None
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Budget ledger, counters, and the frontier memo.
+
+        The memo must survive a checkpoint: a resumed campaign that
+        re-enumerated frontiers would issue extra JQ lookups, drifting
+        the cache counters (which the metrics fingerprint covers) away
+        from the uninterrupted run.
+        """
+        return {
+            "reserved": self._reserved,
+            "refunded": self._refunded,
+            "entitled": self._entitled,
+            "entitled_tasks": sorted(self._entitled_tasks),
+            "stats": dataclasses.asdict(self.stats),
+            "frontier_memo": [
+                [
+                    [list(part) for part in key],
+                    {
+                        "exact": frontier.exact,
+                        "points": [
+                            [p.cost, p.jq, list(p.worker_ids)]
+                            for p in frontier.points
+                        ],
+                    },
+                ]
+                for key, frontier in self._frontier_memo.items()
+            ],
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        self._reserved = float(state["reserved"])
+        self._refunded = float(state["refunded"])
+        self._entitled = float(state["entitled"])
+        self._entitled_tasks = set(state["entitled_tasks"])
+        self.stats = SchedulerStats(
+            **{k: int(v) for k, v in state["stats"].items()}
+        )
+        self._frontier_memo = {
+            tuple(
+                (str(wid), float(q), float(c)) for wid, q, c in key
+            ): Frontier(
+                tuple(
+                    FrontierPoint(float(cost), float(jq), tuple(ids))
+                    for cost, jq, ids in frontier["points"]
+                ),
+                exact=bool(frontier["exact"]),
+            )
+            for key, frontier in state["frontier_memo"]
+        }

@@ -43,6 +43,7 @@ the regression suite pins.
 
 from __future__ import annotations
 
+import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
@@ -365,6 +366,27 @@ class BudgetAllocator:
             raise ValueError(f"refund must be non-negative, got {amount}")
         self._refunded += max(float(amount), 0.0)
 
+    # -- persistence ---------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "entitled": self._entitled,
+            "entitled_tasks": sorted(self._entitled_tasks),
+            "reserved": self._reserved,
+            "refunded": self._refunded,
+            "granted": self._granted,
+            "reabsorbed": self._reabsorbed,
+            "rounds": self._rounds,
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        self._entitled = float(state["entitled"])
+        self._entitled_tasks = set(state["entitled_tasks"])
+        self._reserved = float(state["reserved"])
+        self._refunded = float(state["refunded"])
+        self._granted = float(state["granted"])
+        self._reabsorbed = float(state["reabsorbed"])
+        self._rounds = int(state["rounds"])
+
     def snapshot(self) -> AllocatorSnapshot:
         return AllocatorSnapshot(
             budget=self.budget,
@@ -603,6 +625,44 @@ class ShardedScheduler:
         return moved
 
     # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Allocator ledger, per-shard membership, migrations, and each
+        shard scheduler's own state (the caches travel separately)."""
+        return {
+            "allocator": self.allocator.state_dict(),
+            "migrations": self.migrations,
+            "shards": [
+                {
+                    "shard_id": shard.shard_id,
+                    "member_ids": list(shard.view.member_ids),
+                    "migrations_in": shard.migrations_in,
+                    "migrations_out": shard.migrations_out,
+                    "scheduler": shard.scheduler.state_dict(),
+                }
+                for shard in self.shards
+            ],
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        """Restore onto a freshly constructed sharded scheduler (same
+        registry, config, and shard count)."""
+        self.allocator.load_state(state["allocator"])
+        self.migrations = int(state["migrations"])
+        if len(state["shards"]) != len(self.shards):
+            raise ValueError(
+                f"checkpoint has {len(state['shards'])} shards; "
+                f"this scheduler was built with {len(self.shards)}"
+            )
+        for shard, shard_state in zip(self.shards, state["shards"]):
+            shard.view._members = set(shard_state["member_ids"])
+            shard.view._states_cache = None
+            shard.migrations_in = int(shard_state["migrations_in"])
+            shard.migrations_out = int(shard_state["migrations_out"])
+            shard.scheduler.load_state(shard_state["scheduler"])
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def shard_snapshots(self) -> tuple[ShardSnapshot, ...]:
@@ -625,6 +685,13 @@ class ShardedScheduler:
 class ShardedCampaignEngine(CampaignEngine):
     """A :class:`CampaignEngine` whose scheduling layer is sharded.
 
+    .. deprecated::
+        Direct construction is deprecated in favour of the
+        :class:`~repro.engine.campaign.Campaign` facade with
+        ``CampaignConfig(num_shards=K)`` — shard count is a config
+        field there, not a class choice.  This class remains the
+        sharded engine core behind the facade.
+
     Identical submission/run surface; the event loop, vote simulation,
     early stopping, and re-estimation are all inherited untouched.  Only
     the scheduler hook differs: batches are routed across K shard
@@ -640,6 +707,14 @@ class ShardedCampaignEngine(CampaignEngine):
         sharding: ShardingConfig | int,
         initial_quality: float | dict[str, float] | None = None,
     ) -> None:
+        if type(self) is ShardedCampaignEngine:
+            warnings.warn(
+                "ShardedCampaignEngine is deprecated; use "
+                "repro.engine.Campaign.open(pool, "
+                "CampaignConfig(num_shards=K, ...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if isinstance(sharding, int):
             sharding = ShardingConfig(sharding)
         super().__init__(pool, config, initial_quality=initial_quality)

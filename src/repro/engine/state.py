@@ -318,6 +318,69 @@ class WorkerRegistry:
         self.reestimations += 1
         return updated
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def worker_rows(self) -> list[dict]:
+        """Per-worker state as plain rows, in registry (= pool) order.
+
+        Registry order drives every deterministic downstream ranking
+        (candidate pools, shard partitioning), so rows carry an explicit
+        ``position`` and restore re-inserts in that order.
+        """
+        return [
+            {
+                "position": i,
+                "worker_id": state.worker.worker_id,
+                "est_quality": state.worker.quality,
+                "true_quality": state.true_quality,
+                "cost": state.worker.cost,
+                "capacity": state.capacity,
+                "active_tasks": sorted(state.active_tasks),
+                "votes_cast": state.votes_cast,
+                "agreements": state.agreements,
+                "resolved_votes": state.resolved_votes,
+                "spend": state.spend,
+                "peak_load": state.peak_load,
+            }
+            for i, state in enumerate(self._states.values())
+        ]
+
+    @classmethod
+    def from_rows(cls, worker_rows, vote_rows, reestimations: int) -> "WorkerRegistry":
+        """Rebuild a registry from :meth:`worker_rows` +
+        :meth:`AnswerMatrix.vote_rows` output."""
+        registry = cls.__new__(cls)
+        registry._states = {}
+        for row in sorted(worker_rows, key=lambda r: r["position"]):
+            worker = Worker(
+                row["worker_id"],
+                float(row["est_quality"]),
+                float(row["cost"]),
+            )
+            registry._states[worker.worker_id] = WorkerState(
+                worker=worker,
+                true_quality=float(row["true_quality"]),
+                capacity=int(row["capacity"]),
+                active_tasks=set(row["active_tasks"]),
+                votes_cast=int(row["votes_cast"]),
+                agreements=float(row["agreements"]),
+                resolved_votes=int(row["resolved_votes"]),
+                spend=float(row["spend"]),
+                peak_load=int(row["peak_load"]),
+            )
+        registry.answers = AnswerMatrix.from_vote_rows(vote_rows)
+        registry.reestimations = int(reestimations)
+        return registry
+
+    def original_pool(self) -> WorkerPool:
+        """The pool the registry was built from: true (vote-generating)
+        qualities in registry order."""
+        return WorkerPool(
+            Worker(s.worker.worker_id, s.true_quality, s.worker.cost)
+            for s in self._states.values()
+        )
+
     def estimation_error(self) -> float:
         """Mean absolute gap between estimated and true qualities — the
         quantity re-estimation should shrink in simulations."""

@@ -97,3 +97,45 @@ class AnswerMatrix:
     def participation_counts(self) -> dict[str, int]:
         """worker_id -> number of tasks answered."""
         return {w: len(tasks) for w, tasks in self._by_worker.items()}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def vote_rows(self) -> list[tuple[str, str, int, int, int]]:
+        """Flatten to ``(worker_id, task_id, label, wpos, tpos)`` rows.
+
+        ``wpos``/``tpos`` record each vote's position in the by-worker
+        and by-task insertion orders.  Downstream estimators iterate
+        both views, and float accumulation is order-sensitive at the
+        last ulp — a checkpoint/restore round trip must preserve the
+        exact iteration orders, not just the contents.
+        """
+        counter = 0
+        tpos = {}
+        for task_id, workers in self._by_task.items():
+            for worker_id in workers:
+                tpos[(worker_id, task_id)] = counter
+                counter += 1
+        rows = []
+        wpos = 0
+        for worker_id, tasks in self._by_worker.items():
+            for task_id, label in tasks.items():
+                rows.append(
+                    (worker_id, task_id, label, wpos, tpos[(worker_id, task_id)])
+                )
+                wpos += 1
+        return rows
+
+    @classmethod
+    def from_vote_rows(cls, rows, num_labels: int = 2) -> "AnswerMatrix":
+        """Rebuild a matrix with both views in their original orders."""
+        matrix = cls(num_labels=num_labels)
+        for worker_id, task_id, label, _wpos, _tpos in sorted(
+            rows, key=lambda r: r[3]
+        ):
+            matrix._by_worker.setdefault(worker_id, {})[task_id] = int(label)
+        for worker_id, task_id, label, _wpos, _tpos in sorted(
+            rows, key=lambda r: r[4]
+        ):
+            matrix._by_task.setdefault(task_id, {})[worker_id] = int(label)
+        return matrix

@@ -145,6 +145,36 @@ class OnlineDecisionSession:
         self._history.append(confidence)
         return confidence
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything needed to resume the session mid-decision."""
+        budget = self.budget
+        return {
+            "alpha": self.alpha,
+            "confidence_target": self.confidence_target,
+            "budget": None if np.isinf(budget) else budget,
+            "qualities": list(self._qualities),
+            "votes": list(self._votes),
+            "cost": self._cost,
+            "history": list(self._history),
+        }
+
+    @classmethod
+    def from_state(cls, state) -> "OnlineDecisionSession":
+        budget = state["budget"]
+        session = cls(
+            alpha=float(state["alpha"]),
+            confidence_target=float(state["confidence_target"]),
+            budget=np.inf if budget is None else float(budget),
+        )
+        session._qualities = [float(q) for q in state["qualities"]]
+        session._votes = [int(v) for v in state["votes"]]
+        session._cost = float(state["cost"])
+        session._history = [float(c) for c in state["history"]]
+        return session
+
     def outcome(self, stopped_early: bool = False) -> OnlineOutcome:
         """Freeze the session into an :class:`OnlineOutcome`."""
         return OnlineOutcome(

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import Jury, Worker
-from repro.engine import CachedJQObjective, JQCache
+from repro.engine import (
+    CachedJQObjective,
+    JQCache,
+    adaptive_quantization,
+    load_cache_file,
+    save_cache_file,
+)
 from repro.selection import JQObjective
 
 
@@ -75,6 +81,90 @@ class TestQuantizedKeys:
     def test_invalid_quantization_rejected(self):
         with pytest.raises(ValueError):
             JQCache(quantization=0)
+        with pytest.raises(ValueError):
+            JQCache(quantization="fine")
+
+
+class TestAdaptiveQuantization:
+    def test_derived_from_bucket_resolution(self):
+        assert adaptive_quantization(50) == 200
+        assert adaptive_quantization(100) == 400
+        assert adaptive_quantization(25) == 100
+        with pytest.raises(ValueError):
+            adaptive_quantization(0)
+
+    def test_auto_reproduces_the_historical_default_grid(self):
+        """At the paper's 50-bucket default the adaptive grid must be
+        the old fixed 200 — the switch to 'auto' must not move a single
+        cached value."""
+        auto = JQCache(quantization="auto")
+        assert auto.quantization == 200
+        fixed = JQCache(quantization=200)
+        rng = np.random.default_rng(11)
+        for n in (1, 2, 4, 7, 14):
+            qualities = rng.uniform(0.05, 0.98, size=n)
+            assert auto.jq(qualities) == fixed.jq(qualities)
+            assert auto.canonicalize(qualities) == fixed.canonicalize(
+                qualities
+            )
+
+    def test_auto_tracks_num_buckets(self):
+        coarse = JQCache(num_buckets=10, quantization="auto")
+        assert coarse.quantization == adaptive_quantization(10) == 40
+        # A coarser estimator gets a coarser key grid: qualities one
+        # fine-grid step apart now share an entry.
+        coarse.jq([0.701])
+        coarse.jq([0.699])
+        assert coarse.stats.entries == 1
+
+
+class TestCachePersistence:
+    def test_state_round_trip_preserves_values_counters_and_lru_order(self):
+        cache = JQCache(max_entries=3)
+        for q in ([0.6], [0.7], [0.8]):
+            cache.jq(q)
+        cache.jq([0.6])  # refresh: 0.7 is now the LRU victim
+        restored = JQCache(max_entries=3)
+        restored.load_state(cache.state_dict())
+        assert restored.stats == cache.stats
+        restored.jq([0.9])  # evicts 0.7, like the original would
+        cache.jq([0.9])
+        assert cache.stats == restored.stats
+        assert cache.jq([0.6]) == restored.jq([0.6])
+
+    def test_file_round_trip_warms_a_cold_cache(self, tmp_path):
+        path = tmp_path / "warm.json"
+        donor = JQCache(quantization=200)
+        values = {tuple([q]): donor.jq([q]) for q in (0.6, 0.7, 0.8)}
+        assert save_cache_file(path, [donor]) == 3
+        cold = JQCache(quantization=200)
+        assert load_cache_file(path, [cold]) == 3
+        for key, value in values.items():
+            assert cold.jq(list(key)) == value
+        assert cold.stats.hits == 3  # every lookup warmed
+
+    def test_file_import_rejects_mismatched_parameters(self, tmp_path):
+        path = tmp_path / "warm.json"
+        save_cache_file(path, [JQCache(alpha=0.3)])
+        with pytest.raises(ValueError, match="alpha"):
+            load_cache_file(path, [JQCache(alpha=0.5)])
+        save_cache_file(path, [JQCache(quantization=200)])
+        with pytest.raises(ValueError, match="quantization"):
+            load_cache_file(path, [JQCache(quantization=100)])
+
+    def test_export_rejects_heterogeneous_caches(self, tmp_path):
+        with pytest.raises(ValueError, match="share"):
+            save_cache_file(
+                tmp_path / "warm.json",
+                [JQCache(alpha=0.3), JQCache(alpha=0.5)],
+            )
+
+    def test_warming_never_overrides_resident_entries(self):
+        cache = JQCache()
+        resident = cache.jq([0.7])
+        added = cache.warm([[[0.7], -1.0], [[0.8], 0.8]])
+        assert added == 1
+        assert cache.jq([0.7]) == resident
 
 
 class TestCachedObjective:

@@ -1,0 +1,247 @@
+"""The Campaign facade: lifecycle, unified config, resumable stepping,
+equivalence with the deprecated engine entry points."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Campaign,
+    CampaignConfig,
+    CampaignEngine,
+    EngineConfig,
+    EngineTask,
+    MemoryBackend,
+    ShardedCampaignEngine,
+    ShardingConfig,
+)
+from repro.simulation import SyntheticPoolConfig, generate_pool
+
+
+def make_pool(num_workers=24, seed=1):
+    rng = np.random.default_rng(seed)
+    return generate_pool(
+        SyntheticPoolConfig(num_workers=num_workers, quality_ceiling=0.95),
+        rng,
+    )
+
+
+def make_tasks(num_tasks=80, seed=5):
+    rng = np.random.default_rng(seed)
+    truths = rng.integers(0, 2, size=num_tasks)
+    return [
+        EngineTask(f"t{i}", ground_truth=int(t))
+        for i, t in enumerate(truths)
+    ]
+
+
+def make_campaign(num_shards=1, seed=5, backend=None, **overrides):
+    defaults = dict(
+        budget=30.0, confidence_target=0.95, seed=seed, num_shards=num_shards
+    )
+    defaults.update(overrides)
+    campaign = Campaign.open(
+        make_pool(), CampaignConfig(**defaults), backend=backend
+    )
+    campaign.submit(make_tasks(seed=seed))
+    return campaign
+
+
+class TestCampaignConfig:
+    def test_engine_view_forwards_every_engine_field(self):
+        config = CampaignConfig(
+            budget=9.0, capacity=2, batch_size=7, seed=3, num_shards=4
+        )
+        engine_config = config.engine_config()
+        assert isinstance(engine_config, EngineConfig)
+        assert engine_config.budget == 9.0
+        assert engine_config.capacity == 2
+        assert engine_config.batch_size == 7
+        assert engine_config.seed == 3
+
+    def test_sharding_view(self):
+        config = CampaignConfig(
+            budget=1.0, num_shards=4, routing_policy="least-loaded"
+        )
+        sharding = config.sharding_config()
+        assert isinstance(sharding, ShardingConfig)
+        assert sharding.num_shards == 4
+        assert sharding.policy == "least-loaded"
+        assert CampaignConfig(budget=1.0).sharding_config() is None
+
+    def test_validation_delegates_to_subsumed_configs(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(budget=-1.0)
+        with pytest.raises(ValueError):
+            CampaignConfig(budget=1.0, num_shards=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(budget=1.0, routing_policy="round-robin")
+        with pytest.raises(ValueError):
+            CampaignConfig(budget=1.0, quantization=0)
+
+    def test_dict_round_trip(self):
+        config = CampaignConfig(
+            budget=4.0, num_shards=2, quantization=None, seed=11
+        )
+        assert CampaignConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            CampaignConfig.from_dict({"budget": 1.0, "shards": 2})
+
+    def test_lift_from_legacy_configs(self):
+        engine_config = EngineConfig(budget=5.0, capacity=3, seed=2)
+        config = CampaignConfig.from_engine_config(
+            engine_config, ShardingConfig(3, policy="quality-balanced")
+        )
+        assert config.budget == 5.0
+        assert config.capacity == 3
+        assert config.num_shards == 3
+        assert config.routing_policy == "quality-balanced"
+        assert config.engine_config() == engine_config
+
+
+class TestFacadeEquivalence:
+    """The facade must reproduce the deprecated entry points bit-for-bit
+    — migration changes spelling, never campaign decisions."""
+
+    def test_matches_campaign_engine(self):
+        with pytest.deprecated_call():
+            engine = CampaignEngine(
+                make_pool(),
+                EngineConfig(budget=30.0, confidence_target=0.95, seed=5),
+            )
+        engine.submit(make_tasks())
+        legacy = engine.run().fingerprint()
+        assert make_campaign().run().fingerprint() == legacy
+
+    def test_matches_sharded_campaign_engine(self):
+        with pytest.deprecated_call():
+            engine = ShardedCampaignEngine(
+                make_pool(),
+                EngineConfig(budget=30.0, confidence_target=0.95, seed=5),
+                ShardingConfig(4),
+            )
+        engine.submit(make_tasks())
+        legacy = engine.run().fingerprint()
+        assert make_campaign(num_shards=4).run().fingerprint() == legacy
+
+    def test_paused_and_drained_equals_one_shot(self):
+        one_shot = make_campaign().run().fingerprint()
+        stepped = make_campaign()
+        stepped.run(until=20)
+        assert not stepped.done
+        stepped.run(until=50)
+        assert stepped.run().fingerprint() == one_shot
+        assert stepped.done
+
+
+class TestLifecycle:
+    def test_direct_construction_is_refused(self):
+        with pytest.raises(TypeError, match="Campaign.open"):
+            Campaign()
+
+    def test_run_until_pauses_at_completion_count(self):
+        campaign = make_campaign()
+        metrics = campaign.run(until=25)
+        assert 25 <= metrics.completed < 80
+        assert not campaign.done
+        campaign.run()
+        assert campaign.done
+        assert campaign.metrics.completed == 80
+
+    def test_submit_between_runs_is_served(self):
+        campaign = make_campaign()
+        campaign.run(until=25)
+        campaign.submit(
+            [EngineTask("late-arrival", ground_truth=1)],
+            start_time=1e6,
+        )
+        campaign.run()
+        assert campaign.metrics.completed == 81
+
+    def test_submit_after_done_is_refused(self):
+        campaign = make_campaign()
+        campaign.run()
+        with pytest.raises(RuntimeError, match="finished"):
+            campaign.submit([EngineTask("too-late")])
+
+    def test_closed_campaign_refuses_everything(self):
+        campaign = make_campaign()
+        campaign.close()
+        campaign.close()  # idempotent
+        for call in (
+            lambda: campaign.run(),
+            lambda: campaign.checkpoint(),
+            lambda: campaign.submit([EngineTask("x")]),
+        ):
+            with pytest.raises(RuntimeError, match="closed"):
+                call()
+
+    def test_context_manager_closes(self):
+        with make_campaign() as campaign:
+            campaign.run(until=10)
+        with pytest.raises(RuntimeError, match="closed"):
+            campaign.run()
+
+    def test_default_backend_is_memory(self):
+        campaign = make_campaign()
+        assert isinstance(campaign.backend, MemoryBackend)
+        campaign.run(until=10)
+        campaign.checkpoint()
+        assert campaign.backend.exists()
+
+    def test_render_uses_config_budget(self):
+        campaign = make_campaign()
+        campaign.run()
+        assert "/ budget 30" in campaign.render()
+
+    def test_facade_construction_emits_no_deprecation(self, recwarn):
+        make_campaign(num_shards=2)
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestWarmCacheShipping:
+    def test_export_import_round_trip(self, tmp_path):
+        path = tmp_path / "warm.json"
+        donor = make_campaign()
+        donor.run()
+        exported = donor.export_cache(path)
+        assert exported > 0
+
+        cold = make_campaign(seed=6)
+        warmed = cold.import_cache(path)
+        assert warmed == exported
+        cold.run()
+        # A warmed campaign must never *miss* on a shipped entry: its
+        # miss count is bounded by the cold run's.
+        reference = make_campaign(seed=6)
+        reference.run()
+        assert (
+            cold.metrics.cache_stats.misses
+            <= reference.metrics.cache_stats.misses
+        )
+
+    def test_sharded_export_merges_shard_caches(self, tmp_path):
+        path = tmp_path / "warm.json"
+        campaign = make_campaign(num_shards=4)
+        campaign.run()
+        merged = campaign.export_cache(path)
+        per_shard = [
+            shard.cache.stats.entries
+            for shard in campaign.engine.scheduler.shards
+        ]
+        assert merged <= sum(per_shard)
+        assert merged >= max(per_shard)
+
+    def test_import_into_sharded_campaign_warms_every_shard(self, tmp_path):
+        path = tmp_path / "warm.json"
+        donor = make_campaign()
+        donor.run()
+        donor.export_cache(path)
+        target = make_campaign(num_shards=2, seed=8)
+        target.import_cache(path)
+        for shard in target.engine.scheduler.shards:
+            assert shard.cache.stats.entries > 0

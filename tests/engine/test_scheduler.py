@@ -8,8 +8,24 @@ from repro.engine import (
     CampaignScheduler,
     EngineTask,
     JQCache,
+    SubstituteIndex,
     WorkerRegistry,
+    linear_best_substitute,
 )
+from repro.engine.state import informativeness_key
+
+
+class LinearScanIndex:
+    """The pre-index substitute search as a drop-in index: the oracle
+    the heap must agree with, ranked by the same production key."""
+
+    def __init__(self, states):
+        self._ranked = sorted(
+            states, key=lambda s: informativeness_key(s.worker)
+        )
+
+    def best(self, max_cost, exclude):
+        return linear_best_substitute(self._ranked, max_cost, exclude)
 
 
 def make_scheduler(
@@ -81,15 +97,9 @@ class TestCapacityInvariant:
             registry, JQCache(), budget=100.0, expected_tasks=1,
             frontier_pool_size=2,
         )
-        ranked = sorted(
-            registry.states,
-            key=lambda s: (
-                -max(s.worker.quality, 1.0 - s.worker.quality),
-                s.worker.worker_id,
-            ),
-        )
         jury = scheduler._seat_jury(
-            EngineTask("t1"), ["A", "B"], 2.0, ranked
+            EngineTask("t1"), ["A", "B"], 2.0,
+            SubstituteIndex(registry.states),
         )
         assert jury is not None
         assert jury.worker_ids == ("B",)
@@ -203,3 +213,92 @@ class TestAdmitMechanics:
         with pytest.raises(ValueError):
             CampaignScheduler(registry, JQCache(), budget=1.0,
                               expected_tasks=5, frontier_pool_size=13)
+
+
+class TestSubstituteIndex:
+    """The heap-backed index must agree with the linear reference scan
+    query for query — it is an indexing change, not a policy change."""
+
+    def test_agrees_with_linear_scan_under_random_queries(self):
+        rng = np.random.default_rng(17)
+        pool = WorkerPool(
+            Worker(
+                f"w{i:02d}",
+                float(rng.uniform(0.5, 0.95)),
+                float(rng.uniform(0.2, 1.5)),
+            )
+            for i in range(64)
+        )
+        registry = WorkerRegistry(pool, capacity=2)
+        index = SubstituteIndex(registry.states)
+        oracle = LinearScanIndex(registry.states)
+        for step in range(300):
+            max_cost = float(rng.uniform(0.1, 1.6))
+            exclude = set(
+                rng.choice(registry.worker_ids, size=rng.integers(0, 5),
+                           replace=False)
+            )
+            expected = oracle.best(max_cost, exclude)
+            assert index.best(max_cost, exclude) == expected
+            if expected is not None and rng.random() < 0.7:
+                # Seat the chosen worker, as admit would (capacity only
+                # ever decreases within a batch).
+                registry.assign(expected, f"task-{step}")
+
+    def test_saturated_workers_are_dropped_not_lost_prematurely(self):
+        pool = WorkerPool(
+            [Worker("A", 0.9, 1.0), Worker("B", 0.8, 1.0),
+             Worker("C", 0.7, 1.0)]
+        )
+        registry = WorkerRegistry(pool, capacity=1)
+        index = SubstituteIndex(registry.states)
+        # A is too expensive for the first seat but must survive for
+        # the second query.
+        assert index.best(max_cost=1.0, exclude={"A"}) == "B"
+        assert index.best(max_cost=1.0, exclude=set()) == "A"
+        registry.assign("A", "t0")
+        assert index.best(max_cost=1.0, exclude=set()) == "B"
+
+    def test_exhausted_index_returns_none(self):
+        pool = WorkerPool([Worker("A", 0.9, 2.0)])
+        registry = WorkerRegistry(pool, capacity=1)
+        index = SubstituteIndex(registry.states)
+        assert index.best(max_cost=1.0, exclude=set()) is None  # too dear
+        assert index.best(max_cost=5.0, exclude=set()) == "A"
+        registry.assign("A", "t0")
+        assert index.best(max_cost=5.0, exclude=set()) is None
+
+    def test_identical_seatings_on_seeded_campaigns(self):
+        """End to end: a campaign served with the heap index must admit
+        byte-identical juries to one served with the linear scan."""
+        from repro.engine import Campaign, CampaignConfig
+        from repro.simulation import SyntheticPoolConfig, generate_pool
+
+        def run(patched):
+            rng = np.random.default_rng(23)
+            sim_pool = generate_pool(
+                SyntheticPoolConfig(num_workers=64, quality_ceiling=0.95),
+                rng,
+            )
+            campaign = Campaign.open(
+                sim_pool,
+                CampaignConfig(
+                    budget=60.0, capacity=2, batch_size=40,
+                    confidence_target=0.95, seed=23,
+                ),
+            )
+            if patched:
+                scheduler_cls = CampaignScheduler
+                original = scheduler_cls._make_substitute_index
+                scheduler_cls._make_substitute_index = (
+                    lambda self: LinearScanIndex(self.registry.states)
+                )
+                try:
+                    campaign.submit(tasks(200))
+                    return campaign.run().fingerprint()
+                finally:
+                    scheduler_cls._make_substitute_index = original
+            campaign.submit(tasks(200))
+            return campaign.run().fingerprint()
+
+        assert run(patched=False) == run(patched=True)

@@ -162,3 +162,102 @@ class TestEngineCommand:
     def test_negative_cache_max_entries_rejected(self):
         with pytest.raises(SystemExit):
             main(self.ARGS + ["--cache-max-entries", "-5"])
+
+
+class TestEngineLifecycleFlags:
+    ARGS = TestEngineCommand.ARGS
+
+    def test_num_shards_is_the_canonical_spelling(self, capsys):
+        assert main(self.ARGS + ["--num-shards", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "shard 3:" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_legacy_spellings_warn_but_work(self, capsys):
+        assert main(self.ARGS + ["--shards", "4",
+                                 "--shard-policy", "least-loaded"]) == 0
+        captured = capsys.readouterr()
+        assert "shard 3:" in captured.out
+        assert "--shards is deprecated; use --num-shards" in captured.err
+        assert (
+            "--shard-policy is deprecated; use --routing-policy"
+            in captured.err
+        )
+
+    def test_legacy_and_canonical_agree(self, capsys):
+        assert main(self.ARGS + ["--num-shards", "2"]) == 0
+        canonical = TestEngineCommand.stable_lines(capsys.readouterr().out)
+        assert main(self.ARGS + ["--shards", "2"]) == 0
+        legacy = TestEngineCommand.stable_lines(capsys.readouterr().out)
+        assert canonical == legacy
+
+    def test_sqlite_backend_requires_state_file(self, capsys):
+        assert main(self.ARGS + ["--backend", "sqlite"]) == 2
+        assert "--state-file" in capsys.readouterr().err
+
+    def test_resume_requires_sqlite_backend(self, capsys):
+        assert main(self.ARGS + ["--resume"]) == 2
+        assert "--resume requires" in capsys.readouterr().err
+
+    def test_checkpoint_and_resume_round_trip(self, tmp_path, capsys):
+        """Pause a campaign mid-run into SQLite, then finish it from a
+        fresh CLI invocation: the union must serve every task exactly
+        once."""
+        state = str(tmp_path / "campaign.db")
+        args = self.ARGS + ["--backend", "sqlite", "--state-file", state]
+        assert main(args + ["--run-until", "20"]) == 0
+        paused = capsys.readouterr().out
+        assert "# paused at" in paused
+        assert "--resume to continue" in paused
+
+        assert main(["engine", "--budget", "20", "--backend", "sqlite",
+                     "--state-file", state, "--resume"]) == 0
+        finished = capsys.readouterr().out
+        assert "# paused" not in finished
+        assert "40/40 completed" in finished
+
+    def test_fresh_run_refuses_to_clobber_a_checkpoint(self, tmp_path, capsys):
+        """Forgetting --resume must not silently overwrite a paused
+        campaign's state file."""
+        state = str(tmp_path / "campaign.db")
+        args = self.ARGS + ["--backend", "sqlite", "--state-file", state]
+        assert main(args + ["--run-until", "20"]) == 0
+        capsys.readouterr()
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert "already holds a campaign checkpoint" in err
+        # The paused campaign is still resumable.
+        assert main(["engine", "--budget", "20", "--backend", "sqlite",
+                     "--state-file", state, "--resume"]) == 0
+        assert "40/40 completed" in capsys.readouterr().out
+
+    def test_resume_finished_campaign_reprints_report(self, tmp_path, capsys):
+        state = str(tmp_path / "campaign.db")
+        args = self.ARGS + ["--backend", "sqlite", "--state-file", state]
+        assert main(args) == 0
+        first = TestEngineCommand.stable_lines(capsys.readouterr().out)
+        assert main(["engine", "--budget", "20", "--backend", "sqlite",
+                     "--state-file", state, "--resume"]) == 0
+        second = TestEngineCommand.stable_lines(capsys.readouterr().out)
+        assert first == second
+
+    def test_cache_file_exports_then_warms(self, tmp_path, capsys):
+        cache = str(tmp_path / "warm.json")
+        assert main(self.ARGS + ["--cache-file", cache]) == 0
+        out = capsys.readouterr().out
+        assert "# exported JQ cache:" in out
+        assert "# warmed" not in out
+
+        assert main(["engine", "--budget", "20", "--num-tasks", "40",
+                     "--num-workers", "24", "--seed", "12",
+                     "--cache-file", cache]) == 0
+        out = capsys.readouterr().out
+        assert "# warmed JQ cache:" in out
+
+    def test_quantization_auto_and_exact(self, capsys):
+        assert main(self.ARGS + ["--quantization", "auto"]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--quantization", "0"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--quantization", "fine"])
