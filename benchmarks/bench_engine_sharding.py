@@ -60,7 +60,7 @@ def run_campaign(num_shards: int):
     return metrics
 
 
-def test_sharded_vs_single_throughput(benchmark, emit):
+def test_sharded_vs_single_throughput(benchmark, emit, emit_json):
     def sweep():
         single = run_campaign(1)
         sharded = run_campaign(NUM_SHARDS)
@@ -93,6 +93,15 @@ def test_sharded_vs_single_throughput(benchmark, emit):
         "identical seeded traffic, capacity/budget invariants asserted",
     )
     emit(result.render())
+    emit_json(
+        "engine-sharding",
+        {
+            "shards": NUM_SHARDS,
+            "single_tasks_per_sec": single.throughput,
+            "sharded_tasks_per_sec": sharded.throughput,
+            "speedup": speedup,
+        },
+    )
 
     assert speedup >= MIN_SPEEDUP, (
         f"sharded engine only {speedup:.2f}x the single scheduler "

@@ -60,7 +60,7 @@ def run_campaign(
     return campaign, metrics, budget
 
 
-def test_engine_throughput(benchmark, emit):
+def test_engine_throughput(benchmark, emit, emit_json):
     def sweep():
         throughputs, hit_rates, accuracies = [], [], []
         for num_tasks in TASK_COUNTS:
@@ -95,12 +95,22 @@ def test_engine_throughput(benchmark, emit):
 
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit(result.render())
+    emit_json(
+        "engine-throughput",
+        {
+            "task_counts": list(TASK_COUNTS),
+            "tasks_per_sec": list(result.series_by_name("tasks/sec").values),
+            "cache_hit_rates": list(
+                result.series_by_name("JQ-cache hit rate").values
+            ),
+        },
+    )
 
     hit_rates = result.series_by_name("JQ-cache hit rate").values
     assert all(rate > 0.5 for rate in hit_rates), hit_rates
 
 
-def test_engine_cache_speedup(benchmark, emit):
+def test_engine_cache_speedup(benchmark, emit, emit_json):
     """Quantized vs exact cache keys on a 1k-task campaign with
     quality re-estimation on — drifting estimates perturb every jury's
     quality vector, which is exactly when grid keys keep hitting while
@@ -117,6 +127,13 @@ def test_engine_cache_speedup(benchmark, emit):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit_json(
+        "engine-cache-keying",
+        {
+            label: {"tasks_per_sec": throughput, "cache_hit_rate": rate}
+            for label, throughput, rate in rows
+        },
+    )
     lines = ["Engine cache keying: throughput and hit rate (1k tasks, "
              "re-estimation every 100 tasks)"]
     for label, throughput, hit_rate in rows:

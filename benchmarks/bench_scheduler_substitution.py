@@ -90,7 +90,7 @@ def run_campaign(use_heap_index: bool):
     return metrics
 
 
-def test_substitution_index_speed_and_equivalence(benchmark, emit):
+def test_substitution_index_speed_and_equivalence(benchmark, emit, emit_json):
     def sweep():
         linear = run_campaign(use_heap_index=False)
         heap = run_campaign(use_heap_index=True)
@@ -126,6 +126,14 @@ def test_substitution_index_speed_and_equivalence(benchmark, emit):
         ),
     )
     emit(result.render())
+    emit_json(
+        "scheduler-substitution",
+        {
+            "linear_tasks_per_sec": linear.throughput,
+            "heap_tasks_per_sec": heap.throughput,
+            "speedup": speedup,
+        },
+    )
 
     assert speedup >= 1.0 / MAX_SLOWDOWN, (
         f"heap-indexed substitution fell behind the linear scan: "

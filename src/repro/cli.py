@@ -244,6 +244,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JQ-cache JSON: imported before a fresh run "
                             "when the file exists, exported after every "
                             "run — ships a warmed cache between campaigns")
+    p_eng.add_argument("--checkpoint-every", type=_nonnegative_int,
+                       default=0,
+                       help="checkpoint the campaign to its backend after "
+                            "every N completed tasks (0 = only the final "
+                            "checkpoint; needs --backend sqlite to "
+                            "survive the process)")
+    p_eng.add_argument("--jq-kernel", default="batch",
+                       choices=("batch", "scalar"),
+                       help="JQ evaluation path for scheduler frontiers "
+                            "(byte-identical results; 'scalar' exists "
+                            "for benchmarking)")
     p_eng.add_argument("--seed", type=int, default=None)
 
     return parser
@@ -383,6 +394,8 @@ def _run_engine_command(args) -> int:
             reestimate_every=args.reestimate_every,
             quantization=args.quantization,
             cache_max_entries=args.cache_max_entries or None,
+            jq_kernel=args.jq_kernel,
+            checkpoint_every=args.checkpoint_every,
             seed=args.seed,
             num_shards=num_shards,
             routing_policy=routing_policy,

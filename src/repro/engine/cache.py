@@ -36,7 +36,13 @@ import numpy as np
 
 from ..core.jury import Jury
 from ..core.task import UNINFORMATIVE_PRIOR
-from ..quality import DEFAULT_NUM_BUCKETS
+from ..quality import (
+    ALL_SUBSETS_MAX,
+    DEFAULT_NUM_BUCKETS,
+    all_subsets_jq_bv,
+    estimate_jq_batch,
+    exact_jq_bv_batch,
+)
 from ..selection.base import JQObjective
 
 #: Key-grid steps per log-odds bucket used by :func:`adaptive_quantization`.
@@ -159,20 +165,31 @@ class JQCache:
     # ------------------------------------------------------------------
     # Keying
     # ------------------------------------------------------------------
+    def _snap(self, arr: np.ndarray) -> np.ndarray:
+        """Element-wise key-grid snap — the one definition both the
+        scalar keying and the batch replay must share, or kernel-path
+        keys silently stop matching scalar keys."""
+        if self.quantization is None:
+            return arr
+        return np.clip(
+            np.round(arr * self.quantization) / self.quantization, 0.0, 1.0
+        )
+
     def canonicalize(self, qualities: Sequence[float] | np.ndarray) -> tuple[float, ...]:
         """The cache key: sorted (and optionally grid-snapped) qualities."""
-        arr = np.asarray(qualities, dtype=float)
-        if self.quantization is not None:
-            arr = np.round(arr * self.quantization) / self.quantization
-            arr = np.clip(arr, 0.0, 1.0)
+        arr = self._snap(np.asarray(qualities, dtype=float))
         return tuple(np.sort(arr).tolist())
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def jq(self, qualities: Sequence[float] | np.ndarray) -> float:
-        """JQ of a quality multiset under BV at the cache's alpha."""
-        key = self.canonicalize(qualities)
+    def _lookup(self, key: tuple[float, ...], value_fn) -> float:
+        """One store access: hit (with LRU recency refresh) or miss
+        (compute via ``value_fn``, insert, evict at the bound).  Every
+        lookup path funnels through here so the hit/miss/eviction
+        sequence — which the metrics fingerprint covers — is identical
+        whether values come from the scalar objective or a batched
+        kernel."""
         cached = self._store.get(key)
         if cached is not None:
             self._hits += 1
@@ -182,18 +199,144 @@ class JQCache:
                 self._store[key] = cached
             return cached
         self._misses += 1
-        if len(key) == 0:
-            value = max(self.alpha, 1.0 - self.alpha)
-        else:
-            value = self._objective(Jury(_quality_jury_workers(key)))
+        value = value_fn()
         self._store[key] = value
         if self.max_entries is not None and len(self._store) > self.max_entries:
             del self._store[next(iter(self._store))]
             self._evictions += 1
         return value
 
+    def jq(self, qualities: Sequence[float] | np.ndarray) -> float:
+        """JQ of a quality multiset under BV at the cache's alpha."""
+        key = self.canonicalize(qualities)
+        return self._lookup(key, lambda: self._compute(key))
+
+    def _compute(self, key: tuple[float, ...]) -> float:
+        if len(key) == 0:
+            return max(self.alpha, 1.0 - self.alpha)
+        return self._objective(Jury(_quality_jury_workers(key)))
+
     def jq_jury(self, jury: Jury) -> float:
         return self.jq(jury.qualities)
+
+    # ------------------------------------------------------------------
+    # Batched lookup (kernel-computed misses, scalar-identical replay)
+    # ------------------------------------------------------------------
+    def jq_batch(self, rows: Sequence[Sequence[float]]) -> np.ndarray:
+        """JQ of many quality multisets in one kernel sweep.
+
+        Values for prospective misses are computed upfront through the
+        batched kernels, then the store is *replayed* row by row in
+        order — the same hits, misses, LRU refreshes and evictions as
+        the equivalent sequence of :meth:`jq` calls, with bit-identical
+        values (the kernels reproduce the scalar objective exactly).
+        """
+        keys = [self.canonicalize(row) for row in rows]
+        computed = self._compute_missing(keys)
+        out = np.empty(len(keys))
+        for i, key in enumerate(keys):
+            out[i] = self._lookup(key, lambda k=key: self._from_kernel(k, computed))
+        return out
+
+    def jq_all_subsets(self, qualities: Sequence[float] | np.ndarray) -> np.ndarray:
+        """JQ of every subset of a candidate pool (indexed by bitmask).
+
+        The subset values are computed in one shared-prefix lattice
+        sweep (:func:`repro.quality.all_subsets_jq_bv` on the snapped,
+        sorted pool), then replayed through the store in ascending-mask
+        order — exactly the enumeration order
+        :func:`repro.frontier.exact_frontier` uses, so the cache
+        counters evolve identically to the scalar frontier build.
+        Entry 0 (the empty jury) scores the prior's mode without
+        touching the store, which no scalar caller queries either.
+        """
+        arr = self._snap(np.asarray(qualities, dtype=float))
+        n = arr.size
+        order = np.argsort(arr, kind="stable")
+        position = np.empty(n, dtype=np.int64)
+        position[order] = np.arange(n)
+        sorted_q = arr[order]
+        # Python floats, as canonicalize() produces — numpy scalars in
+        # keys would poison JSON-serialized checkpoints.
+        sorted_list = sorted_q.tolist()
+        kernel = all_subsets_jq_bv(
+            sorted_q,
+            alpha=self.alpha,
+            exact_cutoff=self._objective.exact_cutoff,
+            num_buckets=self.num_buckets,
+        )
+        out = np.empty(1 << n)
+        out[0] = max(self.alpha, 1.0 - self.alpha)
+        for mask in range(1, 1 << n):
+            # Translate the pool-order mask into sorted-pool space: the
+            # cache key is the subset's qualities ascending, which is
+            # exactly the sorted-space members in index order.
+            smask = 0
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                smask |= 1 << int(position[low.bit_length() - 1])
+                remaining ^= low
+            key = tuple(
+                sorted_list[i] for i in range(n) if smask >> i & 1
+            )
+            value = float(kernel[smask])
+
+            def compute(value=value):
+                self._objective.evaluations += 1
+                return value
+
+            out[mask] = self._lookup(key, compute)
+        return out
+
+    def _compute_missing(
+        self, keys: Sequence[tuple[float, ...]]
+    ) -> dict[tuple[float, ...], float]:
+        """Kernel-evaluate every distinct key not currently stored.
+
+        A superset of the keys the replay will actually miss (duplicates
+        hit after their first insertion) — computing them in one batch is
+        the point, and values are deterministic so over-computing never
+        changes an outcome.
+        """
+        missing = [
+            key
+            for key in dict.fromkeys(keys)
+            if key not in self._store and len(key) > 0
+        ]
+        computed: dict[tuple[float, ...], float] = {}
+        cutoff = self._objective.exact_cutoff
+        exact = [k for k in missing if len(k) <= cutoff]
+        bucket = [k for k in missing if len(k) > cutoff]
+        if exact:
+            values = exact_jq_bv_batch(
+                [np.array(k) for k in exact], self.alpha
+            )
+            computed.update(zip(exact, (float(v) for v in values)))
+        if bucket:
+            values = estimate_jq_batch(
+                [np.array(k) for k in bucket],
+                alpha=self.alpha,
+                num_buckets=self.num_buckets,
+            )
+            computed.update(zip(bucket, (float(v) for v in values)))
+        return computed
+
+    def _from_kernel(
+        self,
+        key: tuple[float, ...],
+        computed: dict[tuple[float, ...], float],
+    ) -> float:
+        if len(key) == 0:
+            return max(self.alpha, 1.0 - self.alpha)
+        value = computed.get(key)
+        if value is None:
+            # The key was stored when the batch started, then evicted by
+            # the replay itself before this row re-missed it: recompute
+            # the (deterministic, hence identical) value scalar-side.
+            return self._compute(key)
+        self._objective.evaluations += 1
+        return value
 
     # ------------------------------------------------------------------
     # Introspection
@@ -363,3 +506,16 @@ class CachedJQObjective(JQObjective):
     def __call__(self, jury: Jury) -> float:
         self.evaluations += 1
         return self.cache.jq(jury.qualities)
+
+    def batch_qualities(self, rows) -> np.ndarray:
+        """Batched evaluation *through the cache*: kernel-computed
+        misses, with the store replayed row by row so hits/misses/LRU
+        evolve exactly as the equivalent scalar call sequence."""
+        self.evaluations += len(rows)
+        return self.cache.jq_batch(rows)
+
+    def all_subsets(self, qualities) -> np.ndarray | None:
+        arr = np.asarray(qualities, dtype=float)
+        if arr.size > ALL_SUBSETS_MAX:
+            return None
+        return self.cache.jq_all_subsets(arr)

@@ -125,6 +125,7 @@ class Campaign:
         campaign._engine = _build_engine(pool, config, initial_quality)
         if backend is not None:
             campaign._backend = backend
+        campaign._engine._checkpoint_hook = campaign.checkpoint
         return campaign
 
     @classmethod
@@ -192,6 +193,13 @@ class Campaign:
             engine._step()
         if not engine._queue:
             engine._finish()
+        else:
+            # Paused mid-campaign: fold the live gauges (peak load,
+            # cache stats, re-estimation passes) into the metrics so a
+            # paused report is not all zeros.  The finish pass
+            # overwrites them with final values, so resumed-run
+            # fingerprints are untouched.
+            engine._collect_stats()
         engine.metrics.wall_seconds += time.perf_counter() - start
         return engine.metrics
 
@@ -407,3 +415,4 @@ class Campaign:
                     )
         self._config = config
         self._engine = engine
+        engine._checkpoint_hook = self.checkpoint

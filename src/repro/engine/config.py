@@ -52,6 +52,8 @@ class CampaignConfig:
     reestimate_every: int = 0
     reestimate_method: str = "one-coin"
     reestimate_rate: float = 0.3
+    jq_kernel: str = "batch"
+    checkpoint_every: int = 0
     vote_latency: float = 1.0
     seed: int | None = None
     # -- sharding / routing (ShardingConfig) ---------------------------

@@ -97,6 +97,17 @@ class EngineConfig:
         (0 disables).
     reestimate_method / reestimate_rate:
         Forwarded to :meth:`WorkerRegistry.reestimate`.
+    jq_kernel:
+        ``"batch"`` (default) builds scheduler frontiers through the
+        batched all-subsets JQ kernel; ``"scalar"`` keeps the per-jury
+        path.  Decisions and fingerprints are byte-identical either
+        way — the toggle exists for benchmarking and regression pins.
+    checkpoint_every:
+        Under the :class:`~repro.engine.campaign.Campaign` facade,
+        checkpoint the campaign to its backend after every N completed
+        tasks (0 disables) — bounds data loss on long runs without
+        manual :meth:`~repro.engine.campaign.Campaign.checkpoint`
+        calls.  Ignored by the bare engine (no backend to write to).
     vote_latency:
         Logical ticks between consecutive jurors' votes.
     seed:
@@ -117,6 +128,8 @@ class EngineConfig:
     reestimate_every: int = 0
     reestimate_method: str = "one-coin"
     reestimate_rate: float = 0.3
+    jq_kernel: str = "batch"
+    checkpoint_every: int = 0
     vote_latency: float = 1.0
     seed: int | None = None
 
@@ -127,6 +140,10 @@ class EngineConfig:
             raise ValueError("batch_size must be >= 1")
         if self.reestimate_every < 0:
             raise ValueError("reestimate_every must be >= 0")
+        if self.jq_kernel not in ("batch", "scalar"):
+            raise ValueError("jq_kernel must be 'batch' or 'scalar'")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         if self.vote_latency <= 0:
             raise ValueError("vote_latency must be positive")
         if not 0.5 <= self.confidence_target <= 1.0:
@@ -207,6 +224,8 @@ class CampaignEngine:
         self._expected_tasks: int | None = None
         self._ran = False
         self._finished = False
+        # Set by the Campaign facade; drives config.checkpoint_every.
+        self._checkpoint_hook = None
 
     # ------------------------------------------------------------------
     # Submission
@@ -294,6 +313,7 @@ class CampaignEngine:
             budget=self.config.budget,
             expected_tasks=expected_tasks,
             frontier_pool_size=self.config.frontier_pool_size,
+            jq_kernel=self.config.jq_kernel,
         )
 
     def _collect_stats(self) -> None:
@@ -453,6 +473,17 @@ class CampaignEngine:
         # Freed capacity may unblock deferred tasks.
         if self._deferred and self._queue.pending(TaskArrival) == 0:
             self._flush_batch()
+
+        # Scheduled checkpointing piggybacks on the same completion
+        # hook as re-estimation; snapshotting is read-only, so a run
+        # that checkpoints is byte-identical to one that does not.
+        ckpt_every = self.config.checkpoint_every
+        if (
+            ckpt_every
+            and self._checkpoint_hook is not None
+            and self.metrics.completed % ckpt_every == 0
+        ):
+            self._checkpoint_hook()
 
     def _finalize_unfunded(self, task: EngineTask) -> None:
         """Terminal fallback for tasks that never found a seat."""

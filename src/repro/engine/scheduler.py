@@ -56,8 +56,10 @@ from .state import WorkerRegistry, informativeness, informativeness_key
 #: allocation uses a thinned frontier of at most this many points.
 MAX_ALLOCATION_POINTS = 24
 
-#: Distinct candidate-pool configurations memoized before the frontier
-#: memo is flushed — a drift backstop, not a tuned working-set size.
+#: Distinct candidate-pool configurations the frontier memo holds; at
+#: the bound the least-recently-used configuration is evicted (the
+#: JQCache LRU discipline) — a drift backstop, not a tuned working-set
+#: size.
 MAX_FRONTIER_MEMO = 256
 
 
@@ -242,6 +244,13 @@ class CampaignScheduler:
     frontier_pool_size:
         Size of the per-batch candidate pool (exact frontiers enumerate
         ``2^k`` juries, so keep this <= 12; default 10).
+    jq_kernel:
+        ``"batch"`` (default) builds frontier-memo misses through the
+        all-subsets lattice kernel — one shared sweep per miss instead
+        of ~``2^k`` scalar JQ calls, the difference that matters under
+        re-estimation churn; ``"scalar"`` keeps the historical per-jury
+        path.  The two are byte-identical in every decision and cache
+        counter (pinned by the engine fingerprint regression).
     """
 
     def __init__(
@@ -251,6 +260,7 @@ class CampaignScheduler:
         budget: float,
         expected_tasks: int,
         frontier_pool_size: int = 10,
+        jq_kernel: str = "batch",
     ) -> None:
         if budget < 0:
             raise ValueError("budget must be non-negative")
@@ -258,11 +268,14 @@ class CampaignScheduler:
             raise ValueError("expected_tasks must be >= 1")
         if not 1 <= frontier_pool_size <= 12:
             raise ValueError("frontier_pool_size must lie in [1, 12]")
+        if jq_kernel not in ("batch", "scalar"):
+            raise ValueError("jq_kernel must be 'batch' or 'scalar'")
         self.registry = registry
         self.cache = cache
         self.budget = float(budget)
         self.expected_tasks = expected_tasks
         self.frontier_pool_size = frontier_pool_size
+        self.jq_kernel = jq_kernel
         self.objective = CachedJQObjective(cache)
         self._reserved = 0.0
         self._refunded = 0.0
@@ -273,8 +286,9 @@ class CampaignScheduler:
         # exact frontier is keyed on the candidate set and reused.
         # Qualities in the key are snapped to the cache's grid so
         # re-estimation drift within half a grid step keeps hitting,
-        # and the memo is cleared at a size bound so drift cannot
-        # accumulate stale frontiers forever.
+        # and the memo is LRU-bounded (dict order is recency, like
+        # JQCache) so drift cannot accumulate stale frontiers forever
+        # while the hot working set stays memoized.
         self._frontier_memo: dict[tuple, Frontier] = {}
         self.stats = SchedulerStats()
 
@@ -361,11 +375,24 @@ class CampaignScheduler:
         )
         frontier = self._frontier_memo.get(memo_key)
         if frontier is None:
-            if len(self._frontier_memo) >= MAX_FRONTIER_MEMO:
-                self._frontier_memo.clear()
+            while len(self._frontier_memo) >= MAX_FRONTIER_MEMO:
+                # Evict the least-recently-used configuration only —
+                # dropping the whole memo made every live pool pay a
+                # rebuild after one overflow.
+                del self._frontier_memo[next(iter(self._frontier_memo))]
             frontier = _thin_frontier(
-                exact_frontier(candidates, self.objective)
+                exact_frontier(
+                    candidates,
+                    self.objective,
+                    implementation=(
+                        "batch" if self.jq_kernel == "batch" else "scalar"
+                    ),
+                )
             )
+            self._frontier_memo[memo_key] = frontier
+        else:
+            # Refresh recency: dict order is the LRU order.
+            del self._frontier_memo[memo_key]
             self._frontier_memo[memo_key] = frontier
 
         alpha = self.cache.alpha

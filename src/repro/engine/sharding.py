@@ -492,6 +492,7 @@ class ShardedScheduler:
                 budget=config.budget,
                 expected_tasks=expected_tasks,
                 frontier_pool_size=config.frontier_pool_size,
+                jq_kernel=config.jq_kernel,
             )
             self.shards.append(Shard(shard_id, view, cache, scheduler))
         self.migrations = 0

@@ -95,12 +95,30 @@ def _pareto_filter(
     return tuple(points)
 
 
+#: Masks per chunk when the batch frontier path falls back from the
+#: all-subsets lattice to grouped per-jury kernels (large pools).
+_FRONTIER_CHUNK = 4096
+
+
 def exact_frontier(
     pool: WorkerPool,
     objective: JQObjective | None = None,
     max_pool: int = 18,
+    implementation: str = "auto",
 ) -> Frontier:
-    """The exact Pareto frontier by full enumeration (small pools)."""
+    """The exact Pareto frontier by full enumeration (small pools).
+
+    ``implementation`` selects how the ``2^n - 1`` candidate juries are
+    scored: ``"batch"`` pushes the whole subset lattice through the
+    batched JQ kernels (one shared sweep instead of per-jury dynamic
+    programs), ``"scalar"`` is the historical one-jury-at-a-time loop,
+    and ``"auto"`` (default) batches whenever the objective supports it.
+    Both paths produce the identical frontier — same points, same
+    floats — pinned by the regression tests; batching is purely a
+    performance lever (``benchmarks/bench_frontier_kernel.py``).
+    """
+    if implementation not in ("auto", "batch", "scalar"):
+        raise ValueError(f"unknown implementation {implementation!r}")
     n = len(pool)
     if n > max_pool:
         raise EnumerationLimitError(
@@ -109,15 +127,79 @@ def exact_frontier(
         )
     if objective is None:
         objective = JQObjective()
+    use_batch = implementation == "batch" or (
+        implementation == "auto"
+        and getattr(objective, "supports_batch", False)
+    )
     workers = pool.workers
     costs = pool.costs
+    if not use_batch:
+        candidates = []
+        for mask in range(1, 1 << n):
+            members = [i for i in range(n) if mask >> i & 1]
+            jury = Jury(workers[i] for i in members)
+            candidates.append(
+                (float(costs[members].sum()), objective(jury), jury.worker_ids)
+            )
+        return Frontier(_pareto_filter(candidates), exact=True)
+
+    ids = tuple(w.worker_id for w in workers)
+    qualities = pool.qualities
+    jqs = objective.all_subsets(qualities)
     candidates = []
-    for mask in range(1, 1 << n):
-        members = [i for i in range(n) if mask >> i & 1]
-        jury = Jury(workers[i] for i in members)
-        candidates.append(
-            (float(costs[members].sum()), objective(jury), jury.worker_ids)
-        )
+    if jqs is not None:
+        objective.evaluations += (1 << n) - 1
+        jq_list = jqs.tolist()
+        cost_list = costs.tolist()
+        # Subset ids and costs extend the parent subset's (drop the
+        # highest bit), so the whole enumeration is O(1) Python work
+        # per mask.  Cost parity with the scalar path is bit-exact:
+        # numpy sums sequentially below 8 elements, which the ascending
+        # DP reproduces; from 8 members on (where numpy switches to
+        # unrolled partial sums) the scalar summation is kept.
+        sub_ids: list[tuple[str, ...]] = [()] * (1 << n)
+        sub_cost: list[float] = [0.0] * (1 << n)
+        sub_size: list[int] = [0] * (1 << n)
+        for mask in range(1, 1 << n):
+            high = mask.bit_length() - 1
+            parent = mask ^ (1 << high)
+            size = sub_size[parent] + 1
+            sub_size[mask] = size
+            member_ids = sub_ids[parent] + (ids[high],)
+            sub_ids[mask] = member_ids
+            if size < 8:
+                cost = sub_cost[parent] + cost_list[high]
+            else:
+                cost = float(
+                    costs[[i for i in range(n) if mask >> i & 1]].sum()
+                )
+            sub_cost[mask] = cost
+            candidates.append((cost, jq_list[mask], member_ids))
+    else:
+        # Pool too large for the lattice (or non-BV objective): score
+        # in order-preserving chunks through the per-jury batch kernel.
+        pending: list[tuple[float, tuple[str, ...], np.ndarray]] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            values = objective.batch_qualities([row for _, _, row in pending])
+            for (cost, member_ids, _), jq in zip(pending, values):
+                candidates.append((cost, float(jq), member_ids))
+            pending.clear()
+
+        for mask in range(1, 1 << n):
+            members = [i for i in range(n) if mask >> i & 1]
+            pending.append(
+                (
+                    float(costs[members].sum()),
+                    tuple(ids[i] for i in members),
+                    qualities[members],
+                )
+            )
+            if len(pending) >= _FRONTIER_CHUNK:
+                flush()
+        flush()
     return Frontier(_pareto_filter(candidates), exact=True)
 
 

@@ -8,6 +8,9 @@ Entry points:
 * :func:`exact_jq_mv` — polynomial Poisson-binomial oracle for MV.
 * :func:`estimate_jq` — the paper's bucket approximation (Algorithm 1)
   with pruning (Algorithm 2).
+* :func:`estimate_jq_batch` / :func:`exact_jq_bv_batch` /
+  :func:`all_subsets_jq_bv` — batched kernels that amortize the DP
+  across many juries (bit-identical to the scalar oracles).
 * :func:`bucket_error_bound` / :func:`buckets_for_error` — the proven
   additive guarantees of Section 4.4.
 """
@@ -21,6 +24,14 @@ from ..core.task import UNINFORMATIVE_PRIOR
 from ..voting.base import VotingStrategy
 from ..voting.bayesian import BayesianVoting
 from ..voting.majority import HalfVoting, MajorityVoting
+from .batch import (
+    ALL_SUBSETS_MAX,
+    all_subset_costs,
+    all_subsets_jq_bv,
+    estimate_jq_batch,
+    exact_jq_bv_batch,
+    subset_members,
+)
 from .bounds import bucket_error_bound, buckets_for_error, paper_default_bound
 from .bucket import (
     DEFAULT_NUM_BUCKETS,
@@ -105,20 +116,25 @@ def jury_quality(
 
 
 __all__ = [
+    "ALL_SUBSETS_MAX",
     "BucketJQResult",
     "DEFAULT_MAX_EXACT_SIZE",
     "DEFAULT_NUM_BUCKETS",
     "EXACT_BV_CUTOFF",
     "PRIOR_WORKER_ID",
+    "all_subset_costs",
+    "all_subsets_jq_bv",
     "as_qualities",
     "bucket_error_bound",
     "bucket_indices",
     "buckets_for_error",
     "canonicalize_qualities",
     "estimate_jq",
+    "estimate_jq_batch",
     "estimate_jq_detailed",
     "exact_jq",
     "exact_jq_bv",
+    "exact_jq_bv_batch",
     "exact_jq_half",
     "exact_jq_mv",
     "fold_prior",
@@ -132,5 +148,6 @@ __all__ = [
     "pseudo_worker",
     "reinterpret_voting",
     "strategy_accuracy_per_voting",
+    "subset_members",
     "vote_matrix",
 ]

@@ -7,7 +7,9 @@
 * :class:`GreedyQualitySelector` / :class:`GreedyRatioSelector` —
   cheap baselines for ablations.
 * Special cases — closed forms licensed by the monotonicity lemmas.
-* :func:`budget_quality_table` — the Figure-1 provider-facing table.
+* :func:`budget_quality_table` — the Figure-1 provider-facing table;
+  :func:`frontier_budget_table` builds the exact table from one batched
+  all-subsets kernel sweep.
 """
 
 from .annealing import (
@@ -16,12 +18,14 @@ from .annealing import (
     DEFAULT_INITIAL_TEMPERATURE,
     AnnealingSelector,
     anneal_subset,
+    anneal_subset_batched,
 )
 from .base import JQObjective, JurySelector, SelectionResult
 from .budget_table import (
     BudgetQualityTable,
     BudgetTableRow,
     budget_quality_table,
+    frontier_budget_table,
 )
 from .exhaustive import DEFAULT_MAX_POOL, ExhaustiveSelector, optimal_jq
 from .greedy import GreedyQualitySelector, GreedyRatioSelector
@@ -49,9 +53,11 @@ __all__ = [
     "MVJSSelector",
     "SelectionResult",
     "anneal_subset",
+    "anneal_subset_batched",
     "budget_quality_table",
     "check_quality_monotonicity",
     "check_size_monotonicity",
+    "frontier_budget_table",
     "mv_objective",
     "optimal_jq",
     "select_all_if_unconstrained",

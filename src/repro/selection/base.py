@@ -23,10 +23,14 @@ from ..core.jury import Jury
 from ..core.task import UNINFORMATIVE_PRIOR, validate_prior
 from ..core.worker import WorkerPool
 from ..quality import (
+    ALL_SUBSETS_MAX,
     DEFAULT_NUM_BUCKETS,
+    all_subsets_jq_bv,
     estimate_jq,
+    estimate_jq_batch,
     exact_jq,
     exact_jq_bv,
+    exact_jq_bv_batch,
     exact_jq_mv,
 )
 from ..voting.base import VotingStrategy
@@ -96,6 +100,86 @@ class JQObjective:
         if isinstance(self.strategy, MajorityVoting):
             return exact_jq_mv(qualities, self.alpha)
         return exact_jq(qualities, self.strategy, self.alpha)
+
+    # ------------------------------------------------------------------
+    # Batched evaluation (the kernel surface selectors/frontiers use)
+    # ------------------------------------------------------------------
+    @property
+    def supports_batch(self) -> bool:
+        """True when :meth:`batch_qualities` is available — always, for
+        a stock objective; the flag exists so callers can gate batching
+        on duck-typed objective arguments."""
+        return True
+
+    def batch_qualities(self, rows) -> np.ndarray:
+        """JQ of many juries given as raw quality vectors.
+
+        One entry per row, bit-identical to calling the objective on
+        each jury separately (the property tests pin this); BV rows are
+        evaluated through the batched kernels of
+        :mod:`repro.quality.batch`, split at ``exact_cutoff`` exactly
+        like :meth:`__call__`.  Empty rows score the prior's mode.
+        Counts one evaluation per row.
+        """
+        self.evaluations += len(rows)
+        arrays = [np.asarray(row, dtype=float) for row in rows]
+        out = np.empty(len(arrays))
+        baseline = max(self.alpha, 1.0 - self.alpha)
+        if isinstance(self.strategy, BayesianVoting):
+            exact_rows: list[int] = []
+            bucket_rows: list[int] = []
+            for i, arr in enumerate(arrays):
+                if arr.size == 0:
+                    out[i] = baseline
+                elif arr.size <= self.exact_cutoff:
+                    exact_rows.append(i)
+                else:
+                    bucket_rows.append(i)
+            if exact_rows:
+                out[exact_rows] = exact_jq_bv_batch(
+                    [arrays[i] for i in exact_rows], self.alpha
+                )
+            if bucket_rows:
+                out[bucket_rows] = estimate_jq_batch(
+                    [arrays[i] for i in bucket_rows],
+                    alpha=self.alpha,
+                    num_buckets=self.num_buckets,
+                )
+            return out
+        for i, arr in enumerate(arrays):
+            if arr.size == 0:
+                out[i] = baseline
+            elif isinstance(self.strategy, MajorityVoting):
+                out[i] = exact_jq_mv(arr, self.alpha)
+            else:
+                out[i] = exact_jq(arr, self.strategy, self.alpha)
+        return out
+
+    def batch(self, juries: "list[Jury]") -> np.ndarray:
+        """JQ of many juries in one kernel sweep (see
+        :meth:`batch_qualities`)."""
+        return self.batch_qualities([jury.qualities for jury in juries])
+
+    def all_subsets(self, qualities) -> np.ndarray | None:
+        """JQ of every subset (indexed by bitmask) of a candidate pool
+        via the shared-prefix lattice, or ``None`` when the lattice does
+        not apply (non-BV strategy, or pool too large) and the caller
+        should fall back to :meth:`batch_qualities`/scalar calls.
+
+        Does **not** touch the evaluation counter — callers account for
+        the subsets they actually consume.
+        """
+        arr = np.asarray(qualities, dtype=float)
+        if not isinstance(self.strategy, BayesianVoting):
+            return None
+        if arr.size > ALL_SUBSETS_MAX:
+            return None
+        return all_subsets_jq_bv(
+            arr,
+            alpha=self.alpha,
+            exact_cutoff=self.exact_cutoff,
+            num_buckets=self.num_buckets,
+        )
 
     def reset_counter(self) -> None:
         self.evaluations = 0

@@ -5,17 +5,29 @@ table reports, for one budget, the selected jury, its estimated JQ and
 the money actually required.  Providers use the table to pick a
 budget–quality sweet spot (the paper's example: going from 15 to 20
 units buys only ~2.5% quality).
+
+Two construction paths:
+
+* :func:`budget_quality_table` — one selector run per budget (any
+  selector, any pool size).
+* :func:`frontier_budget_table` — for small pools, **one** batched
+  all-subsets kernel sweep builds the exact cost-JQ frontier and every
+  budget row reads off it (the frontier subsumes the budget table: the
+  optimal jury at budget B is the best frontier point costing <= B).
+  One sweep instead of len(budgets) exhaustive enumerations.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from ..core.jury import Jury
 from ..core.worker import WorkerPool
-from .base import JurySelector, SelectionResult
+from .base import JQObjective, JurySelector, SelectionResult
 
 
 @dataclass(frozen=True)
@@ -92,6 +104,63 @@ def budget_quality_table(
                 worker_ids=result.worker_ids,
                 jq=result.jq,
                 required=result.cost,
+            )
+        )
+    return BudgetQualityTable(tuple(rows), tuple(results))
+
+
+def frontier_budget_table(
+    pool: WorkerPool,
+    budgets: Sequence[float],
+    objective: JQObjective | None = None,
+    max_pool: int = 18,
+) -> BudgetQualityTable:
+    """Exact budget–quality table from one kernel-built frontier.
+
+    Equivalent to running :class:`ExhaustiveSelector` once per budget
+    (every row is the true optimum under Lemma-1 monotone objectives),
+    but the ``2^n`` candidate juries are scored exactly once, in one
+    batched all-subsets sweep.  The frontier-construction cost is
+    attributed to the first result's ``evaluations``/``elapsed_seconds``.
+    """
+    # Imported here: repro.frontier imports this package for the
+    # annealing-sampled frontier, so a module-level import would cycle.
+    from ..frontier import exact_frontier
+
+    if objective is None:
+        objective = JQObjective()
+    objective.reset_counter()
+    start = time.perf_counter()
+    frontier = exact_frontier(pool, objective, max_pool=max_pool)
+    elapsed = time.perf_counter() - start
+    evaluations = objective.evaluations
+    baseline = max(objective.alpha, 1.0 - objective.alpha)
+    rows: list[BudgetTableRow] = []
+    results: list[SelectionResult] = []
+    for i, budget in enumerate(sorted(float(b) for b in budgets)):
+        point = frontier.best_under(budget)
+        if point is None:
+            jury, jq, cost = Jury(()), baseline, 0.0
+        else:
+            jury = Jury(pool.get(wid) for wid in point.worker_ids)
+            jq, cost = point.jq, point.cost
+        results.append(
+            SelectionResult(
+                jury=jury,
+                jq=jq,
+                cost=cost,
+                budget=budget,
+                evaluations=evaluations if i == 0 else 0,
+                elapsed_seconds=elapsed if i == 0 else 0.0,
+                selector="frontier",
+            )
+        )
+        rows.append(
+            BudgetTableRow(
+                budget=budget,
+                worker_ids=jury.worker_ids,
+                jq=jq,
+                required=cost,
             )
         )
     return BudgetQualityTable(tuple(rows), tuple(results))

@@ -7,6 +7,13 @@ affordable worker is dominated by its extension — which cuts the number
 of JQ evaluations dramatically.  Non-monotone objectives (MV) score
 every feasible jury.
 
+Surviving candidates are scored in order-preserving chunks through
+:meth:`~repro.selection.base.JQObjective.batch_qualities`, so the JQ
+work is one vectorized kernel sweep per chunk rather than a Python-level
+dynamic program per jury; values (and therefore the selected jury) are
+bit-identical to the historical scalar loop, which remains available as
+``implementation="scalar"``.
+
 The paper uses exactly this enumeration to obtain ``J*`` for the
 Figure 7(a) / Table 3 comparisons at N = 11.
 """
@@ -18,10 +25,14 @@ import numpy as np
 from ..core.exceptions import EnumerationLimitError
 from ..core.jury import Jury
 from ..core.worker import WorkerPool
+from ..quality import all_subset_costs
 from .base import JurySelector
 
 #: Pools larger than this raise rather than enumerate 2^N juries.
 DEFAULT_MAX_POOL = 22
+
+#: Candidate juries buffered between kernel sweeps.
+_CHUNK = 4096
 
 
 class ExhaustiveSelector(JurySelector):
@@ -29,9 +40,17 @@ class ExhaustiveSelector(JurySelector):
 
     name = "exhaustive"
 
-    def __init__(self, objective=None, max_pool: int = DEFAULT_MAX_POOL) -> None:
+    def __init__(
+        self,
+        objective=None,
+        max_pool: int = DEFAULT_MAX_POOL,
+        implementation: str = "auto",
+    ) -> None:
         super().__init__(objective)
+        if implementation not in ("auto", "batch", "scalar"):
+            raise ValueError(f"unknown implementation {implementation!r}")
         self.max_pool = max_pool
+        self.implementation = implementation
 
     def _select(
         self, pool: WorkerPool, budget: float, rng: np.random.Generator
@@ -42,16 +61,40 @@ class ExhaustiveSelector(JurySelector):
                 f"exhaustive JSP enumerates 2^{n} juries; pool size {n} "
                 f"exceeds the limit {self.max_pool}"
             )
+        use_batch = self.implementation == "batch" or (
+            self.implementation == "auto"
+            and getattr(self.objective, "supports_batch", False)
+        )
+        if use_batch:
+            return self._select_batch(pool, budget)
+        return self._select_scalar(pool, budget)
+
+    def _feasible_masks(self, pool: WorkerPool, budget: float):
+        """Yield ``(members, cost)`` for every jury worth scoring, in
+        mask order — shared by both implementations so they consider
+        the identical candidate sequence."""
+        n = len(pool)
         costs = pool.costs
-        workers = pool.workers
         monotone = self.objective.is_monotone
         eps = 1e-12
-
-        best_jury = Jury(())
-        best_jq = -np.inf
-        for mask in range(1 << n):
+        # Vectorized prescreen: one subset-sum kernel sweep rejects the
+        # clearly-over-budget masks before any per-mask Python work.
+        # The kernel's float association can differ from the scalar
+        # summation by rounding, so the margin keeps every borderline
+        # mask in — those get the exact (bit-parity) check below, and
+        # the yielded sequence is unchanged.  Only built when it can
+        # pay for its 2^n-float footprint: a pool the loop covers in
+        # microseconds, or a budget the whole pool fits under, filters
+        # nothing.
+        prescreen = budget + eps + 1e-6 * (1.0 + abs(budget))
+        cost_table = None
+        if n >= 12 and float(costs.sum()) > prescreen:
+            cost_table = all_subset_costs(costs)
+        for mask in range(1, 1 << n):
+            if cost_table is not None and cost_table[mask] > prescreen:
+                continue
             members = [i for i in range(n) if mask >> i & 1]
-            cost = float(costs[members].sum()) if members else 0.0
+            cost = float(costs[members].sum())
             if cost > budget + eps:
                 continue
             if monotone:
@@ -62,9 +105,16 @@ class ExhaustiveSelector(JurySelector):
                     for i in range(n)
                 ):
                     continue
+            yield members, cost
+
+    def _select_scalar(self, pool: WorkerPool, budget: float) -> Jury:
+        """The historical one-jury-at-a-time loop (regression oracle)."""
+        workers = pool.workers
+        eps = 1e-12
+        best_jury = Jury(())
+        best_jq = -np.inf
+        for members, _ in self._feasible_masks(pool, budget):
             jury = Jury(workers[i] for i in members)
-            if len(jury) == 0:
-                continue
             jq = self.objective(jury)
             if jq > best_jq + eps or (
                 abs(jq - best_jq) <= eps and jury.cost < best_jury.cost
@@ -72,6 +122,41 @@ class ExhaustiveSelector(JurySelector):
                 best_jq = jq
                 best_jury = jury
         return best_jury
+
+    def _select_batch(self, pool: WorkerPool, budget: float) -> Jury:
+        workers = pool.workers
+        qualities = pool.qualities
+        eps = 1e-12
+        best_members: list[int] | None = None
+        best_jq = -np.inf
+        best_cost = 0.0  # the empty fallback jury's cost
+        pending: list[tuple[list[int], float]] = []
+
+        def flush() -> None:
+            nonlocal best_members, best_jq, best_cost
+            if not pending:
+                return
+            jqs = self.objective.batch_qualities(
+                [qualities[members] for members, _ in pending]
+            )
+            for (members, cost), jq in zip(pending, jqs):
+                jq = float(jq)
+                if jq > best_jq + eps or (
+                    abs(jq - best_jq) <= eps and cost < best_cost
+                ):
+                    best_jq = jq
+                    best_cost = cost
+                    best_members = members
+            pending.clear()
+
+        for members, cost in self._feasible_masks(pool, budget):
+            pending.append((members, cost))
+            if len(pending) >= _CHUNK:
+                flush()
+        flush()
+        if best_members is None:
+            return Jury(())
+        return Jury(workers[i] for i in best_members)
 
 
 def optimal_jq(

@@ -1,0 +1,153 @@
+"""Property tests for the batched JQ kernels (repro.quality.batch).
+
+The kernels' contract is *bit-identity* with the scalar oracles — not
+approximate agreement — because the engine's kernel/scalar toggle must
+produce byte-identical campaign fingerprints.  The randomized sweeps
+here cover jury sizes up to 12, mixed priors, several bucket counts,
+and every shortcut regime (perfect worker, high-quality, uninformative,
+full DP).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EnumerationLimitError, Jury, Worker
+from repro.quality import (
+    ALL_SUBSETS_MAX,
+    all_subset_costs,
+    all_subsets_jq_bv,
+    estimate_jq,
+    estimate_jq_batch,
+    exact_jq_bv,
+    exact_jq_bv_batch,
+    subset_members,
+)
+from repro.selection import JQObjective
+
+
+PRIORS = (0.5, 0.3, 0.72)
+BUCKETS = (5, 50, 200)
+
+
+def random_jury(rng, max_size=12, regime=None):
+    """One quality vector, optionally forced into a shortcut regime."""
+    size = int(rng.integers(1, max_size + 1))
+    if regime is None:
+        regime = rng.choice(["plain", "perfect", "high", "uninformative"])
+    if regime == "perfect":
+        q = rng.random(size)
+        q[rng.integers(size)] = 1.0
+        return q
+    if regime == "high":
+        q = rng.random(size) * 0.5 + 0.4
+        q[rng.integers(size)] = 0.995
+        return q
+    if regime == "uninformative":
+        # canonicalize() maps q and 1-q alike; exactly 0.5 everywhere
+        # is the only all-fair-coin vector.
+        return np.full(size, 0.5)
+    return rng.random(size)
+
+
+class TestEstimateJQBatch:
+    def test_matches_scalar_bitwise_across_regimes(self, rng):
+        for trial in range(40):
+            rows = [random_jury(rng) for _ in range(int(rng.integers(1, 25)))]
+            alpha = float(rng.choice(PRIORS))
+            num_buckets = int(rng.choice(BUCKETS))
+            got = estimate_jq_batch(rows, alpha=alpha, num_buckets=num_buckets)
+            for row, value in zip(rows, got):
+                assert float(value) == estimate_jq(
+                    row, alpha=alpha, num_buckets=num_buckets
+                )
+
+    def test_shortcut_toggle_matches_scalar(self, rng):
+        rows = [random_jury(rng, regime="high") for _ in range(8)]
+        got = estimate_jq_batch(rows, high_quality_shortcut=False)
+        for row, value in zip(rows, got):
+            assert float(value) == estimate_jq(row, high_quality_shortcut=False)
+
+    def test_single_row_and_singleton_jury(self):
+        assert float(estimate_jq_batch([[0.8]])[0]) == estimate_jq([0.8])
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_jq_batch([[0.7], []])
+
+    def test_bad_bucket_count_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_jq_batch([[0.7]], num_buckets=0)
+
+
+class TestExactJQBVBatch:
+    def test_matches_scalar_bitwise(self, rng):
+        for trial in range(30):
+            rows = [
+                rng.random(int(rng.integers(1, 13)))
+                for _ in range(int(rng.integers(1, 20)))
+            ]
+            alpha = float(rng.choice(PRIORS))
+            got = exact_jq_bv_batch(rows, alpha)
+            for row, value in zip(rows, got):
+                assert float(value) == exact_jq_bv(row, alpha)
+
+    def test_size_guard(self):
+        with pytest.raises(EnumerationLimitError):
+            exact_jq_bv_batch([np.full(21, 0.7)])
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(ValueError):
+            exact_jq_bv_batch([[]])
+
+
+class TestAllSubsetsJQBV:
+    def test_exact_mode_matches_exact_jq_bv_bitwise(self, rng):
+        for trial in range(6):
+            n = int(rng.integers(1, 10))
+            q = rng.random(n)
+            alpha = float(rng.choice(PRIORS))
+            table = all_subsets_jq_bv(q, alpha=alpha)
+            assert table.size == 1 << n
+            assert table[0] == max(alpha, 1.0 - alpha)
+            for mask in range(1, 1 << n):
+                members = subset_members(mask, n)
+                assert table[mask] == exact_jq_bv(q[members], alpha)
+
+    def test_cutoff_mode_matches_objective_bitwise(self, rng):
+        """Above the cutoff the lattice hands off to the bucket batch —
+        the same split JQObjective applies, entry for entry."""
+        n, cutoff = 9, 4
+        q = rng.random(n)
+        objective = JQObjective(alpha=0.3, exact_cutoff=cutoff, num_buckets=50)
+        table = all_subsets_jq_bv(q, alpha=0.3, exact_cutoff=cutoff)
+        for mask in range(1, 1 << n):
+            members = subset_members(mask, n)
+            jury = Jury(Worker(f"w{i}", float(q[i])) for i in members)
+            assert table[mask] == objective(jury), mask
+
+    def test_duplicate_qualities(self):
+        table = all_subsets_jq_bv([0.7, 0.7, 0.7])
+        assert table[0b011] == table[0b101] == table[0b110]
+
+    def test_size_guard(self):
+        with pytest.raises(EnumerationLimitError):
+            all_subsets_jq_bv(np.full(ALL_SUBSETS_MAX + 1, 0.7))
+
+    def test_empty_pool(self):
+        table = all_subsets_jq_bv([], alpha=0.8)
+        assert table.tolist() == [0.8]
+
+
+class TestAllSubsetCosts:
+    def test_matches_member_sums(self, rng):
+        for trial in range(5):
+            n = int(rng.integers(1, 12))
+            costs = rng.random(n) * 10
+            table = all_subset_costs(costs)
+            assert table.size == 1 << n
+            assert table[0] == 0.0
+            for mask in range(1, 1 << n):
+                members = subset_members(mask, n)
+                assert table[mask] == pytest.approx(
+                    float(costs[members].sum()), abs=1e-9
+                )

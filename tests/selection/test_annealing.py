@@ -115,3 +115,56 @@ class TestAnnealingSelector:
         assert result.budget == 15
         assert result.evaluations > 0
         assert result.elapsed_seconds >= 0
+
+
+class TestBatchedNeighborhood:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingSelector(neighborhood="parallel")
+
+    def test_batched_rejects_scalar_only_objective(self):
+        class ScalarOnly:
+            def __call__(self, jury):
+                return 0.5
+
+        with pytest.raises(ValueError, match="supports_batch"):
+            AnnealingSelector(ScalarOnly(), neighborhood="batched")
+        # The sequential chain accepts the same duck-typed objective.
+        AnnealingSelector(ScalarOnly(), neighborhood="sequential")
+
+    def test_selects_feasible_jury(self, figure1_pool, rng):
+        selector = AnnealingSelector(JQObjective(), neighborhood="batched")
+        result = selector.select(figure1_pool, 15, rng=rng)
+        assert result.cost <= 15 + 1e-9
+        assert result.jury.size > 0
+
+    def test_unconstrained_budget_selects_everyone(self, figure1_pool, rng):
+        """With the whole pool affordable, growth moves are always
+        uphill under monotone BV, so the batched sweep must greedily
+        reach the full jury."""
+        selector = AnnealingSelector(JQObjective(), neighborhood="batched")
+        result = selector.select(figure1_pool, 1e6, rng=rng)
+        assert result.jury.size == len(figure1_pool)
+
+    def test_deterministic_given_seed(self, figure1_pool):
+        runs = [
+            AnnealingSelector(JQObjective(), neighborhood="batched").select(
+                figure1_pool, 12, rng=np.random.default_rng(99)
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].worker_ids == runs[1].worker_ids
+        assert runs[0].jq == runs[1].jq
+
+    def test_near_optimal_on_figure1(self, figure1_pool):
+        optimum = ExhaustiveSelector(JQObjective()).select(figure1_pool, 15)
+        result = AnnealingSelector(
+            JQObjective(), neighborhood="batched", restarts=2
+        ).select(figure1_pool, 15, rng=np.random.default_rng(7))
+        assert result.jq >= optimum.jq - 0.02
+
+    def test_empty_pool(self, rng):
+        result = AnnealingSelector(
+            JQObjective(), neighborhood="batched"
+        ).select(WorkerPool(()), 5, rng=rng)
+        assert result.jury.size == 0

@@ -125,3 +125,126 @@ class TestExhaustiveSelector:
 
     def test_optimal_jq_helper(self, figure1_pool):
         assert optimal_jq(figure1_pool, 5) == pytest.approx(0.75)
+
+
+class TestObjectiveBatch:
+    def test_batch_matches_scalar_bitwise_bv(self, rng):
+        scalar = JQObjective(alpha=0.37, exact_cutoff=8)
+        batched = JQObjective(alpha=0.37, exact_cutoff=8)
+        juries = [
+            Jury(
+                Worker(f"w{i}", float(q))
+                for i, q in enumerate(rng.random(int(rng.integers(1, 13))))
+            )
+            for _ in range(40)
+        ]
+        juries.append(Jury(()))
+        values = batched.batch(juries)
+        assert [float(v) for v in values] == [scalar(j) for j in juries]
+        assert batched.evaluations == scalar.evaluations == len(juries)
+
+    def test_batch_matches_scalar_mv(self, rng):
+        scalar = JQObjective(MajorityVoting())
+        batched = JQObjective(MajorityVoting())
+        juries = [
+            Jury(Worker(f"w{i}", float(q)) for i, q in enumerate(row))
+            for row in (rng.random(3), rng.random(5), rng.random(1))
+        ]
+        assert [float(v) for v in batched.batch(juries)] == [
+            scalar(j) for j in juries
+        ]
+
+    def test_all_subsets_none_for_unsupported(self):
+        assert JQObjective(MajorityVoting()).all_subsets([0.6, 0.7]) is None
+        assert JQObjective().all_subsets(np.full(15, 0.7)) is None
+
+    def test_all_subsets_matches_calls(self):
+        obj = JQObjective(alpha=0.3)
+        table = obj.all_subsets([0.9, 0.6, 0.55])
+        jury = Jury([Worker("a", 0.9), Worker("c", 0.55)])
+        assert float(table[0b101]) == obj(jury)
+
+
+class TestExhaustiveImplementations:
+    def test_batch_equals_scalar_bv(self, rng):
+        workers = [
+            Worker(f"w{i}", float(q), float(c))
+            for i, (q, c) in enumerate(
+                zip(rng.uniform(0.5, 0.95, 9), rng.uniform(0.1, 1.0, 9))
+            )
+        ]
+        pool = WorkerPool(workers)
+        for budget in (0.0, 0.8, 2.0, 100.0):
+            fast = ExhaustiveSelector(
+                JQObjective(), implementation="batch"
+            ).select(pool, budget)
+            slow = ExhaustiveSelector(
+                JQObjective(), implementation="scalar"
+            ).select(pool, budget)
+            assert fast.worker_ids == slow.worker_ids, budget
+            assert fast.jq == slow.jq
+            assert fast.evaluations == slow.evaluations
+
+    def test_batch_equals_scalar_mv(self, rng):
+        pool = WorkerPool(
+            Worker(f"w{i}", float(q), 1.0)
+            for i, q in enumerate(rng.uniform(0.4, 0.95, 7))
+        )
+        fast = ExhaustiveSelector(
+            JQObjective(MajorityVoting()), implementation="batch"
+        ).select(pool, 4.0)
+        slow = ExhaustiveSelector(
+            JQObjective(MajorityVoting()), implementation="scalar"
+        ).select(pool, 4.0)
+        assert fast.worker_ids == slow.worker_ids
+        assert fast.jq == slow.jq
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExhaustiveSelector(JQObjective(), implementation="gpu")
+
+
+class TestFrontierBudgetTable:
+    def test_matches_exhaustive_rows(self, figure1_pool):
+        from repro.selection import frontier_budget_table
+
+        table = frontier_budget_table(figure1_pool, [5, 10, 15, 20])
+        expectations = {5: 0.75, 10: 0.80, 15: 0.845, 20: 0.8695}
+        for row in table.rows:
+            assert row.jq == pytest.approx(expectations[row.budget], abs=1e-9)
+            assert row.required <= row.budget + 1e-9
+        assert set(table.rows[2].worker_ids) == {"B", "C", "G"}
+        assert table.results[0].selector == "frontier"
+        assert table.results[0].evaluations > 0
+
+    def test_unaffordable_budget_row_is_empty(self, figure1_pool):
+        from repro.selection import frontier_budget_table
+
+        table = frontier_budget_table(figure1_pool, [0.5])
+        assert table.rows[0].worker_ids == ()
+        assert table.rows[0].jq == 0.5
+        assert table.rows[0].required == 0.0
+
+
+class TestExhaustivePrescreen:
+    def test_prescreen_drops_no_feasible_jury(self, rng):
+        """At >= 12 workers with a binding budget the vectorized
+        subset-cost prescreen is active; the selected jury must match a
+        reference enumeration that never prescreens."""
+        workers = [
+            Worker(f"w{i:02d}", float(q), float(c))
+            for i, (q, c) in enumerate(
+                zip(rng.uniform(0.5, 0.95, 12), rng.uniform(0.1, 1.0, 12))
+            )
+        ]
+        pool = WorkerPool(workers)
+        budget = 1.2  # binding: the full pool costs far more
+        result = ExhaustiveSelector(JQObjective()).select(pool, budget)
+        best = 0.0
+        for mask in range(1, 1 << 12):
+            members = [workers[i] for i in range(12) if mask >> i & 1]
+            if sum(w.cost for w in members) > budget:
+                continue
+            best = max(best, exact_jq_bv([w.quality for w in members]))
+        assert result.jq == pytest.approx(best, abs=1e-12)
+        assert result.cost <= budget + 1e-9

@@ -261,3 +261,44 @@ class TestEngineLifecycleFlags:
         capsys.readouterr()
         with pytest.raises(SystemExit):
             main(self.ARGS + ["--quantization", "fine"])
+
+
+class TestEngineKernelAndCheckpointFlags:
+    ARGS = TestEngineCommand.ARGS
+
+    def test_jq_kernel_scalar_is_byte_identical(self, capsys):
+        assert main(self.ARGS) == 0
+        batch = TestEngineCommand.stable_lines(capsys.readouterr().out)
+        assert main(self.ARGS + ["--jq-kernel", "scalar"]) == 0
+        scalar = TestEngineCommand.stable_lines(capsys.readouterr().out)
+        assert batch == scalar
+
+    def test_jq_kernel_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--jq-kernel", "gpu"])
+
+    def test_checkpoint_every_persists_mid_run(self, tmp_path, capsys):
+        """An auto-checkpointing run killed mid-campaign resumes from
+        the last scheduled checkpoint — no manual checkpoint needed."""
+        state = str(tmp_path / "campaign.db")
+        args = self.ARGS + [
+            "--backend", "sqlite", "--state-file", state,
+            "--checkpoint-every", "10", "--run-until", "25",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(["engine", "--budget", "20", "--backend", "sqlite",
+                     "--state-file", state, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "40/40 completed" in out
+
+    def test_paused_report_shows_live_gauges(self, tmp_path, capsys):
+        """The ROADMAP bug: paused reports used to render 'peak load 0'
+        because gauges were folded in only at finish."""
+        state = str(tmp_path / "campaign.db")
+        args = self.ARGS + ["--backend", "sqlite", "--state-file", state]
+        assert main(args + ["--run-until", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "# paused at" in out
+        assert "peak load    : 0 concurrent seats" not in out
+        assert "cache        : " in out

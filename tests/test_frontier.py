@@ -89,3 +89,56 @@ class TestSampledFrontier:
             rng=rng,
         )
         assert len(sampled.points) >= 1
+
+
+class TestFrontierKernelParity:
+    """The batched all-subsets kernel path must reproduce the scalar
+    frontier bit-for-bit — same points, same floats, same order."""
+
+    def _random_pool(self, rng, n):
+        return WorkerPool(
+            Worker(f"w{i}", float(q), float(c))
+            for i, (q, c) in enumerate(
+                zip(rng.random(n), rng.random(n) * 5)
+            )
+        )
+
+    def test_batch_equals_scalar_lattice_path(self, rng):
+        for n in (1, 2, 6, 10):
+            pool = self._random_pool(rng, n)
+            for alpha in (0.5, 0.31):
+                batch = exact_frontier(
+                    pool, JQObjective(alpha=alpha), implementation="batch"
+                )
+                scalar = exact_frontier(
+                    pool, JQObjective(alpha=alpha), implementation="scalar"
+                )
+                assert batch.points == scalar.points
+
+    def test_batch_equals_scalar_chunked_fallback(self, rng):
+        """Pools above the lattice bound fall back to chunked per-jury
+        kernels — still bit-identical, now mixing exact and bucket
+        rows (subsets above the objective's exact cutoff)."""
+        pool = self._random_pool(rng, 15)
+        objective = JQObjective(exact_cutoff=9)
+        batch = exact_frontier(pool, objective, implementation="batch")
+        scalar = exact_frontier(
+            pool, JQObjective(exact_cutoff=9), implementation="scalar"
+        )
+        assert batch.points == scalar.points
+
+    def test_auto_batches_for_stock_objective(self, figure1_pool):
+        auto = exact_frontier(figure1_pool)
+        scalar = exact_frontier(figure1_pool, implementation="scalar")
+        assert auto.points == scalar.points
+
+    def test_evaluation_accounting_matches(self, figure1_pool):
+        batch_obj = JQObjective()
+        scalar_obj = JQObjective()
+        exact_frontier(figure1_pool, batch_obj, implementation="batch")
+        exact_frontier(figure1_pool, scalar_obj, implementation="scalar")
+        assert batch_obj.evaluations == scalar_obj.evaluations
+
+    def test_unknown_implementation_rejected(self, figure1_pool):
+        with pytest.raises(ValueError):
+            exact_frontier(figure1_pool, implementation="vectorized")
