@@ -255,6 +255,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JQ evaluation path for scheduler frontiers "
                             "(byte-identical results; 'scalar' exists "
                             "for benchmarking)")
+    p_eng.add_argument("--ingestion", default="sync",
+                       choices=("sync", "async"),
+                       help="arrival intake: 'async' streams tasks "
+                            "through a thread-safe bounded intake queue "
+                            "(byte-identical to sync for pre-submitted "
+                            "campaigns)")
+    p_eng.add_argument("--parallel-shards", type=_nonnegative_int,
+                       default=0,
+                       help="dispatch shard admits on a thread pool of "
+                            "this many workers (0 = sequential; "
+                            "decisions are byte-identical either way; "
+                            "needs --num-shards > 1 to matter)")
     p_eng.add_argument("--seed", type=int, default=None)
 
     return parser
@@ -396,6 +408,8 @@ def _run_engine_command(args) -> int:
             cache_max_entries=args.cache_max_entries or None,
             jq_kernel=args.jq_kernel,
             checkpoint_every=args.checkpoint_every,
+            ingestion=args.ingestion,
+            parallel_shards=args.parallel_shards,
             seed=args.seed,
             num_shards=num_shards,
             routing_policy=routing_policy,

@@ -22,6 +22,12 @@ one budget, and finite worker attention".  See the module docstrings:
     allocator, with task routing and idle-worker rebalancing.
 ``engine``
     :class:`CampaignEngine` — the event loop.
+``ingest``
+    :class:`IntakeQueue` / :class:`AsyncIngestLoop` /
+    :class:`InterleavingSchedule` — thread-safe live intake with
+    bounded backpressure, the drain-before-step async serving loop,
+    and seeded replayable interleavings
+    (``CampaignConfig(ingestion="async")``).
 ``metrics``
     :class:`EngineMetrics` — throughput, realized-vs-predicted
     accuracy, spend, cache stats, per-shard/allocator snapshots.
@@ -59,6 +65,15 @@ from .events import (
     TaskComplete,
     VoteArrival,
 )
+from .ingest import (
+    AsyncIngestLoop,
+    IngestionClosed,
+    IngestionError,
+    IngestionOverflow,
+    IngestStats,
+    IntakeQueue,
+    InterleavingSchedule,
+)
 from .metrics import (
     AllocatorSnapshot,
     EngineMetrics,
@@ -93,6 +108,7 @@ from .state import (
 __all__ = [
     "AllocatorSnapshot",
     "Assignment",
+    "AsyncIngestLoop",
     "BackendError",
     "BudgetAllocator",
     "CachedJQObjective",
@@ -107,6 +123,12 @@ __all__ = [
     "EngineTask",
     "Event",
     "EventQueue",
+    "IngestStats",
+    "IngestionClosed",
+    "IngestionError",
+    "IngestionOverflow",
+    "IntakeQueue",
+    "InterleavingSchedule",
     "MemoryBackend",
     "ROUTING_POLICIES",
     "SQLiteBackend",

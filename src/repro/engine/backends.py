@@ -146,8 +146,22 @@ class SQLiteBackend:
         "resolved_votes", "spend", "peak_load",
     )
 
-    def __init__(self, path) -> None:
+    #: How long (ms) a writer waits on a locked database before
+    #: sqlite raises.  WAL keeps ordinary readers out of writers' way,
+    #: but a reader mid-transaction when the WAL needs checkpointing —
+    #: or a second writer (another engine process warming its cache) —
+    #: takes the lock briefly; without a busy timeout ``checkpoint()``
+    #: would raise ``database is locked`` *immediately* instead of
+    #: riding out a sub-second hold.
+    DEFAULT_BUSY_TIMEOUT_MS = 5_000
+
+    def __init__(self, path, busy_timeout_ms: int | None = None) -> None:
         self.path = str(path)
+        self.busy_timeout_ms = (
+            self.DEFAULT_BUSY_TIMEOUT_MS
+            if busy_timeout_ms is None
+            else int(busy_timeout_ms)
+        )
         self._conn: sqlite3.Connection | None = None
 
     def _connect(self) -> sqlite3.Connection:
@@ -159,7 +173,16 @@ class SQLiteBackend:
         later resume could be pointed at by accident.
         """
         if self._conn is None:
-            self._conn = sqlite3.connect(self.path)
+            # ``timeout`` installs the busy handler before the first
+            # statement runs (the WAL/schema setup below already needs
+            # it under contention); the PRAGMA keeps the value explicit
+            # and introspectable on the live connection.
+            self._conn = sqlite3.connect(
+                self.path, timeout=self.busy_timeout_ms / 1000.0
+            )
+            self._conn.execute(
+                f"PRAGMA busy_timeout={self.busy_timeout_ms}"
+            )
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._ensure_schema()
         return self._conn

@@ -31,6 +31,8 @@ class choice; the deprecated engine classes remain as shims.
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import time
 from typing import Iterable
 
@@ -46,11 +48,33 @@ from .backends import (
 from .config import CampaignConfig
 from .engine import CampaignEngine, _TaskRuntime
 from .events import EngineTask, EventQueue
+from .ingest import AsyncIngestLoop
 from .metrics import EngineMetrics
 from .scheduler import Assignment
 from .sharding import ShardedCampaignEngine, ShardedScheduler
 from .state import WorkerRegistry
 from .cache import load_cache_file, save_cache_file
+
+#: Environment toggles forcing the concurrent serving path — CI runs
+#: the whole engine suite once with both set, so every lifecycle test
+#: doubles as a deadlock/race probe for the async machinery.  Applied
+#: only at the facade (the deprecated engine classes honor their
+#: explicit config), and only when the value is non-empty.
+FORCE_INGESTION_ENV = "REPRO_ENGINE_FORCE_INGESTION"
+FORCE_PARALLEL_SHARDS_ENV = "REPRO_ENGINE_FORCE_PARALLEL_SHARDS"
+
+
+def _apply_env_overrides(config: CampaignConfig) -> CampaignConfig:
+    updates: dict = {}
+    ingestion = os.environ.get(FORCE_INGESTION_ENV)
+    if ingestion:
+        updates["ingestion"] = ingestion
+    parallel = os.environ.get(FORCE_PARALLEL_SHARDS_ENV)
+    if parallel:
+        updates["parallel_shards"] = int(parallel)
+    if not updates:
+        return config
+    return dataclasses.replace(config, **updates)
 
 
 class _FacadeEngine(CampaignEngine):
@@ -101,7 +125,18 @@ class Campaign:
         self._engine: CampaignEngine | None = None
         self._config: CampaignConfig | None = None
         self._backend: StateBackend = MemoryBackend()
+        self._ingest: AsyncIngestLoop | None = None
         self._closed = False
+
+    def _attach_ingest(self) -> None:
+        """Build the async intake loop when the config asks for it
+        (``ingestion="async"``); the sync path keeps ``None``."""
+        if self._config.ingestion == "async":
+            self._ingest = AsyncIngestLoop(
+                self._engine,
+                max_pending=self._config.ingest_max_pending,
+                grace=self._config.ingest_grace,
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle entry points
@@ -121,11 +156,13 @@ class Campaign:
         when omitted.
         """
         campaign = cls(_token=_INTERNAL)
+        config = _apply_env_overrides(config)
         campaign._config = config
         campaign._engine = _build_engine(pool, config, initial_quality)
         if backend is not None:
             campaign._backend = backend
         campaign._engine._checkpoint_hook = campaign.checkpoint
+        campaign._attach_ingest()
         return campaign
 
     @classmethod
@@ -146,11 +183,16 @@ class Campaign:
         return campaign
 
     def close(self) -> None:
-        """Release the backend (idempotent).  State already
-        checkpointed stays checkpointed; un-checkpointed progress is
-        lost — call :meth:`checkpoint` first to keep it."""
+        """Release the backend, the intake, and any dispatch pool
+        (idempotent).  State already checkpointed stays checkpointed;
+        un-checkpointed progress is lost — call :meth:`checkpoint`
+        first to keep it."""
         if not self._closed:
             self._closed = True
+            if self._ingest is not None:
+                self._ingest.close_intake()
+            if self._engine is not None and self._engine.scheduler is not None:
+                self._engine.scheduler.close()
             self._backend.close()
 
     def __enter__(self) -> "Campaign":
@@ -170,8 +212,13 @@ class Campaign:
     ) -> int:
         """Enqueue task arrivals (see :meth:`CampaignEngine.submit`).
         Allowed any time before the campaign finishes — including
-        between :meth:`run` calls and after a :meth:`resume`."""
+        between :meth:`run` calls and after a :meth:`resume`.  Under
+        ``ingestion="async"`` submission goes through the thread-safe
+        intake queue (bounded backpressure), so producers on any thread
+        may stream tasks in **while** :meth:`run` is serving."""
         self._require_serving()
+        if self._ingest is not None:
+            return self._ingest.submit(tasks, start_time, spacing)
         return self._engine.submit(tasks, start_time, spacing)
 
     def run(self, until: int | None = None) -> EngineMetrics:
@@ -182,9 +229,17 @@ class Campaign:
         completed, leaving juries in flight and every pending event
         queued — exactly what :meth:`checkpoint` then persists.
         Calling :meth:`run` again continues from the pause point.
+
+        Under ``ingestion="async"`` the same contract is served through
+        the intake loop: live submissions from other threads are folded
+        in as they arrive, and ``until=None`` finishes once the queue
+        and the intake have both quiesced (after an ``ingest_grace``
+        straggler window).
         """
         self._require_open()
         engine = self._engine
+        if self._ingest is not None:
+            return self._ingest.run(until)
         engine._start()
         start = time.perf_counter()
         while engine._queue and (
@@ -203,10 +258,30 @@ class Campaign:
         engine.metrics.wall_seconds += time.perf_counter() - start
         return engine.metrics
 
+    def close_intake(self) -> None:
+        """Stop accepting async submissions (idempotent; sync campaigns
+        no-op).  The producer-side handshake for live serving: once the
+        last producer joins, closing the intake lets an in-flight
+        ``run()`` finish instead of idling for more traffic."""
+        if self._ingest is not None:
+            self._ingest.close_intake()
+
+    @property
+    def intake_stats(self):
+        """Live intake counters (async campaigns; ``None`` for sync)."""
+        if self._ingest is None:
+            return None
+        return self._ingest.intake.stats
+
     def checkpoint(self) -> None:
         """Persist the full campaign state to the backend, replacing
-        any earlier checkpoint."""
+        any earlier checkpoint.  Async campaigns fold staged intake
+        into the event queue first, so no accepted task is ever lost to
+        a checkpoint taken between drain and schedule.  (Like
+        :meth:`run`, this must be called from the serving thread.)"""
         self._require_open()
+        if self._ingest is not None:
+            self._ingest.quiesce_intake()
         self._backend.save(self._snapshot())
 
     # ------------------------------------------------------------------
@@ -262,6 +337,11 @@ class Campaign:
         after :meth:`submit` (importing forces the serving stack to
         build, which fixes the expected-task pacing baseline)."""
         self._require_open()
+        if self._ingest is not None:
+            # Staged arrivals must reach the event queue before the
+            # stack builds, or the pacing baseline would see none of
+            # them.
+            self._ingest.quiesce_intake()
         self._engine._start()
         return load_cache_file(path, self._caches())
 
@@ -343,7 +423,9 @@ class Campaign:
 
     def _restore(self, snapshot: dict) -> None:
         section = snapshot["campaign"]
-        config = CampaignConfig.from_dict(section["config"])
+        config = _apply_env_overrides(
+            CampaignConfig.from_dict(section["config"])
+        )
         registry = WorkerRegistry.from_rows(
             snapshot["workers"],
             snapshot["votes"],
@@ -416,3 +498,4 @@ class Campaign:
         self._config = config
         self._engine = engine
         engine._checkpoint_hook = self.checkpoint
+        self._attach_ingest()

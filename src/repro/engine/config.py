@@ -55,6 +55,10 @@ class CampaignConfig:
     jq_kernel: str = "batch"
     checkpoint_every: int = 0
     vote_latency: float = 1.0
+    ingestion: str = "sync"
+    parallel_shards: int = 0
+    ingest_max_pending: int = 10_000
+    ingest_grace: float = 0.05
     seed: int | None = None
     # -- sharding / routing (ShardingConfig) ---------------------------
     num_shards: int = 1

@@ -110,6 +110,28 @@ class EngineConfig:
         calls.  Ignored by the bare engine (no backend to write to).
     vote_latency:
         Logical ticks between consecutive jurors' votes.
+    ingestion:
+        ``"sync"`` (default) is the classic pre-loaded event loop;
+        ``"async"`` serves through a thread-safe
+        :class:`~repro.engine.ingest.IntakeQueue`, so live traffic can
+        stream in (``submit`` from any thread, bounded backpressure)
+        while batches are being seated.  A campaign whose tasks are all
+        submitted before ``run`` is fingerprint-byte-identical either
+        way (pinned by the invariant harness).
+    parallel_shards:
+        Dispatch the sharded engine's per-shard admits to a thread pool
+        of this many workers (0 = the sequential in-loop dispatch).
+        Decisions are byte-identical to sequential dispatch — shards
+        only touch their own members and results merge in shard-id
+        order — so the toggle is purely a throughput lever.  Ignored by
+        the single-scheduler engine.
+    ingest_max_pending:
+        Async backpressure bound: producers block once this many
+        submitted tasks await intake draining.
+    ingest_grace:
+        Async coalescing deadline (seconds): how long an idle serving
+        loop waits for straggler producers before finishing (or
+        returning from a paused run).
     seed:
         Seed for the engine's single random generator (vote simulation
         and latent-truth draws).
@@ -131,6 +153,10 @@ class EngineConfig:
     jq_kernel: str = "batch"
     checkpoint_every: int = 0
     vote_latency: float = 1.0
+    ingestion: str = "sync"
+    parallel_shards: int = 0
+    ingest_max_pending: int = 10_000
+    ingest_grace: float = 0.05
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -146,6 +172,14 @@ class EngineConfig:
             raise ValueError("checkpoint_every must be >= 0")
         if self.vote_latency <= 0:
             raise ValueError("vote_latency must be positive")
+        if self.ingestion not in ("sync", "async"):
+            raise ValueError("ingestion must be 'sync' or 'async'")
+        if self.parallel_shards < 0:
+            raise ValueError("parallel_shards must be >= 0")
+        if self.ingest_max_pending < 1:
+            raise ValueError("ingest_max_pending must be >= 1")
+        if self.ingest_grace <= 0:
+            raise ValueError("ingest_grace must be positive")
         if not 0.5 <= self.confidence_target <= 1.0:
             raise ValueError("confidence_target must lie in [0.5, 1]")
         if self.cache_max_entries is not None and self.cache_max_entries < 1:
@@ -241,14 +275,28 @@ class CampaignEngine:
         Returns the number of tasks enqueued.  May be called repeatedly
         before :meth:`run`.
         """
+        return self.ingest(
+            (start_time + i * spacing, task) for i, task in enumerate(tasks)
+        )
+
+    def ingest(self, stamped_tasks) -> int:
+        """Inject pre-stamped ``(arrival_time, task)`` pairs into the
+        event queue — the async intake path
+        (:class:`~repro.engine.ingest.AsyncIngestLoop` stamps arrival
+        times at submission, under the intake mutex, and drains them
+        here on the loop thread).  The event heap is not thread-safe:
+        only the thread driving the loop may call this.
+        """
         count = 0
-        for i, task in enumerate(tasks):
+        for arrival_time, task in stamped_tasks:
             if not isinstance(task, EngineTask):
-                raise TypeError(f"expected EngineTask, got {type(task).__name__}")
+                raise TypeError(
+                    f"expected EngineTask, got {type(task).__name__}"
+                )
             if task.task_id in self._task_ids:
                 raise ValueError(f"duplicate task id {task.task_id!r}")
             self._task_ids.add(task.task_id)
-            self._queue.push(TaskArrival(start_time + i * spacing, task))
+            self._queue.push(TaskArrival(float(arrival_time), task))
             count += 1
         return count
 
@@ -302,6 +350,8 @@ class CampaignEngine:
             self._finalize_unfunded(task)
         self._deferred = []
         self._collect_stats()
+        if self.scheduler is not None:
+            self.scheduler.close()
 
     def _make_scheduler(self, expected_tasks: int):
         """Build this campaign's scheduler.  Subclass hook: the sharded

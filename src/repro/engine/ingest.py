@@ -1,0 +1,383 @@
+"""Async ingestion: a thread-safe intake queue feeding the event loop.
+
+The classic engine is fed up front: every arrival is enqueued before
+:meth:`~repro.engine.engine.CampaignEngine.run`, and nothing may touch
+the event heap while the loop drains it.  A serving system cannot live
+like that — live traffic arrives *while* batches are being seated.
+This module splits arrival intake from scheduling:
+
+* :class:`IntakeQueue` — a thread-safe, **bounded** staging queue.
+  Producers call :meth:`~IntakeQueue.submit` from any thread; when the
+  queue is full they block (backpressure) until the serving loop drains
+  or the queue closes.  Tasks are stamped with their logical arrival
+  time *at submission* (under the intake mutex), so the arrival order —
+  and therefore the campaign's decisions — is fixed by who got into the
+  queue first, not by when the loop happened to look.
+* :class:`AsyncIngestLoop` — drives the engine's event loop off the
+  intake queue with a **drain-before-step** discipline: every pending
+  intake task is injected into the event heap before the next event is
+  dispatched.  The discipline is what makes the async path
+  deterministic given a delivery order — a campaign whose tasks are all
+  submitted before :meth:`~AsyncIngestLoop.run` (or between paused
+  runs) produces a metrics fingerprint **byte-identical to the
+  synchronous path**, which the invariant harness pins.
+* :class:`InterleavingSchedule` — a seeded schedule of drain cadences
+  (events stepped between drains, items taken per drain).  Replayable
+  concurrency: two runs with the same schedule seed and delivery order
+  interleave arrivals with in-flight votes identically, so randomized
+  interleaving stress tests can assert byte-identical fingerprints.
+
+Batch *coalescing* falls out of the two layers: the intake mutex makes
+bursts arrive as runs of consecutive items, the drain takes everything
+pending at once (up to the schedule's cap), and the engine's own
+``batch_size`` buffering turns the drained run into scheduling batches.
+When the loop goes idle with the intake open it waits ``grace`` seconds
+(the coalescing deadline) for stragglers before finishing, so a slow
+trickle of producers is served in fuller batches instead of one jury
+at a time.
+
+Parallelism across shards lives in
+:class:`~repro.engine.sharding.ShardedScheduler` (a
+``ThreadPoolExecutor`` dispatching the per-shard admits concurrently);
+this module owns the producer-facing half.  The two compose: burst
+traffic streams in through the intake while K shard admits seat juries
+in parallel — ``benchmarks/bench_async_ingestion.py`` measures the
+combination against the sequential loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import ReproError
+from .events import EngineTask
+from .metrics import EngineMetrics
+
+
+class IngestionError(ReproError, RuntimeError):
+    """Base class for intake failures."""
+
+
+class IngestionClosed(IngestionError):
+    """A task was submitted to an intake queue that has been closed."""
+
+
+class IngestionOverflow(IngestionError):
+    """Backpressure timed out: the intake stayed full for longer than
+    the submitter was willing to wait."""
+
+
+@dataclass
+class IngestStats:
+    """Running intake counters (read under no lock: observability only)."""
+
+    submitted: int = 0
+    drained: int = 0
+    drains: int = 0
+    peak_pending: int = 0
+    blocked_submits: int = 0  # staged tasks that had to wait out a full queue
+
+
+class IntakeQueue:
+    """Thread-safe bounded staging queue for live task arrivals.
+
+    Parameters
+    ----------
+    max_pending:
+        Backpressure bound: :meth:`submit` blocks once this many tasks
+        are staged and un-drained.  Producers outrunning the serving
+        loop wait here instead of growing memory without bound.
+    seen_ids:
+        Task ids already known to the campaign (the resume path seeds
+        this from the restored engine), so duplicate submission is
+        caught at the intake mutex — before two threads could race the
+        engine's own duplicate check.
+    """
+
+    def __init__(self, max_pending: int = 10_000, seen_ids=()) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_pending = max_pending
+        self._mutex = threading.Lock()
+        self._not_full = threading.Condition(self._mutex)
+        self._not_empty = threading.Condition(self._mutex)
+        self._items: deque[tuple[float, EngineTask]] = deque()
+        self._seen: set[str] = set(seen_ids)
+        self._closed = False
+        self.stats = IngestStats()
+
+    # ------------------------------------------------------------------
+    # Producer side (any thread)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tasks,
+        start_time: float = 0.0,
+        spacing: float = 1.0,
+        timeout: float | None = None,
+    ) -> int:
+        """Stage task arrivals at evenly spaced logical times.
+
+        Mirrors :meth:`CampaignEngine.submit` — same signature, same
+        time stamping — but is safe from any thread and enforces the
+        backpressure bound.  Blocks while the queue is full; raises
+        :class:`IngestionOverflow` when ``timeout`` (seconds, per task)
+        expires first, :class:`IngestionClosed` once the queue closed.
+        Returns the number of tasks staged.
+        """
+        count = 0
+        for i, task in enumerate(tasks):
+            if not isinstance(task, EngineTask):
+                raise TypeError(
+                    f"expected EngineTask, got {type(task).__name__}"
+                )
+            arrival = start_time + i * spacing
+            with self._not_full:
+                if len(self._items) >= self.max_pending:
+                    self.stats.blocked_submits += 1
+                    deadline = (
+                        None if timeout is None else time.monotonic() + timeout
+                    )
+                    while (
+                        len(self._items) >= self.max_pending
+                        and not self._closed
+                    ):
+                        remaining = (
+                            None
+                            if deadline is None
+                            else deadline - time.monotonic()
+                        )
+                        if remaining is not None and remaining <= 0:
+                            raise IngestionOverflow(
+                                f"intake full ({self.max_pending} pending) "
+                                f"for {timeout:g}s"
+                            )
+                        self._not_full.wait(remaining)
+                if self._closed:
+                    raise IngestionClosed(
+                        "intake is closed; the campaign is no longer "
+                        "accepting tasks"
+                    )
+                if task.task_id in self._seen:
+                    raise ValueError(f"duplicate task id {task.task_id!r}")
+                self._seen.add(task.task_id)
+                self._items.append((arrival, task))
+                self.stats.submitted += 1
+                self.stats.peak_pending = max(
+                    self.stats.peak_pending, len(self._items)
+                )
+                self._not_empty.notify_all()
+            count += 1
+        return count
+
+    def close(self) -> None:
+        """Stop accepting tasks (idempotent).  Producers blocked on
+        backpressure are woken and raise :class:`IngestionClosed`."""
+        with self._mutex:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    # ------------------------------------------------------------------
+    # Consumer side (the serving loop's thread)
+    # ------------------------------------------------------------------
+    def drain(self, max_items: int | None = None) -> list[tuple[float, EngineTask]]:
+        """Pop up to ``max_items`` staged ``(arrival_time, task)`` pairs
+        (everything pending when ``None``), oldest first.  Never blocks."""
+        with self._not_full:
+            take = len(self._items)
+            if max_items is not None:
+                take = min(take, max(int(max_items), 0))
+            out = [self._items.popleft() for _ in range(take)]
+            if out:
+                self.stats.drained += len(out)
+                self.stats.drains += 1
+                self._not_full.notify_all()
+            return out
+
+    def wait_for_traffic(self, timeout: float) -> bool:
+        """Block up to ``timeout`` seconds for something to drain;
+        returns whether anything is pending.  Wakes early on close."""
+        with self._not_empty:
+            if not self._items and not self._closed:
+                self._not_empty.wait(timeout)
+            return bool(self._items)
+
+    @property
+    def pending(self) -> int:
+        with self._mutex:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._mutex:
+            return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IntakeQueue({len(self._items)}/{self.max_pending} pending"
+            f"{', closed' if self._closed else ''})"
+        )
+
+
+class InterleavingSchedule:
+    """Seeded drain cadence for replayable concurrent runs.
+
+    Draws, from one seeded generator consumed in call order, how many
+    events the loop dispatches between intake drains
+    (:meth:`next_chunk`) and how many staged tasks each drain may take
+    (:meth:`next_take`).  Fixing the seed fixes where arrivals land
+    between in-flight vote events — the whole interleaving — so two
+    runs over the same delivery order are byte-identical, while
+    different seeds explore genuinely different schedules.  This is the
+    deterministic mode the concurrency stress harness replays.
+    """
+
+    def __init__(self, seed: int, max_chunk: int = 8, max_take: int = 16) -> None:
+        if max_chunk < 1:
+            raise ValueError("max_chunk must be >= 1")
+        if max_take < 1:
+            raise ValueError("max_take must be >= 1")
+        self._rng = np.random.default_rng(seed)
+        self.max_chunk = max_chunk
+        self.max_take = max_take
+
+    def next_chunk(self) -> int:
+        return int(self._rng.integers(1, self.max_chunk + 1))
+
+    def next_take(self) -> int:
+        return int(self._rng.integers(1, self.max_take + 1))
+
+
+class AsyncIngestLoop:
+    """Drives one engine's event loop off a live intake queue.
+
+    The loop owns the engine's thread: events are dispatched, juries
+    seated, and votes processed on the thread that calls :meth:`run`,
+    exactly like the synchronous path — only *arrival intake* is
+    concurrent.  The drain-before-step discipline (inject every staged
+    arrival before dispatching the next event) plus submission-time
+    stamping make the result deterministic in the delivery order alone.
+
+    ``run(until=None)`` serves to quiescence: when the event queue and
+    the intake are both empty it waits ``grace`` seconds for straggler
+    producers, then finalizes the campaign and closes the intake.
+    ``run(until=N)`` pauses after N completions with the intake still
+    open — staged tasks are folded into the (checkpointable) event
+    queue first, so a paused async campaign snapshots completely.
+    """
+
+    def __init__(
+        self,
+        engine,
+        max_pending: int = 10_000,
+        grace: float = 0.05,
+        interleave: InterleavingSchedule | None = None,
+    ) -> None:
+        if grace <= 0:
+            raise ValueError("grace must be positive")
+        self.engine = engine
+        self.grace = grace
+        self.interleave = interleave
+        self.intake = IntakeQueue(
+            max_pending, seen_ids=engine._task_ids
+        )
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Producer surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tasks,
+        start_time: float = 0.0,
+        spacing: float = 1.0,
+        timeout: float | None = None,
+    ) -> int:
+        """Thread-safe :meth:`CampaignEngine.submit` (see
+        :meth:`IntakeQueue.submit` for blocking semantics)."""
+        return self.intake.submit(tasks, start_time, spacing, timeout)
+
+    def close_intake(self) -> None:
+        self.intake.close()
+
+    # ------------------------------------------------------------------
+    # The serving loop
+    # ------------------------------------------------------------------
+    def quiesce_intake(self) -> int:
+        """Fold every staged arrival into the engine's event queue (loop
+        thread only — the event heap is not thread-safe).  Returns the
+        number injected.  Called before checkpoints so a snapshot never
+        loses tasks that were accepted but not yet scheduled."""
+        return self.engine.ingest(self.intake.drain())
+
+    def run(self, until: int | None = None) -> EngineMetrics:
+        """Serve until quiescence (``until=None``) or pause after
+        ``until`` completed tasks.  Not reentrant; producers may submit
+        concurrently throughout."""
+        if self._running:
+            raise RuntimeError("AsyncIngestLoop.run is not reentrant")
+        self._running = True
+        engine = self.engine
+        start = time.perf_counter()
+        try:
+            self.quiesce_intake()
+            engine._start()
+            chunk = 0
+            paused = False
+            while True:
+                if until is not None and engine.metrics.completed >= until:
+                    paused = True
+                    break
+                if self.interleave is None:
+                    self.quiesce_intake()
+                elif chunk <= 0:
+                    engine.ingest(
+                        self.intake.drain(self.interleave.next_take())
+                    )
+                    chunk = self.interleave.next_chunk()
+                if engine._queue:
+                    engine._step()
+                    chunk -= 1
+                    continue
+                # Event queue drained: serve freshly staged traffic, or
+                # give straggler producers one grace window.
+                chunk = 0
+                if self.intake.pending:
+                    continue
+                if not self.intake.closed and self.intake.wait_for_traffic(
+                    self.grace
+                ):
+                    continue
+                # Quiescence candidate: nothing queued, nothing staged,
+                # and the grace window produced nothing (or the intake
+                # was closed).  Close the intake *before* concluding —
+                # a submit that raced the check above is now staged
+                # behind a closed door, so fold it in and keep serving;
+                # none can race the next pass.
+                self.intake.close()
+                self.quiesce_intake()
+                if not engine._queue:
+                    break
+            if paused:
+                # Paused at the target: juries in flight, the intake
+                # stays open for more traffic.  Stage everything
+                # accepted so far (a checkpoint must capture it) and
+                # fold the live gauges in so a paused report is not all
+                # zeros (the finish pass overwrites them, so resumed
+                # fingerprints are untouched).
+                self.quiesce_intake()
+                engine._collect_stats()
+            else:
+                # Quiesced: every accepted task was served; finalize
+                # exactly like the synchronous path.
+                engine._finish()
+        finally:
+            self._running = False
+            engine.metrics.wall_seconds += time.perf_counter() - start
+        return engine.metrics

@@ -43,8 +43,10 @@ the regression suite pins.
 
 from __future__ import annotations
 
+import threading
 import warnings
 import zlib
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -248,6 +250,11 @@ class BudgetAllocator:
       cumulatively;
     * ``reserved - refunded <= budget`` at every instant;
     * ``entitled <= budget`` always.
+
+    Every ledger mutation (``open_round`` / ``split`` / ``settle`` /
+    ``refund``) is atomic under one mutex, so shard admits running on a
+    thread pool — or an early-stop refund racing a settling round —
+    can never interleave half-applied ledger updates.
     """
 
     def __init__(self, budget: float, expected_tasks: int) -> None:
@@ -257,6 +264,7 @@ class BudgetAllocator:
             raise ValueError("expected_tasks must be >= 1")
         self.budget = float(budget)
         self.expected_tasks = expected_tasks
+        self._mutex = threading.Lock()
         self._entitled = 0.0
         self._entitled_tasks: set[str] = set()
         self._reserved = 0.0
@@ -306,18 +314,19 @@ class BudgetAllocator:
         applied campaign-wide, which is what makes the pinned
         single-shard byte-identity structural.
         """
-        self._rounds += 1
-        new_ids = set(task_ids) - self._entitled_tasks
-        self._entitled_tasks |= new_ids
-        self._entitled, round_budget = pro_rata_round_budget(
-            self.budget,
-            self.expected_tasks,
-            self._entitled,
-            len(new_ids),
-            self._reserved,
-            self._refunded,
-        )
-        return round_budget
+        with self._mutex:
+            self._rounds += 1
+            new_ids = set(task_ids) - self._entitled_tasks
+            self._entitled_tasks |= new_ids
+            self._entitled, round_budget = pro_rata_round_budget(
+                self.budget,
+                self.expected_tasks,
+                self._entitled,
+                len(new_ids),
+                self._reserved,
+                self._refunded,
+            )
+            return round_budget
 
     def split(
         self, round_budget: float, masses: Mapping[int, float]
@@ -338,7 +347,8 @@ class BudgetAllocator:
             # arithmetic, so a one-shard campaign's grants match the
             # single scheduler's pacing bit-for-bit.
             grants = {next(iter(masses)): round_budget}
-            self._granted += round_budget
+            with self._mutex:
+                self._granted += round_budget
             return grants
         total = float(sum(masses.values()))
         if total <= 0.0:
@@ -347,7 +357,8 @@ class BudgetAllocator:
             grants = {
                 k: round_budget * mass / total for k, mass in masses.items()
             }
-        self._granted += sum(grants.values())
+        with self._mutex:
+            self._granted += sum(grants.values())
         return grants
 
     def settle(self, granted: float, reserved: float) -> None:
@@ -357,14 +368,16 @@ class BudgetAllocator:
             raise ValueError(
                 f"shard reserved {reserved} beyond its grant {granted}"
             )
-        self._reserved += max(float(reserved), 0.0)
-        self._reabsorbed += max(float(granted) - float(reserved), 0.0)
+        with self._mutex:
+            self._reserved += max(float(reserved), 0.0)
+            self._reabsorbed += max(float(granted) - float(reserved), 0.0)
 
     def refund(self, amount: float) -> None:
         """Return unspent reservation (early-stopped task) to the pot."""
         if amount < -1e-9:
             raise ValueError(f"refund must be non-negative, got {amount}")
-        self._refunded += max(float(amount), 0.0)
+        with self._mutex:
+            self._refunded += max(float(amount), 0.0)
 
     # -- persistence ---------------------------------------------------
     def state_dict(self) -> dict:
@@ -379,13 +392,14 @@ class BudgetAllocator:
         }
 
     def load_state(self, state: Mapping) -> None:
-        self._entitled = float(state["entitled"])
-        self._entitled_tasks = set(state["entitled_tasks"])
-        self._reserved = float(state["reserved"])
-        self._refunded = float(state["refunded"])
-        self._granted = float(state["granted"])
-        self._reabsorbed = float(state["reabsorbed"])
-        self._rounds = int(state["rounds"])
+        with self._mutex:
+            self._entitled = float(state["entitled"])
+            self._entitled_tasks = set(state["entitled_tasks"])
+            self._reserved = float(state["reserved"])
+            self._refunded = float(state["refunded"])
+            self._granted = float(state["granted"])
+            self._reabsorbed = float(state["reabsorbed"])
+            self._rounds = int(state["rounds"])
 
     def snapshot(self) -> AllocatorSnapshot:
         return AllocatorSnapshot(
@@ -463,6 +477,18 @@ class ShardedScheduler:
     shard's scheduler admit its sub-batch inside its grant, settling
     reservations and re-absorbing the unspent remainder, and (5)
     rebalances idle workers if shard load has skewed.
+
+    With ``config.parallel_shards > 0`` step (4) dispatches the
+    per-shard admits to a :class:`~concurrent.futures.ThreadPoolExecutor`
+    instead of looping over them.  Admits are independent by
+    construction — each shard's scheduler reads and seats only its own
+    members, grants are computed before dispatch, and the registry's
+    ``assign``/``release`` and the allocator's ledger are the only
+    shared write surfaces (both lock-guarded) — and results are merged
+    and settled in shard-id order, so the parallel path's decisions are
+    byte-identical to the sequential path's (fingerprint-pinned).  The
+    shard frontier builds run numpy kernels that release the GIL, which
+    is where the wall-clock actually drops.
     """
 
     def __init__(
@@ -475,6 +501,12 @@ class ShardedScheduler:
         self.registry = registry
         self.sharding = sharding
         self.allocator = BudgetAllocator(config.budget, expected_tasks)
+        self._executor: ThreadPoolExecutor | None = None
+        if config.parallel_shards > 0 and sharding.num_shards > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(config.parallel_shards, sharding.num_shards),
+                thread_name_prefix="repro-shard",
+            )
         self.shards: list[Shard] = []
         for shard_id, member_ids in enumerate(
             partition_members(registry, sharding.num_shards)
@@ -512,13 +544,32 @@ class ShardedScheduler:
             for shard_id in routed
         }
         grants = self.allocator.split(round_budget, masses)
+        order = sorted(routed)
+        if self._executor is not None and len(order) > 1:
+            # Concurrent dispatch: every input (sub-batch, grant) is
+            # fixed before the first future is submitted, each shard
+            # scheduler touches only its own members, and the merge
+            # below consumes results in shard-id order — so the round's
+            # outcome is independent of thread interleaving.
+            futures = [
+                self._executor.submit(
+                    self.shards[shard_id].scheduler.admit,
+                    routed[shard_id],
+                    grants[shard_id],
+                )
+                for shard_id in order
+            ]
+            results = [future.result() for future in futures]
+        else:
+            results = [
+                self.shards[shard_id].scheduler.admit(
+                    routed[shard_id], batch_budget=grants[shard_id]
+                )
+                for shard_id in order
+            ]
         assignments: list[Assignment] = []
         deferred: list[EngineTask] = []
-        for shard_id in sorted(routed):
-            shard = self.shards[shard_id]
-            admitted, shard_deferred = shard.scheduler.admit(
-                routed[shard_id], batch_budget=grants[shard_id]
-            )
+        for shard_id, (admitted, shard_deferred) in zip(order, results):
             reserved = sum(a.reserved_cost for a in admitted)
             self.allocator.settle(grants[shard_id], reserved)
             assignments.extend(admitted)
@@ -528,6 +579,13 @@ class ShardedScheduler:
 
     def refund(self, amount: float) -> None:
         self.allocator.refund(amount)
+
+    def close(self) -> None:
+        """Release the dispatch pool (idempotent; no-op when
+        sequential).  Called when the campaign finishes or closes."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     @property
     def stats(self) -> SchedulerStats:

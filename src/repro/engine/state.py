@@ -25,6 +25,7 @@ wrong and watch re-estimation pull them toward truth.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -38,6 +39,15 @@ from ..quality.bucket import log_odds
 #: Estimated qualities are clamped inside (0, 1) so Bayesian updates
 #: never saturate and EM never locks in.
 _QUALITY_CLAMP = 0.02
+
+#: Lock stripes guarding seat assignment/release.  The registry is the
+#: one shared write surface when shard admits run on a thread pool
+#: (each shard seats only its own members, but the laws should not
+#: depend on that partition staying perfect), so ``assign``/``release``
+#: serialize per worker through a sharded lock map: worker id -> one of
+#: this many locks.  Uncontended acquisition is ~100ns, so the
+#: single-threaded path pays nothing measurable.
+_LOCK_STRIPES = 16
 
 
 class CapacityError(ReproError, RuntimeError):
@@ -159,6 +169,11 @@ class WorkerRegistry:
             )
         self.answers = AnswerMatrix(num_labels=2)
         self.reestimations = 0
+        self._locks = tuple(threading.Lock() for _ in range(_LOCK_STRIPES))
+
+    def _seat_lock(self, worker_id: str) -> threading.Lock:
+        """The stripe serializing this worker's seat mutations."""
+        return self._locks[hash(worker_id) % len(self._locks)]
 
     # ------------------------------------------------------------------
     # Lookup
@@ -224,23 +239,28 @@ class WorkerRegistry:
     # ------------------------------------------------------------------
     def assign(self, worker_id: str, task_id: str) -> None:
         """Seat a worker on a task's jury; raises :class:`CapacityError`
-        when they are already at capacity."""
+        when they are already at capacity.  Safe to call from parallel
+        shard-admit threads: the check-then-seat is atomic under the
+        worker's lock stripe, so two admits can never overshoot a
+        worker's capacity by racing the check."""
         state = self._states[worker_id]
-        if task_id in state.active_tasks:
-            raise ValueError(
-                f"worker {worker_id!r} already assigned to task {task_id!r}"
-            )
-        if state.free_capacity <= 0:
-            raise CapacityError(
-                f"worker {worker_id!r} is at capacity "
-                f"({state.load}/{state.capacity})"
-            )
-        state.active_tasks.add(task_id)
-        state.peak_load = max(state.peak_load, state.load)
+        with self._seat_lock(worker_id):
+            if task_id in state.active_tasks:
+                raise ValueError(
+                    f"worker {worker_id!r} already assigned to task {task_id!r}"
+                )
+            if state.free_capacity <= 0:
+                raise CapacityError(
+                    f"worker {worker_id!r} is at capacity "
+                    f"({state.load}/{state.capacity})"
+                )
+            state.active_tasks.add(task_id)
+            state.peak_load = max(state.peak_load, state.load)
 
     def release(self, worker_id: str, task_id: str) -> None:
         """Free the worker's seat on a task (idempotent)."""
-        self._states[worker_id].active_tasks.discard(task_id)
+        with self._seat_lock(worker_id):
+            self._states[worker_id].active_tasks.discard(task_id)
 
     def record_vote(self, worker_id: str, task_id: str, vote: int) -> None:
         """Record a landed vote: pay the worker, log the answer."""
@@ -352,6 +372,9 @@ class WorkerRegistry:
         :meth:`AnswerMatrix.vote_rows` output."""
         registry = cls.__new__(cls)
         registry._states = {}
+        registry._locks = tuple(
+            threading.Lock() for _ in range(_LOCK_STRIPES)
+        )
         for row in sorted(worker_rows, key=lambda r: r["position"]):
             worker = Worker(
                 row["worker_id"],

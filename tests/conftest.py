@@ -2,10 +2,44 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
 from repro.core import Jury, Worker, WorkerPool
+
+#: Optional per-test wall-clock limit (seconds).  CI sets this when it
+#: re-runs the engine suite with async ingestion and parallel shard
+#: dispatch forced on (see ``REPRO_ENGINE_FORCE_INGESTION`` in
+#: ``repro.engine.campaign``): a deadlock in the concurrent path then
+#: fails the one stuck test fast instead of hanging the whole job.
+_TIMEOUT_ENV = "REPRO_TEST_TIMEOUT"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    limit = float(os.environ.get(_TIMEOUT_ENV, "0") or 0)
+    if limit <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_alarm(signum, frame):  # pragma: no cover - only fires on hangs
+        raise TimeoutError(
+            f"test exceeded {_TIMEOUT_ENV}={limit:g}s (likely a deadlock "
+            "in the concurrent serving path)"
+        )
+
+    # SIGALRM interrupts lock/condition waits on the main thread, which
+    # is exactly where an intake/dispatch deadlock would park the test.
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

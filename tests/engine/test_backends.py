@@ -4,6 +4,8 @@ these are the unit-level contracts."""
 
 import json
 import sqlite3
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -183,6 +185,67 @@ class TestSQLiteBackend:
     def test_all_sections_present_in_round_trip(self, tmp_path):
         backend = SQLiteBackend(tmp_path / "c.db")
         backend.save(checkpointed_snapshot())
+        loaded = backend.load()
+        for section in SNAPSHOT_SECTIONS:
+            assert section in loaded
+
+    def test_busy_timeout_pragma_is_set(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "c.db")
+        backend.save(checkpointed_snapshot())
+        assert (
+            backend._conn.execute("PRAGMA busy_timeout").fetchone()[0]
+            == SQLiteBackend.DEFAULT_BUSY_TIMEOUT_MS
+        )
+        custom = SQLiteBackend(tmp_path / "d.db", busy_timeout_ms=123)
+        custom.save(checkpointed_snapshot())
+        assert (
+            custom._conn.execute("PRAGMA busy_timeout").fetchone()[0] == 123
+        )
+
+    def test_checkpoint_while_reader_holds_the_file(self, tmp_path):
+        """A dashboard/cache-warming reader sitting in an open read
+        transaction must not make ``checkpoint()`` raise ``database is
+        locked`` — WAL plus the busy timeout ride it out."""
+        path = tmp_path / "c.db"
+        backend = SQLiteBackend(path)
+        backend.save(checkpointed_snapshot())
+
+        reader = sqlite3.connect(path)
+        reader.execute("BEGIN")
+        assert reader.execute("SELECT COUNT(*) FROM workers").fetchone()[0]
+        try:
+            backend.save(checkpointed_snapshot(seed=9))  # must not raise
+        finally:
+            reader.rollback()
+            reader.close()
+        assert backend.exists()
+
+    def test_checkpoint_waits_out_a_transient_write_lock(self, tmp_path):
+        """A second writer (another engine process exporting its cache)
+        briefly holds the write lock mid-checkpoint; the busy timeout
+        must absorb the hold instead of surfacing ``database is
+        locked``.  A zero-timeout backend on the same file proves the
+        pragma is what makes the difference."""
+        path = tmp_path / "c.db"
+        backend = SQLiteBackend(path)
+        backend.save(checkpointed_snapshot())
+
+        locker = sqlite3.connect(path, check_same_thread=False)
+        locker.execute("BEGIN IMMEDIATE")
+        try:
+            impatient = SQLiteBackend(path, busy_timeout_ms=0)
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                impatient.save(checkpointed_snapshot(seed=9))
+            impatient.close()
+
+            release = threading.Timer(0.25, locker.commit)
+            release.start()
+            start = time.monotonic()
+            backend.save(checkpointed_snapshot(seed=11))  # waits, succeeds
+            assert time.monotonic() - start >= 0.2
+            release.join()
+        finally:
+            locker.close()
         loaded = backend.load()
         for section in SNAPSHOT_SECTIONS:
             assert section in loaded

@@ -1,4 +1,4 @@
-"""Randomized campaign-invariant harness.
+"""Randomized campaign-invariant and concurrency stress harness.
 
 The DB-nets direction in PAPERS.md treats state transitions of a
 data-aware process as explicit, checkable invariants.  This suite makes
@@ -18,17 +18,30 @@ End-of-run laws (refund conservation across shard re-absorption, spend
 reconciliation between registry and metrics, every submitted task
 completing) and **byte-identical replay** for identical seeds round out
 the harness.
+
+The second half is the *concurrency* stress harness for the async
+ingestion + parallel shard dispatch path (`repro.engine.ingest`): the
+same per-event laws under randomized seeded interleavings
+(submit-while-running producers, pause/checkpoint mid-flight, shard
+rebalance under load), byte-identical replay of seeded interleavings,
+and the deterministic-mode pins — a preloaded or run-boundary-fed
+async campaign must reproduce the sync path's fingerprint, and
+parallel shard dispatch must reproduce sequential dispatch exactly.
 """
+
+import threading
 
 import numpy as np
 import pytest
 
 from repro.engine import (
+    AsyncIngestLoop,
     Campaign,
     CampaignConfig,
     CampaignEngine,
     EngineConfig,
     EngineTask,
+    InterleavingSchedule,
     MemoryBackend,
     SQLiteBackend,
     ShardedCampaignEngine,
@@ -247,9 +260,19 @@ def test_unfunded_starved_campaign_still_conserves():
 
 
 def build_facade_campaign(
-    seed, pool_size, shards, backend=None, num_tasks=60, reestimate_every=0
+    seed,
+    pool_size,
+    shards,
+    backend=None,
+    num_tasks=60,
+    reestimate_every=0,
+    submit=True,
+    **config_kwargs,
 ):
-    """The :func:`build_campaign` scenario through the Campaign facade."""
+    """The :func:`build_campaign` scenario through the Campaign facade.
+    Extra keyword arguments reach :class:`CampaignConfig` (the async
+    and parallel-dispatch knobs); ``submit=False`` returns the campaign
+    with its tasks unsubmitted, for script-driven interleavings."""
     rng = np.random.default_rng(seed)
     pool = generate_pool(
         SyntheticPoolConfig(num_workers=pool_size, quality_ceiling=0.95), rng
@@ -262,14 +285,18 @@ def build_facade_campaign(
         reestimate_every=reestimate_every,
         seed=seed,
         num_shards=shards,
+        **config_kwargs,
     )
     campaign = Campaign.open(pool, config, backend=backend)
     truths = rng.integers(0, 2, size=num_tasks)
-    campaign.submit(
+    tasks = [
         EngineTask(f"t{i}", ground_truth=int(t))
         for i, t in enumerate(truths)
-    )
-    return campaign
+    ]
+    if submit:
+        campaign.submit(tasks)
+        return campaign
+    return campaign, tasks
 
 
 CHECKPOINT_SEEDS = SEEDS[:3]
@@ -358,3 +385,269 @@ def test_rebalancing_campaign_migrates_and_conserves():
     moved_in = sum(s.migrations_in for s in metrics.shard_snapshots)
     moved_out = sum(s.migrations_out for s in metrics.shard_snapshots)
     assert moved_in == moved_out == engine.scheduler.migrations
+
+
+# ======================================================================
+# Concurrency stress harness: async ingestion + parallel shard dispatch
+# ======================================================================
+def build_async_loop(
+    seed,
+    pool_size,
+    shards,
+    num_tasks=60,
+    parallel=0,
+    checked=True,
+    interleave=None,
+    max_pending=10_000,
+    expected_tasks=None,
+    policy="hash",
+    rebalance_threshold=0.25,
+    grace=0.05,
+):
+    """The :func:`build_campaign` scenario served through an
+    :class:`AsyncIngestLoop` (checked engines assert the global laws
+    after every event, concurrency or not).  Returns ``(loop, tasks)``
+    with the tasks *not yet submitted* — the test decides who submits
+    them, from which thread, and when."""
+    rng = np.random.default_rng(seed)
+    pool = generate_pool(
+        SyntheticPoolConfig(num_workers=pool_size, quality_ceiling=0.95), rng
+    )
+    config = EngineConfig(
+        budget=0.3 * num_tasks,
+        capacity=3,
+        batch_size=20,
+        confidence_target=0.95,
+        expected_tasks=expected_tasks,
+        ingestion="async",
+        parallel_shards=parallel,
+        seed=seed,
+    )
+    if shards == 0:
+        cls = CheckedEngine if checked else CampaignEngine
+        engine = cls(pool, config)
+    else:
+        cls = CheckedShardedEngine if checked else ShardedCampaignEngine
+        engine = cls(
+            pool,
+            config,
+            ShardingConfig(
+                shards,
+                policy=policy,
+                rebalance_threshold=rebalance_threshold,
+            ),
+        )
+    truths = rng.integers(0, 2, size=num_tasks)
+    tasks = [
+        EngineTask(f"t{i}", ground_truth=int(t))
+        for i, t in enumerate(truths)
+    ]
+    loop = AsyncIngestLoop(
+        engine, max_pending=max_pending, grace=grace, interleave=interleave
+    )
+    return loop, tasks
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "pool_size,shards,parallel", [(16, 1, 0), (48, 4, 4)]
+)
+def test_async_preloaded_matches_sync_fingerprint(
+    seed, pool_size, shards, parallel
+):
+    """Deterministic async mode, preloaded: the intake path plus
+    parallel shard dispatch must reproduce the synchronous engine's
+    fingerprint byte for byte — while the checked engine asserts every
+    per-event law along the way."""
+    reference = build_campaign(
+        seed, pool_size, shards, checked=False
+    ).run().fingerprint()
+    loop, tasks = build_async_loop(
+        seed, pool_size, shards, parallel=parallel
+    )
+    loop.submit(tasks)
+    metrics = loop.run()
+    final_laws(loop.engine, metrics)
+    assert metrics.fingerprint() == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_dispatch_is_byte_identical(seed):
+    """Thread-pool shard dispatch is purely a throughput lever: same
+    routing, same grants, same seatings, same floats as the sequential
+    in-loop dispatch."""
+    reference = build_campaign(seed, 48, 4, checked=False).run().fingerprint()
+    rng = np.random.default_rng(seed)
+    pool = generate_pool(
+        SyntheticPoolConfig(num_workers=48, quality_ceiling=0.95), rng
+    )
+    config = EngineConfig(
+        budget=0.3 * 60,
+        capacity=3,
+        batch_size=20,
+        confidence_target=0.95,
+        parallel_shards=4,
+        seed=seed,
+    )
+    engine = CheckedShardedEngine(pool, config, ShardingConfig(4))
+    truths = rng.integers(0, 2, size=60)
+    engine.submit(
+        EngineTask(f"t{i}", ground_truth=int(t))
+        for i, t in enumerate(truths)
+    )
+    metrics = engine.run()
+    final_laws(engine, metrics)
+    assert metrics.fingerprint() == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_seeded_interleavings_replay_and_conserve(seed):
+    """Randomized seeded interleavings: the schedule chops intake
+    drains into odd-sized bites at odd moments, so arrivals interleave
+    with in-flight votes very differently from the batch path — every
+    per-event law must hold regardless, every task must complete, and
+    the same schedule seed must replay byte-identically."""
+
+    def one_run():
+        loop, tasks = build_async_loop(
+            seed,
+            48,
+            4,
+            parallel=2,
+            interleave=InterleavingSchedule(seed * 31 + 1),
+            expected_tasks=60,
+        )
+        loop.submit(tasks)
+        metrics = loop.run()
+        final_laws(loop.engine, metrics)
+        assert metrics.completed == metrics.submitted == 60
+        return metrics.fingerprint()
+
+    assert one_run() == one_run()
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_submit_while_running_under_backpressure(seed):
+    """Live traffic: four producer threads stream tasks into a tightly
+    bounded intake while the serving loop seats juries and dispatches
+    shard admits in parallel.  Backpressure must bound staging, every
+    task must be served exactly once, and the per-event laws must hold
+    throughout."""
+    loop, tasks = build_async_loop(
+        seed,
+        32,
+        4,
+        parallel=2,
+        max_pending=8,
+        expected_tasks=60,
+        grace=2.0,
+    )
+    chunks = [tasks[i::4] for i in range(4)]
+
+    def producer(chunk):
+        for k, task in enumerate(chunk):
+            loop.submit([task], start_time=float(k))
+
+    producers = [
+        threading.Thread(target=producer, args=(chunk,)) for chunk in chunks
+    ]
+
+    def closer():
+        for thread in producers:
+            thread.join()
+        loop.close_intake()
+
+    closer_thread = threading.Thread(target=closer)
+    for thread in producers:
+        thread.start()
+    closer_thread.start()
+    metrics = loop.run()
+    closer_thread.join(timeout=10.0)
+    assert not closer_thread.is_alive()
+    final_laws(loop.engine, metrics)
+    assert metrics.completed == metrics.submitted == 60
+    assert loop.intake.stats.submitted == 60
+    assert loop.intake.stats.peak_pending <= 8
+
+
+@pytest.mark.parametrize("seed", CHECKPOINT_SEEDS)
+def test_async_pause_checkpoint_resume_matches_sync(seed, tmp_path):
+    """Pause/checkpoint mid-flight on the async path: a concurrent
+    campaign checkpointed with juries in flight and resumed from SQLite
+    must land on the synchronous path's fingerprint."""
+    reference = build_facade_campaign(seed, 48, 4).run().fingerprint()
+
+    path = tmp_path / f"async-{seed}.db"
+    interrupted = build_facade_campaign(
+        seed,
+        48,
+        4,
+        SQLiteBackend(path),
+        ingestion="async",
+        parallel_shards=2,
+    )
+    interrupted.run(until=10 + (seed % 3) * 15)
+    assert not interrupted.done
+    interrupted.checkpoint()
+    interrupted.close()
+
+    resumed = Campaign.resume(SQLiteBackend(path))
+    assert resumed.config.ingestion == "async"
+    assert resumed.run().fingerprint() == reference
+    final_laws(resumed.engine, resumed.metrics)
+    resumed.close()
+
+
+@pytest.mark.parametrize("seed", CHECKPOINT_SEEDS)
+def test_scripted_submission_interleavings_match_sync(seed):
+    """Submit-while-running, deterministically: a seeded script of
+    (submit a batch, serve until N) steps drives a sync campaign and an
+    async one through identical run-boundary traffic; the async path —
+    intake, drain-before-step, parallel dispatch — must reproduce the
+    sync fingerprint byte for byte."""
+    rng = np.random.default_rng(seed)
+    splits = np.sort(rng.choice(np.arange(5, 55), size=2, replace=False))
+    batches = (int(splits[0]), int(splits[1] - splits[0]), int(60 - splits[1]))
+    cut_a = int(rng.integers(1, splits[0]))
+    cut_b = int(rng.integers(cut_a + 1, splits[1]))
+
+    def scripted(**config_kwargs):
+        campaign, tasks = build_facade_campaign(
+            seed, 48, 4, submit=False, expected_tasks=60, **config_kwargs
+        )
+        first = batches[0]
+        second = batches[0] + batches[1]
+        campaign.submit(tasks[:first])
+        campaign.run(until=cut_a)
+        campaign.submit(tasks[first:second])
+        campaign.run(until=cut_b)
+        campaign.submit(tasks[second:])
+        metrics = campaign.run()
+        assert campaign.done
+        assert metrics.completed == 60
+        return metrics.fingerprint()
+
+    sync_fp = scripted()
+    async_fp = scripted(ingestion="async", parallel_shards=2)
+    assert async_fp == sync_fp
+
+
+def test_async_rebalance_under_interleaved_load():
+    """Shard rebalancing triggered while interleaved intake and
+    parallel dispatch are live: migrations must happen and every law
+    must survive workers changing shards mid-traffic."""
+    loop, tasks = build_async_loop(
+        11,
+        48,
+        4,
+        num_tasks=120,
+        parallel=4,
+        rebalance_threshold=0.05,
+        interleave=InterleavingSchedule(11),
+        expected_tasks=120,
+    )
+    loop.submit(tasks)
+    metrics = loop.run()
+    final_laws(loop.engine, metrics)
+    assert metrics.completed == 120
+    assert loop.engine.scheduler.migrations > 0

@@ -1,0 +1,61 @@
+"""Regression pin: the batched annealing chain on the Table-3 benchmark.
+
+``AnnealingSelector(neighborhood="batched")`` changes the proposal
+distribution (one full-neighborhood sweep per temperature instead of
+the paper's one-candidate chain), so before it can be recommended the
+ROADMAP asked for its *error* — the optimality gap against the
+exhaustive optimum — to be evaluated on the paper's Table-3 benchmark.
+
+Evaluated verdict (recorded in ROADMAP.md, 5 seeds x 6 budgets x 10
+reps, N=11, restarts=3): the batched chain is at least as concentrated
+as the sequential one — mean gap 0.067pp vs 0.238pp, 97.0% vs 93.3% of
+runs in the [0, 0.01]pp bin, >3pp tail 1.0% vs 2.3%.  This suite pins
+that relationship at reduced repetitions so a regression in the batched
+sweep (scoring, acceptance, or feasibility filtering) fails CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7 import DEFAULT_7A_BUDGETS, _gap_samples
+
+SEEDS = (0, 7, 42)
+REPS = 5
+#: Per-seed tolerance (percentage points of JQ) the batched chain's
+#: mean gap may exceed the sequential chain's.  The evaluation found
+#: the batched chain *ahead* on aggregate; the slack absorbs individual
+#: seeds where the two chains trade places without letting a broken
+#: sweep (gaps of multiple points) through.
+TOLERANCE_PP = 0.5
+
+
+def _mean_gap_pp(neighborhood: str, seed: int) -> float:
+    _, optimal, annealed = _gap_samples(
+        DEFAULT_7A_BUDGETS, REPS, seed, 11, 3, neighborhood
+    )
+    return float(
+        np.mean([max(o - a, 0.0) * 100.0 for o, a in zip(optimal, annealed)])
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batched_error_within_tolerance_of_sequential(seed):
+    sequential = _mean_gap_pp("sequential", seed)
+    batched = _mean_gap_pp("batched", seed)
+    assert batched <= sequential + TOLERANCE_PP
+
+
+def test_batched_gap_concentrates_near_zero():
+    """Across all seeds the batched chain must keep the Table-3 shape:
+    the overwhelming majority of runs land in the [0, 0.01]pp bin."""
+    gaps = []
+    for seed in SEEDS:
+        _, optimal, annealed = _gap_samples(
+            DEFAULT_7A_BUDGETS, REPS, seed, 11, 3, "batched"
+        )
+        gaps.extend(
+            max(o - a, 0.0) * 100.0 for o, a in zip(optimal, annealed)
+        )
+    gaps = np.asarray(gaps)
+    assert np.mean(gaps <= 0.01) >= 0.85
+    assert np.mean(gaps > 3.0) <= 0.05

@@ -142,3 +142,62 @@ class TestFrontierKernelParity:
     def test_unknown_implementation_rejected(self, figure1_pool):
         with pytest.raises(ValueError):
             exact_frontier(figure1_pool, implementation="vectorized")
+
+
+class _LatticeSpy(JQObjective):
+    """Records what ``all_subsets`` returned, so tests can assert which
+    path ``exact_frontier(implementation="auto")`` actually took."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.lattice_results = []
+
+    def all_subsets(self, qualities):
+        result = super().all_subsets(qualities)
+        self.lattice_results.append(result is not None)
+        return result
+
+
+class TestLatticeBoundary:
+    """The subset lattice caps at ``ALL_SUBSETS_MAX`` (= 14) workers:
+    the 2^n jq array is the limiting allocation.  At the cap the kernel
+    must run; one past it, ``implementation="auto"`` must fall back to
+    the chunked per-jury path — with identical frontiers either side."""
+
+    def _pool(self, n):
+        rng = np.random.default_rng(2015)
+        return WorkerPool(
+            Worker(f"w{i}", float(0.55 + 0.4 * q), float(0.2 + c))
+            for i, (q, c) in enumerate(
+                zip(rng.random(n), rng.random(n))
+            )
+        )
+
+    def test_cap_is_fourteen(self):
+        from repro.quality import ALL_SUBSETS_MAX
+
+        assert ALL_SUBSETS_MAX == 14
+        objective = JQObjective()
+        assert objective.all_subsets(np.full(14, 0.7)) is not None
+        assert objective.all_subsets(np.full(15, 0.7)) is None
+
+    def test_auto_at_cap_runs_the_kernel(self):
+        pool = self._pool(14)
+        spy = _LatticeSpy()
+        auto = exact_frontier(pool, spy, implementation="auto")
+        assert spy.lattice_results == [True]  # the lattice served it
+        assert spy.evaluations == 2**14 - 1
+        scalar = exact_frontier(
+            pool, JQObjective(), implementation="scalar"
+        )
+        assert auto.points == scalar.points
+
+    def test_auto_past_cap_falls_back_cleanly(self):
+        pool = self._pool(15)
+        spy = _LatticeSpy()
+        auto = exact_frontier(pool, spy, implementation="auto")
+        assert spy.lattice_results == [False]  # lattice declined...
+        scalar = exact_frontier(
+            pool, JQObjective(), implementation="scalar"
+        )
+        assert auto.points == scalar.points  # ...fallback still exact
