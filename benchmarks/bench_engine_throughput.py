@@ -33,6 +33,7 @@ def run_campaign(
     num_tasks: int,
     quantization: int | None = 200,
     reestimate_every: int = 0,
+    **config_overrides,
 ):
     rng = np.random.default_rng(SEED)
     # Cap qualities below 1: the clipped Gaussian otherwise mints
@@ -49,6 +50,7 @@ def run_campaign(
         quantization=quantization,
         reestimate_every=reestimate_every,
         seed=SEED,
+        **config_overrides,
     )
     campaign = Campaign.open(pool, config)
     truths = rng.integers(0, 2, size=num_tasks)

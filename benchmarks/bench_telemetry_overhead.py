@@ -1,0 +1,82 @@
+"""Telemetry overhead gate: the hub must be cheap enough to leave on.
+
+Repeats the 1k-task campaign from :mod:`bench_engine_throughput` with
+telemetry off (the :class:`NullTelemetry` default — instrumentation
+sites cost an attribute lookup and an empty call) and on (the full hub:
+counters, spans, histograms, event trace), takes the min wall time of
+several rounds each, and gates the ratio:
+
+* acceptance bar: telemetry **on** costs at most **10%** throughput
+  against the NullTelemetry baseline;
+* the measured overhead lands in ``BENCH_engine.json`` under
+  ``telemetry-overhead`` so CI diffs catch creep.
+
+Fingerprints are asserted byte-identical across the two modes while
+we're here — the overhead run doubles as an observation-only check at
+benchmark scale.
+"""
+
+import time
+
+from bench_engine_throughput import run_campaign
+
+NUM_TASKS = 1_000
+ROUNDS = 7
+MAX_OVERHEAD = 0.10
+
+
+def _timed_run(telemetry: str) -> tuple[float, str]:
+    start = time.perf_counter()
+    _, metrics, _ = run_campaign(NUM_TASKS, telemetry=telemetry)
+    elapsed = time.perf_counter() - start
+    assert metrics.completed == NUM_TASKS
+    return elapsed, metrics.fingerprint()
+
+
+def test_telemetry_overhead(benchmark, emit, emit_json):
+    def sweep():
+        # One untimed warmup per mode, then *interleaved* timed rounds:
+        # machine drift (CPU contention, cache warmth) hits both modes
+        # equally instead of biasing whichever block ran second.
+        _timed_run("off")
+        _timed_run("on")
+        off_wall = on_wall = float("inf")
+        off_fp = on_fp = None
+        for _ in range(ROUNDS):
+            elapsed, off_fp = _timed_run("off")
+            off_wall = min(off_wall, elapsed)
+            elapsed, on_fp = _timed_run("on")
+            on_wall = min(on_wall, elapsed)
+        assert on_fp == off_fp, (
+            "telemetry changed campaign decisions at benchmark scale"
+        )
+        return off_wall, on_wall
+
+    off_wall, on_wall = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    overhead = on_wall / off_wall - 1.0
+    emit(
+        "Telemetry overhead (1k tasks, min of "
+        f"{ROUNDS} rounds)\n"
+        f"  telemetry off: {off_wall:.3f}s "
+        f"({NUM_TASKS / off_wall:,.0f} tasks/s)\n"
+        f"  telemetry on : {on_wall:.3f}s "
+        f"({NUM_TASKS / on_wall:,.0f} tasks/s)\n"
+        f"  overhead     : {overhead:+.1%} (bar: <= {MAX_OVERHEAD:.0%})"
+    )
+    emit_json(
+        "telemetry-overhead",
+        {
+            "tasks": NUM_TASKS,
+            "rounds": ROUNDS,
+            "off_wall_seconds": off_wall,
+            "on_wall_seconds": on_wall,
+            "off_tasks_per_sec": NUM_TASKS / off_wall,
+            "on_tasks_per_sec": NUM_TASKS / on_wall,
+            "overhead_fraction": overhead,
+            "max_overhead_fraction": MAX_OVERHEAD,
+        },
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"telemetry overhead {overhead:.1%} exceeds "
+        f"{MAX_OVERHEAD:.0%} bar"
+    )

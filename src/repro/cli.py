@@ -9,6 +9,7 @@ Commands
 ``simulate-pool``  generate a synthetic Section-6.1.1 pool CSV
 ``experiment``     run one of the paper's figure/table drivers
 ``engine``         run a simulated campaign through the serving engine
+``trace``          inspect Chrome-trace files written by ``engine``
 
 Every command reads/writes plain CSV/JSON (see :mod:`repro.io`), so the
 CLI composes with shell pipelines and spreadsheets.
@@ -17,6 +18,7 @@ CLI composes with shell pipelines and spreadsheets.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Sequence
@@ -111,6 +113,16 @@ def _nonnegative_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"bad integer {text!r}") from exc
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad float {text!r}") from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -267,7 +279,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "this many workers (0 = sequential; "
                             "decisions are byte-identical either way; "
                             "needs --num-shards > 1 to matter)")
+    p_eng.add_argument("--telemetry", default=None,
+                       choices=("off", "on"),
+                       help="enable the telemetry hub (counters, spans, "
+                            "trace); implied by --trace-out/--metrics-out")
+    p_eng.add_argument("--trace-out", default=None,
+                       help="write a Chrome trace-event JSON here after "
+                            "the run (open in Perfetto or "
+                            "chrome://tracing)")
+    p_eng.add_argument("--metrics-out", default=None,
+                       help="write a telemetry metrics snapshot (JSON) "
+                            "here after the run")
+    p_eng.add_argument("--metrics-interval", type=_positive_float,
+                       default=None,
+                       help="windowed-rate interval in seconds for "
+                            "intake/throughput series (default 1.0)")
     p_eng.add_argument("--seed", type=int, default=None)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect Chrome-trace files written by the engine")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summarize",
+        help="per-span duration stats and event counts for a trace file")
+    p_tsum.add_argument("file", help="Chrome trace-event JSON path")
+    p_tsum.add_argument("--top", type=_positive_int, default=20,
+                        help="show at most this many span rows")
 
     return parser
 
@@ -352,6 +389,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "engine":
         return _run_engine_command(args)
 
+    if args.command == "trace":
+        return _run_trace_summarize(args)
+
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -397,6 +437,13 @@ def _run_engine_command(args) -> int:
                 ),
                 rng,
             )
+        # --trace-out / --metrics-out are useless without the hub, so
+        # they imply telemetry unless the user said "off" explicitly.
+        telemetry = args.telemetry
+        if telemetry is None:
+            telemetry = (
+                "on" if (args.trace_out or args.metrics_out) else "off"
+            )
         config = CampaignConfig(
             budget=args.budget,
             capacity=args.capacity,
@@ -410,6 +457,9 @@ def _run_engine_command(args) -> int:
             checkpoint_every=args.checkpoint_every,
             ingestion=args.ingestion,
             parallel_shards=args.parallel_shards,
+            telemetry=telemetry,
+            trace_path=args.trace_out,
+            metrics_interval=args.metrics_interval or 1.0,
             seed=args.seed,
             num_shards=num_shards,
             routing_policy=routing_policy,
@@ -433,6 +483,24 @@ def _run_engine_command(args) -> int:
         exported = campaign.export_cache(args.cache_file)
         print(f"# exported JQ cache: {exported} entries to "
               f"{args.cache_file}")
+    if args.trace_out is not None:
+        if campaign.telemetry.enabled:
+            # Fresh runs already wrote config.trace_path during run();
+            # resumed campaigns carry no CLI-supplied trace_path, so
+            # write explicitly.  Rewriting is idempotent.
+            count = campaign.write_trace(args.trace_out)
+            print(f"# wrote trace: {count} events to {args.trace_out}")
+        else:
+            print(
+                "warning: --trace-out ignored: campaign was opened with "
+                "telemetry off (resumed checkpoint?)",
+                file=sys.stderr,
+            )
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(campaign.snapshot_metrics(), handle, indent=2)
+            handle.write("\n")
+        print(f"# wrote metrics snapshot to {args.metrics_out}")
     if not campaign.done:
         note = (
             "checkpointed; rerun with --resume to continue"
@@ -442,6 +510,74 @@ def _run_engine_command(args) -> int:
         print(f"# paused at {metrics.completed} completed tasks ({note})")
     print(metrics.render(budget=campaign.config.budget))
     campaign.close()
+    return 0
+
+
+def _run_trace_summarize(args) -> int:
+    """Digest a Chrome trace-event file: per-span duration stats
+    (count / total / mean / max, in ms) and instant-event counts."""
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.file} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    # Both container shapes Chrome accepts: the object form (what the
+    # engine writes) and the bare event array.
+    events = data.get("traceEvents") if isinstance(data, dict) else data
+    if not isinstance(events, list):
+        print(f"error: {args.file} has no traceEvents list",
+              file=sys.stderr)
+        return 2
+
+    spans: dict[str, list[float]] = {}
+    instants: dict[str, int] = {}
+    skipped = 0
+    for event in events:
+        if not isinstance(event, dict):
+            skipped += 1
+            continue
+        phase = event.get("ph")
+        name = str(event.get("name", "?"))
+        if phase == "X":
+            spans.setdefault(name, []).append(
+                float(event.get("dur", 0)) / 1000.0
+            )
+        elif phase == "i" or phase == "I":
+            instants[name] = instants.get(name, 0) + 1
+        elif phase != "M":  # metadata rows are expected, not "skipped"
+            skipped += 1
+
+    total_spans = sum(len(v) for v in spans.values())
+    print(f"trace: {args.file}")
+    print(f"  {total_spans} spans, {sum(instants.values())} instant "
+          f"events" + (f", {skipped} unrecognized" if skipped else ""))
+    if spans:
+        print("spans (ms):")
+        header = (f"  {'name':<24} {'count':>6} {'total':>10} "
+                  f"{'mean':>9} {'max':>9}")
+        print(header)
+        ranked = sorted(
+            spans.items(), key=lambda kv: -sum(kv[1])
+        )[: args.top]
+        for name, durations in ranked:
+            total = sum(durations)
+            print(f"  {name:<24} {len(durations):>6} {total:>10.3f} "
+                  f"{total / len(durations):>9.4f} "
+                  f"{max(durations):>9.4f}")
+        if len(spans) > args.top:
+            print(f"  ... {len(spans) - args.top} more span names "
+                  f"(--top to widen)")
+    if instants:
+        print("events:")
+        for name, count in sorted(
+            instants.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            print(f"  {name:<24} {count:>6}")
     return 0
 
 

@@ -31,6 +31,12 @@ one budget, and finite worker attention".  See the module docstrings:
 ``metrics``
     :class:`EngineMetrics` — throughput, realized-vs-predicted
     accuracy, spend, cache stats, per-shard/allocator snapshots.
+``telemetry``
+    :class:`Telemetry` / :data:`NULL_TELEMETRY` — thread-safe metrics
+    registry (counters, gauges, latency histograms), bounded structured
+    event trace with profiling spans, windowed intake/throughput rates,
+    and JSON / Prometheus / Chrome-trace exports
+    (``CampaignConfig(telemetry="on")``).
 ``campaign`` / ``config`` / ``backends``
     :class:`Campaign` — the public serving facade: explicit lifecycle
     (``open`` / ``submit`` / ``run(until=...)`` / ``checkpoint`` /
@@ -104,6 +110,13 @@ from .state import (
     informativeness,
     quality_mass,
 )
+from .telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    SpanRecord,
+    Telemetry,
+    TraceEvent,
+)
 
 __all__ = [
     "AllocatorSnapshot",
@@ -130,11 +143,14 @@ __all__ = [
     "IntakeQueue",
     "InterleavingSchedule",
     "MemoryBackend",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
     "ROUTING_POLICIES",
     "SQLiteBackend",
     "SchedulerStats",
     "Shard",
     "ShardRegistryView",
+    "SpanRecord",
     "ShardSnapshot",
     "ShardedCampaignEngine",
     "ShardedScheduler",
@@ -144,6 +160,8 @@ __all__ = [
     "TaskArrival",
     "TaskComplete",
     "TaskRecord",
+    "Telemetry",
+    "TraceEvent",
     "VoteArrival",
     "WorkerRegistry",
     "WorkerState",

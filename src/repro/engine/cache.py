@@ -104,6 +104,17 @@ class CacheStats:
             text += f", {self.evictions} evicted"
         return text
 
+    def telemetry_gauges(self, **labels):
+        """``(name, labels, value)`` gauge triples for a
+        :meth:`~repro.engine.telemetry.Telemetry.add_collector`
+        callable — the uniform shape the engine and sharded-scheduler
+        collectors report cache health through."""
+        yield "cache.hits", labels, float(self.hits)
+        yield "cache.misses", labels, float(self.misses)
+        yield "cache.entries", labels, float(self.entries)
+        yield "cache.evictions", labels, float(self.evictions)
+        yield "cache.hit_rate", labels, self.hit_rate
+
 
 class JQCache:
     """Campaign-wide memoization of ``qualities -> JQ(BV, alpha)``.

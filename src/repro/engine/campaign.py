@@ -48,7 +48,7 @@ from .backends import (
 from .config import CampaignConfig
 from .engine import CampaignEngine, _TaskRuntime
 from .events import EngineTask, EventQueue
-from .ingest import AsyncIngestLoop
+from .ingest import AsyncIngestLoop, IngestStats
 from .metrics import EngineMetrics
 from .scheduler import Assignment
 from .sharding import ShardedCampaignEngine, ShardedScheduler
@@ -62,6 +62,7 @@ from .cache import load_cache_file, save_cache_file
 #: explicit config), and only when the value is non-empty.
 FORCE_INGESTION_ENV = "REPRO_ENGINE_FORCE_INGESTION"
 FORCE_PARALLEL_SHARDS_ENV = "REPRO_ENGINE_FORCE_PARALLEL_SHARDS"
+FORCE_TELEMETRY_ENV = "REPRO_ENGINE_FORCE_TELEMETRY"
 
 
 def _apply_env_overrides(config: CampaignConfig) -> CampaignConfig:
@@ -72,6 +73,11 @@ def _apply_env_overrides(config: CampaignConfig) -> CampaignConfig:
     parallel = os.environ.get(FORCE_PARALLEL_SHARDS_ENV)
     if parallel:
         updates["parallel_shards"] = int(parallel)
+    if os.environ.get(FORCE_TELEMETRY_ENV):
+        # Any non-empty value forces the live hub on — telemetry only
+        # observes, so forcing it must never change a decision (that is
+        # exactly what the CI job running under this toggle verifies).
+        updates["telemetry"] = "on"
     if not updates:
         return config
     return dataclasses.replace(config, **updates)
@@ -239,7 +245,9 @@ class Campaign:
         self._require_open()
         engine = self._engine
         if self._ingest is not None:
-            return self._ingest.run(until)
+            metrics = self._ingest.run(until)
+            self._write_configured_trace()
+            return metrics
         engine._start()
         start = time.perf_counter()
         while engine._queue and (
@@ -256,7 +264,16 @@ class Campaign:
             # fingerprints are untouched.
             engine._collect_stats()
         engine.metrics.wall_seconds += time.perf_counter() - start
+        self._write_configured_trace()
         return engine.metrics
+
+    def _write_configured_trace(self) -> None:
+        """Honor ``config.trace_path`` after every run (cumulative: the
+        hub keeps its ring buffers across pauses, so the last write
+        carries the fullest trace)."""
+        path = self._config.trace_path
+        if path and self._engine.telemetry.enabled:
+            self._engine.telemetry.write_trace(path)
 
     def close_intake(self) -> None:
         """Stop accepting async submissions (idempotent; sync campaigns
@@ -273,6 +290,41 @@ class Campaign:
             return None
         return self._ingest.intake.stats
 
+    @property
+    def telemetry(self):
+        """The engine's telemetry hub —
+        :data:`~repro.engine.telemetry.NULL_TELEMETRY` when
+        ``config.telemetry="off"``."""
+        return self._engine.telemetry
+
+    def snapshot_metrics(self) -> dict:
+        """JSON-serialisable metrics snapshot: campaign aggregates plus
+        the full telemetry export (counters, gauges, histograms, and the
+        windowed intake/throughput rates)."""
+        self._require_open()
+        metrics = self._engine.metrics
+        return {
+            "completed": metrics.completed,
+            "submitted": metrics.submitted,
+            "early_stopped": metrics.early_stopped,
+            "unfunded": metrics.unfunded,
+            "votes_cast": metrics.votes_cast,
+            "votes_cancelled": metrics.votes_cancelled,
+            "total_spend": metrics.total_spend,
+            "total_refunded": metrics.total_refunded,
+            "throughput": metrics.throughput,
+            "wall_seconds": metrics.wall_seconds,
+            "intake": metrics.intake_stats,
+            "telemetry": self._engine.telemetry.snapshot(),
+        }
+
+    def write_trace(self, path) -> int:
+        """Write the campaign's Chrome trace-event JSON to ``path`` and
+        return the event count (0 when telemetry is off).  The file
+        loads directly in Perfetto (https://ui.perfetto.dev)."""
+        self._require_open()
+        return self._engine.telemetry.write_trace(str(path))
+
     def checkpoint(self) -> None:
         """Persist the full campaign state to the backend, replacing
         any earlier checkpoint.  Async campaigns fold staged intake
@@ -282,6 +334,9 @@ class Campaign:
         self._require_open()
         if self._ingest is not None:
             self._ingest.quiesce_intake()
+        self._engine.telemetry.event(
+            "checkpoint", completed=self._engine.metrics.completed
+        )
         self._backend.save(self._snapshot())
 
     # ------------------------------------------------------------------
@@ -392,6 +447,15 @@ class Campaign:
             "queue": engine._queue.state_dict(),
             "rng": engine._rng.bit_generator.state,
             "metrics": engine.metrics.state_dict(),
+            # Observability state rides along (None when telemetry is
+            # off / the intake is sync); restore is .get()-tolerant so
+            # snapshots predating these keys still load.
+            "telemetry": engine.telemetry.state_dict(),
+            "intake_stats": (
+                None
+                if self._ingest is None
+                else self._ingest.intake.stats.state_dict()
+            ),
         }
 
         scheduler = engine.scheduler
@@ -495,7 +559,14 @@ class Campaign:
                     shard.cache.load_state(
                         snapshot["caches"][f"shard:{shard.shard_id}"]
                     )
+        engine.telemetry.load_state(section.get("telemetry"))
         self._config = config
         self._engine = engine
         engine._checkpoint_hook = self.checkpoint
         self._attach_ingest()
+        intake_state = section.get("intake_stats")
+        if self._ingest is not None and intake_state:
+            # The intake queue is rebuilt fresh; the counters are not —
+            # a resumed campaign's intake totals keep accumulating
+            # instead of silently resetting to zero.
+            self._ingest.intake.stats = IngestStats.from_state(intake_state)

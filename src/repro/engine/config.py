@@ -59,6 +59,9 @@ class CampaignConfig:
     parallel_shards: int = 0
     ingest_max_pending: int = 10_000
     ingest_grace: float = 0.05
+    telemetry: str = "off"
+    trace_path: str | None = None
+    metrics_interval: float = 1.0
     seed: int | None = None
     # -- sharding / routing (ShardingConfig) ---------------------------
     num_shards: int = 1

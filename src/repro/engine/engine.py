@@ -55,6 +55,7 @@ from .events import (
 from .metrics import EngineMetrics, TaskRecord
 from .scheduler import Assignment, CampaignScheduler
 from .state import WorkerRegistry, informativeness_key
+from .telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -132,6 +133,20 @@ class EngineConfig:
         Async coalescing deadline (seconds): how long an idle serving
         loop waits for straggler producers before finishing (or
         returning from a paused run).
+    telemetry:
+        ``"off"`` (default) serves with the no-op
+        :data:`~repro.engine.telemetry.NULL_TELEMETRY`; ``"on"`` attaches
+        a live :class:`~repro.engine.telemetry.Telemetry` hub (counters,
+        histograms, event trace, profiling spans).  Telemetry only
+        *observes* — decisions, RNG draws, and fingerprints are
+        byte-identical either way (pinned by the telemetry suite).
+    trace_path:
+        Under the Campaign facade, write a Chrome trace-event JSON file
+        here after every ``run()`` (requires ``telemetry="on"``; open it
+        in Perfetto).  Ignored by the bare engine.
+    metrics_interval:
+        Width (seconds) of the windowed intake/throughput rate buckets
+        in the telemetry snapshot.
     seed:
         Seed for the engine's single random generator (vote simulation
         and latent-truth draws).
@@ -157,6 +172,9 @@ class EngineConfig:
     parallel_shards: int = 0
     ingest_max_pending: int = 10_000
     ingest_grace: float = 0.05
+    telemetry: str = "off"
+    trace_path: str | None = None
+    metrics_interval: float = 1.0
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -180,6 +198,10 @@ class EngineConfig:
             raise ValueError("ingest_max_pending must be >= 1")
         if self.ingest_grace <= 0:
             raise ValueError("ingest_grace must be positive")
+        if self.telemetry not in ("off", "on"):
+            raise ValueError("telemetry must be 'off' or 'on'")
+        if self.metrics_interval <= 0:
+            raise ValueError("metrics_interval must be positive")
         if not 0.5 <= self.confidence_target <= 1.0:
             raise ValueError("confidence_target must lie in [0.5, 1]")
         if self.cache_max_entries is not None and self.cache_max_entries < 1:
@@ -247,6 +269,12 @@ class CampaignEngine:
             max_entries=config.cache_max_entries,
         )
         self.metrics = EngineMetrics()
+        self.telemetry = (
+            Telemetry(interval=config.metrics_interval)
+            if config.telemetry == "on"
+            else NULL_TELEMETRY
+        )
+        self.telemetry.add_collector(self._telemetry_gauges)
         self.scheduler: CampaignScheduler | None = None
         self._queue = EventQueue()
         self._rng = np.random.default_rng(config.seed)
@@ -364,7 +392,20 @@ class CampaignEngine:
             expected_tasks=expected_tasks,
             frontier_pool_size=self.config.frontier_pool_size,
             jq_kernel=self.config.jq_kernel,
+            telemetry=self.telemetry,
         )
+
+    def _telemetry_gauges(self):
+        """Pull-based gauges for the telemetry snapshot (collector: read
+        only at export time, zero hot-path cost)."""
+        yield from self.cache.stats.telemetry_gauges()
+        yield "registry.active_seats", {}, float(self.registry.active_seats)
+        yield "registry.total_capacity", {}, float(
+            self.registry.total_capacity
+        )
+        yield "registry.peak_load", {}, float(self.registry.peak_load)
+        yield "engine.tasks_active", {}, float(len(self._active))
+        yield "engine.tasks_deferred", {}, float(len(self._deferred))
 
     def _collect_stats(self) -> None:
         """Fold end-of-run state into the metrics.  Subclass hook: the
@@ -394,6 +435,8 @@ class CampaignEngine:
     def _on_arrival(self, event: TaskArrival) -> None:
         self._batch.append(event.task)
         self.metrics.submitted += 1
+        self.telemetry.inc("engine.tasks_submitted")
+        self.telemetry.mark("intake")
         if (
             len(self._batch) >= self.config.batch_size
             or self._queue.pending(TaskArrival) == 0
@@ -416,6 +459,12 @@ class CampaignEngine:
         assert self.scheduler is not None
         assignments, deferred = self.scheduler.admit(take)
         self._deferred = deferred + rest
+        self.telemetry.event(
+            "admit",
+            batch=len(take),
+            seated=len(assignments),
+            deferred=len(deferred),
+        )
         for assignment in assignments:
             self._start_task(assignment)
 
@@ -459,6 +508,10 @@ class CampaignEngine:
         runtime = self._active.get(event.task_id)
         if runtime is None or runtime.done:
             self.metrics.votes_cancelled += 1  # landed after early stop
+            self.telemetry.inc("engine.votes_cancelled")
+            self.telemetry.event(
+                "cancel", task=event.task_id, worker=event.worker_id
+            )
             return
         worker = self.registry.worker(event.worker_id)
         q_true = self.registry.true_quality(event.worker_id)
@@ -467,6 +520,10 @@ class CampaignEngine:
         runtime.session.add_vote(worker, vote)
         self.registry.record_vote(event.worker_id, event.task_id, vote)
         self.metrics.votes_cast += 1
+        self.telemetry.inc("engine.votes_cast")
+        self.telemetry.event(
+            "vote", task=event.task_id, worker=event.worker_id, vote=vote
+        )
         runtime.pending_workers.remove(event.worker_id)
 
         if not runtime.pending_workers:
@@ -513,11 +570,18 @@ class CampaignEngine:
                 )
             )
 
+        self.telemetry.inc("engine.tasks_completed", reason=event.reason)
+        self.telemetry.mark("throughput")
+
         every = self.config.reestimate_every
         if every and self.metrics.completed % every == 0:
-            self.registry.reestimate(
-                method=self.config.reestimate_method,
-                learning_rate=self.config.reestimate_rate,
+            with self.telemetry.span("reestimate"):
+                self.registry.reestimate(
+                    method=self.config.reestimate_method,
+                    learning_rate=self.config.reestimate_rate,
+                )
+            self.telemetry.event(
+                "re-estimation", passes=self.registry.reestimations
             )
 
         # Freed capacity may unblock deferred tasks.

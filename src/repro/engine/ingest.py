@@ -50,13 +50,14 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.exceptions import ReproError
 from .events import EngineTask
 from .metrics import EngineMetrics
+from .telemetry import NULL_TELEMETRY
 
 
 class IngestionError(ReproError, RuntimeError):
@@ -74,13 +75,63 @@ class IngestionOverflow(IngestionError):
 
 @dataclass
 class IngestStats:
-    """Running intake counters (read under no lock: observability only)."""
+    """Running intake counters (read under no lock: observability only).
+
+    ``per_producer`` keys on the submitting thread's name and carries
+    ``submits`` / ``overflows`` / ``blocked_seconds`` per producer — the
+    measurement half of per-producer fairness under backpressure: a
+    producer whose ``blocked_seconds`` dwarfs its peers' is the one the
+    bound is starving.
+    """
 
     submitted: int = 0
     drained: int = 0
     drains: int = 0
     peak_pending: int = 0
     blocked_submits: int = 0  # staged tasks that had to wait out a full queue
+    overflows: int = 0  # submits that gave up after a backpressure timeout
+    per_producer: dict[str, dict] = field(default_factory=dict)
+
+    def producer(self, name: str) -> dict:
+        """The named producer's counter row (created on first use).
+        Call under the intake mutex."""
+        entry = self.per_producer.get(name)
+        if entry is None:
+            entry = self.per_producer[name] = {
+                "submits": 0,
+                "overflows": 0,
+                "blocked_seconds": 0.0,
+            }
+        return entry
+
+    # -- persistence (campaign checkpoints carry intake totals) --------
+    def state_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "drained": self.drained,
+            "drains": self.drains,
+            "peak_pending": self.peak_pending,
+            "blocked_submits": self.blocked_submits,
+            "overflows": self.overflows,
+            "per_producer": {
+                name: dict(entry) for name, entry in self.per_producer.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state) -> "IngestStats":
+        return cls(
+            submitted=int(state.get("submitted", 0)),
+            drained=int(state.get("drained", 0)),
+            drains=int(state.get("drains", 0)),
+            peak_pending=int(state.get("peak_pending", 0)),
+            blocked_submits=int(state.get("blocked_submits", 0)),
+            overflows=int(state.get("overflows", 0)),
+            per_producer={
+                name: dict(entry)
+                for name, entry in state.get("per_producer", {}).items()
+            },
+        )
 
 
 class IntakeQueue:
@@ -99,10 +150,13 @@ class IntakeQueue:
         engine's own duplicate check.
     """
 
-    def __init__(self, max_pending: int = 10_000, seen_ids=()) -> None:
+    def __init__(
+        self, max_pending: int = 10_000, seen_ids=(), telemetry=NULL_TELEMETRY
+    ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self.max_pending = max_pending
+        self.telemetry = telemetry
         self._mutex = threading.Lock()
         self._not_full = threading.Condition(self._mutex)
         self._not_empty = threading.Condition(self._mutex)
@@ -131,6 +185,7 @@ class IntakeQueue:
         Returns the number of tasks staged.
         """
         count = 0
+        producer = threading.current_thread().name
         for i, task in enumerate(tasks):
             if not isinstance(task, EngineTask):
                 raise TypeError(
@@ -138,26 +193,41 @@ class IntakeQueue:
                 )
             arrival = start_time + i * spacing
             with self._not_full:
+                entry = self.stats.producer(producer)
                 if len(self._items) >= self.max_pending:
                     self.stats.blocked_submits += 1
+                    blocked_at = time.monotonic()
                     deadline = (
-                        None if timeout is None else time.monotonic() + timeout
+                        None if timeout is None else blocked_at + timeout
                     )
-                    while (
-                        len(self._items) >= self.max_pending
-                        and not self._closed
-                    ):
-                        remaining = (
-                            None
-                            if deadline is None
-                            else deadline - time.monotonic()
-                        )
-                        if remaining is not None and remaining <= 0:
-                            raise IngestionOverflow(
-                                f"intake full ({self.max_pending} pending) "
-                                f"for {timeout:g}s"
+                    try:
+                        while (
+                            len(self._items) >= self.max_pending
+                            and not self._closed
+                        ):
+                            remaining = (
+                                None
+                                if deadline is None
+                                else deadline - time.monotonic()
                             )
-                        self._not_full.wait(remaining)
+                            if remaining is not None and remaining <= 0:
+                                self.stats.overflows += 1
+                                entry["overflows"] += 1
+                                self.telemetry.inc("intake.overflows")
+                                self.telemetry.event(
+                                    "intake-overflow",
+                                    producer=producer,
+                                    pending=len(self._items),
+                                )
+                                raise IngestionOverflow(
+                                    f"intake full ({self.max_pending} pending) "
+                                    f"for {timeout:g}s"
+                                )
+                            self._not_full.wait(remaining)
+                    finally:
+                        entry["blocked_seconds"] += (
+                            time.monotonic() - blocked_at
+                        )
                 if self._closed:
                     raise IngestionClosed(
                         "intake is closed; the campaign is no longer "
@@ -168,11 +238,17 @@ class IntakeQueue:
                 self._seen.add(task.task_id)
                 self._items.append((arrival, task))
                 self.stats.submitted += 1
+                entry["submits"] += 1
                 self.stats.peak_pending = max(
                     self.stats.peak_pending, len(self._items)
                 )
                 self._not_empty.notify_all()
+            self.telemetry.inc("intake.submitted")
             count += 1
+        if count:
+            self.telemetry.event(
+                "intake-submit", producer=producer, staged=count
+            )
         return count
 
     def close(self) -> None:
@@ -189,6 +265,10 @@ class IntakeQueue:
     def drain(self, max_items: int | None = None) -> list[tuple[float, EngineTask]]:
         """Pop up to ``max_items`` staged ``(arrival_time, task)`` pairs
         (everything pending when ``None``), oldest first.  Never blocks."""
+        # The drain is called once per loop step (usually empty), so the
+        # timing probe only fires when telemetry is live.
+        timed = self.telemetry.enabled
+        t0 = time.monotonic() if timed else 0.0
         with self._not_full:
             take = len(self._items)
             if max_items is not None:
@@ -198,7 +278,12 @@ class IntakeQueue:
                 self.stats.drained += len(out)
                 self.stats.drains += 1
                 self._not_full.notify_all()
-            return out
+        if out and timed:
+            self.telemetry.observe(
+                "intake_drain_seconds", time.monotonic() - t0
+            )
+            self.telemetry.event("intake-drain", count=len(out))
+        return out
 
     def wait_for_traffic(self, timeout: float) -> bool:
         """Block up to ``timeout`` seconds for something to drain;
@@ -285,7 +370,9 @@ class AsyncIngestLoop:
         self.grace = grace
         self.interleave = interleave
         self.intake = IntakeQueue(
-            max_pending, seen_ids=engine._task_ids
+            max_pending,
+            seen_ids=engine._task_ids,
+            telemetry=engine.telemetry,
         )
         self._running = False
 
@@ -379,5 +466,9 @@ class AsyncIngestLoop:
                 engine._finish()
         finally:
             self._running = False
+            # Fold intake totals into the report on every exit (pause,
+            # finish, or error) — render-only, excluded from the
+            # fingerprint, so sync/async parity is untouched.
+            engine.metrics.intake_stats = self.intake.stats.state_dict()
             engine.metrics.wall_seconds += time.perf_counter() - start
         return engine.metrics

@@ -39,13 +39,19 @@ class ShardSnapshot:
     migrations_in: int
     migrations_out: int
     cache: CacheStats
+    # Added with the telemetry subsystem; defaults keep snapshots taken
+    # before these fields existed loadable.
+    seats: int = 0
+    capacity: int = 0
+    granted: float = 0.0
 
     def render(self) -> str:
         return (
             f"shard {self.shard_id}: {self.workers} workers, "
+            f"seats {self.seats}/{self.capacity}, "
             f"{self.admitted} admitted ({self.unfunded} unfunded, "
             f"{self.deferred} deferrals, {self.substitutions} subs), "
-            f"reserved {self.reserved:.4g}, "
+            f"granted {self.granted:.4g}, reserved {self.reserved:.4g}, "
             f"migrations +{self.migrations_in}/-{self.migrations_out}, "
             f"cache {self.cache.hit_rate:.0%} hit"
         )
@@ -106,6 +112,10 @@ class EngineMetrics:
     quality_estimation_error: float | None = None
     shard_snapshots: tuple[ShardSnapshot, ...] | None = None
     allocator_snapshot: AllocatorSnapshot | None = None
+    # Async-intake totals (an IngestStats.state_dict() dict), folded in
+    # when the campaign serves through an IntakeQueue.  Render-only —
+    # wall-clock-tinged (blocked time), so the fingerprint excludes it.
+    intake_stats: dict | None = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -198,6 +208,7 @@ class EngineMetrics:
                 if self.allocator_snapshot is None
                 else asdict(self.allocator_snapshot)
             ),
+            "intake_stats": self.intake_stats,
         }
 
     @classmethod
@@ -224,6 +235,7 @@ class EngineMetrics:
             metrics.allocator_snapshot = AllocatorSnapshot(
                 **state["allocator_snapshot"]
             )
+        metrics.intake_stats = state.get("intake_stats")
         return metrics
 
     # ------------------------------------------------------------------
@@ -297,6 +309,16 @@ class EngineMetrics:
             )
         if self.cache_stats is not None:
             lines.append(f"cache        : {self.cache_stats.render()}")
+        if self.intake_stats:
+            stats = self.intake_stats
+            lines.append(
+                f"intake       : {stats.get('submitted', 0)} submitted, "
+                f"{stats.get('drained', 0)} drained in "
+                f"{stats.get('drains', 0)} drains "
+                f"(peak {stats.get('peak_pending', 0)} pending, "
+                f"{stats.get('overflows', 0)} overflows, "
+                f"{stats.get('blocked_submits', 0)} blocked)"
+            )
         if self.allocator_snapshot is not None:
             lines.append(f"sharding     : {self.allocator_snapshot.render()}")
         if self.shard_snapshots:

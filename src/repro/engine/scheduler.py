@@ -49,6 +49,7 @@ from ..portfolio import allocate_budget
 from .cache import CachedJQObjective, JQCache
 from .events import EngineTask
 from .state import WorkerRegistry, informativeness, informativeness_key
+from .telemetry import NULL_TELEMETRY
 
 
 #: Exact frontiers over a 10-worker pool can carry hundreds of points;
@@ -251,6 +252,14 @@ class CampaignScheduler:
         re-estimation churn; ``"scalar"`` keeps the historical per-jury
         path.  The two are byte-identical in every decision and cache
         counter (pinned by the engine fingerprint regression).
+    telemetry:
+        Observability hub (:data:`~repro.engine.telemetry.NULL_TELEMETRY`
+        by default).  The scheduler reports admit/frontier-build spans
+        and memo hit/build counters; with a shard id the reports carry a
+        ``shard`` label so per-shard latency is separable in exports.
+    shard_id:
+        Label for telemetry reports when this scheduler serves one shard
+        of the sharded engine (``None`` = single-scheduler campaign).
     """
 
     def __init__(
@@ -261,6 +270,8 @@ class CampaignScheduler:
         expected_tasks: int,
         frontier_pool_size: int = 10,
         jq_kernel: str = "batch",
+        telemetry=NULL_TELEMETRY,
+        shard_id: int | None = None,
     ) -> None:
         if budget < 0:
             raise ValueError("budget must be non-negative")
@@ -291,6 +302,10 @@ class CampaignScheduler:
         # while the hot working set stays memoized.
         self._frontier_memo: dict[tuple, Frontier] = {}
         self.stats = SchedulerStats()
+        self.telemetry = telemetry
+        self._telemetry_labels = (
+            {} if shard_id is None else {"shard": shard_id}
+        )
 
     # ------------------------------------------------------------------
     # Budget accounting
@@ -344,6 +359,14 @@ class CampaignScheduler:
         """
         if not tasks:
             return [], []
+        with self.telemetry.span("admit", **self._telemetry_labels):
+            return self._admit_batch(tasks, batch_budget)
+
+    def _admit_batch(
+        self,
+        tasks: Sequence[EngineTask],
+        batch_budget: float | None,
+    ) -> tuple[list[Assignment], list[EngineTask]]:
         self.stats.batches += 1
         if batch_budget is None:
             # Each *distinct* task grows the entitlement once — a
@@ -367,6 +390,9 @@ class CampaignScheduler:
             # No seats anywhere: defer everything rather than answer
             # priors for tasks that could be served next batch.
             self.stats.deferred += len(tasks)
+            self.telemetry.inc(
+                "scheduler.deferred", len(tasks), **self._telemetry_labels
+            )
             return [], list(tasks)
 
         grid = self.cache.quantization
@@ -380,22 +406,31 @@ class CampaignScheduler:
         )
         frontier = self._frontier_memo.get(memo_key)
         if frontier is None:
+            self.telemetry.inc(
+                "scheduler.frontier_builds", **self._telemetry_labels
+            )
             while len(self._frontier_memo) >= MAX_FRONTIER_MEMO:
                 # Evict the least-recently-used configuration only —
                 # dropping the whole memo made every live pool pay a
                 # rebuild after one overflow.
                 del self._frontier_memo[next(iter(self._frontier_memo))]
-            frontier = _thin_frontier(
-                exact_frontier(
-                    candidates,
-                    self.objective,
-                    implementation=(
-                        "batch" if self.jq_kernel == "batch" else "scalar"
-                    ),
+            with self.telemetry.span(
+                "frontier_build", **self._telemetry_labels
+            ):
+                frontier = _thin_frontier(
+                    exact_frontier(
+                        candidates,
+                        self.objective,
+                        implementation=(
+                            "batch" if self.jq_kernel == "batch" else "scalar"
+                        ),
+                    )
                 )
-            )
             self._frontier_memo[memo_key] = frontier
         else:
+            self.telemetry.inc(
+                "scheduler.frontier_memo_hits", **self._telemetry_labels
+            )
             # Refresh recency: dict order is the LRU order.
             del self._frontier_memo[memo_key]
             self._frontier_memo[memo_key] = frontier
@@ -439,6 +474,16 @@ class CampaignScheduler:
                 Assignment(task, jury, self.objective(jury), cost)
             )
             self.stats.admitted += 1
+        funded = sum(1 for a in assignments if a.funded)
+        labels = self._telemetry_labels
+        if funded:
+            self.telemetry.inc("scheduler.admitted", funded, **labels)
+        if len(assignments) > funded:
+            self.telemetry.inc(
+                "scheduler.unfunded", len(assignments) - funded, **labels
+            )
+        if deferred:
+            self.telemetry.inc("scheduler.deferred", len(deferred), **labels)
         return assignments, deferred
 
     # ------------------------------------------------------------------

@@ -67,6 +67,7 @@ from .state import (
     informativeness_key,
     quality_mass,
 )
+from .telemetry import NULL_TELEMETRY
 
 #: Routing policies understood by :class:`ShardingConfig`.
 ROUTING_POLICIES = ("hash", "least-loaded", "quality-balanced")
@@ -429,6 +430,7 @@ class Shard:
     scheduler: CampaignScheduler
     migrations_in: int = 0
     migrations_out: int = 0
+    granted: float = 0.0  # cumulative allocator grants to this shard
 
     def snapshot(self) -> ShardSnapshot:
         stats = self.scheduler.stats
@@ -443,6 +445,9 @@ class Shard:
             migrations_in=self.migrations_in,
             migrations_out=self.migrations_out,
             cache=self.cache.stats,
+            seats=self.view.active_seats,
+            capacity=self.view.total_capacity,
+            granted=self.granted,
         )
 
 
@@ -497,9 +502,11 @@ class ShardedScheduler:
         config: EngineConfig,
         sharding: ShardingConfig,
         expected_tasks: int,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         self.registry = registry
         self.sharding = sharding
+        self.telemetry = telemetry
         self.allocator = BudgetAllocator(config.budget, expected_tasks)
         self._executor: ThreadPoolExecutor | None = None
         if config.parallel_shards > 0 and sharding.num_shards > 1:
@@ -525,9 +532,23 @@ class ShardedScheduler:
                 expected_tasks=expected_tasks,
                 frontier_pool_size=config.frontier_pool_size,
                 jq_kernel=config.jq_kernel,
+                telemetry=telemetry,
+                shard_id=shard_id,
             )
             self.shards.append(Shard(shard_id, view, cache, scheduler))
         self.migrations = 0
+        telemetry.add_collector(self._telemetry_gauges)
+
+    def _telemetry_gauges(self):
+        """Per-shard pull gauges (collector: read at export time only)."""
+        for shard in self.shards:
+            labels = {"shard": shard.shard_id}
+            yield from shard.cache.stats.telemetry_gauges(**labels)
+            yield "shard.workers", labels, float(len(shard.view))
+            yield "shard.active_seats", labels, float(shard.view.active_seats)
+            yield "shard.capacity", labels, float(shard.view.total_capacity)
+            yield "shard.granted", labels, shard.granted
+            yield "shard.reserved", labels, shard.scheduler.reserved
 
     # ------------------------------------------------------------------
     # The CampaignScheduler surface
@@ -569,11 +590,13 @@ class ShardedScheduler:
             ]
         assignments: list[Assignment] = []
         deferred: list[EngineTask] = []
-        for shard_id, (admitted, shard_deferred) in zip(order, results):
-            reserved = sum(a.reserved_cost for a in admitted)
-            self.allocator.settle(grants[shard_id], reserved)
-            assignments.extend(admitted)
-            deferred.extend(shard_deferred)
+        with self.telemetry.span("dispatch_merge"):
+            for shard_id, (admitted, shard_deferred) in zip(order, results):
+                reserved = sum(a.reserved_cost for a in admitted)
+                self.allocator.settle(grants[shard_id], reserved)
+                self.shards[shard_id].granted += grants[shard_id]
+                assignments.extend(admitted)
+                deferred.extend(shard_deferred)
         self.rebalance()
         return assignments, deferred
 
@@ -681,6 +704,14 @@ class ShardedScheduler:
             needy.migrations_in += 1
             moved += 1
         self.migrations += moved
+        if moved:
+            self.telemetry.inc("scheduler.rebalanced_workers", moved)
+            self.telemetry.event(
+                "rebalance",
+                moved=moved,
+                donor=donor.shard_id,
+                needy=needy.shard_id,
+            )
         return moved
 
     # ------------------------------------------------------------------
@@ -698,6 +729,7 @@ class ShardedScheduler:
                     "member_ids": list(shard.view.member_ids),
                     "migrations_in": shard.migrations_in,
                     "migrations_out": shard.migrations_out,
+                    "granted": shard.granted,
                     "scheduler": shard.scheduler.state_dict(),
                 }
                 for shard in self.shards
@@ -719,6 +751,7 @@ class ShardedScheduler:
             shard.view._states_cache = None
             shard.migrations_in = int(shard_state["migrations_in"])
             shard.migrations_out = int(shard_state["migrations_out"])
+            shard.granted = float(shard_state.get("granted", 0.0))
             shard.scheduler.load_state(shard_state["scheduler"])
 
     # ------------------------------------------------------------------
@@ -786,8 +819,23 @@ class ShardedCampaignEngine(CampaignEngine):
 
     def _make_scheduler(self, expected_tasks: int) -> ShardedScheduler:
         return ShardedScheduler(
-            self.registry, self.config, self.sharding, expected_tasks
+            self.registry,
+            self.config,
+            self.sharding,
+            expected_tasks,
+            telemetry=self.telemetry,
         )
+
+    def _telemetry_gauges(self):
+        # The campaign-level cache is unused when sharded; the per-shard
+        # caches report through the ShardedScheduler collector instead.
+        yield "registry.active_seats", {}, float(self.registry.active_seats)
+        yield "registry.total_capacity", {}, float(
+            self.registry.total_capacity
+        )
+        yield "registry.peak_load", {}, float(self.registry.peak_load)
+        yield "engine.tasks_active", {}, float(len(self._active))
+        yield "engine.tasks_deferred", {}, float(len(self._deferred))
 
     def _collect_stats(self) -> None:
         super()._collect_stats()

@@ -403,6 +403,7 @@ def build_async_loop(
     policy="hash",
     rebalance_threshold=0.25,
     grace=0.05,
+    telemetry="off",
 ):
     """The :func:`build_campaign` scenario served through an
     :class:`AsyncIngestLoop` (checked engines assert the global laws
@@ -421,6 +422,7 @@ def build_async_loop(
         expected_tasks=expected_tasks,
         ingestion="async",
         parallel_shards=parallel,
+        telemetry=telemetry,
         seed=seed,
     )
     if shards == 0:
@@ -651,3 +653,99 @@ def test_async_rebalance_under_interleaved_load():
     final_laws(loop.engine, metrics)
     assert metrics.completed == 120
     assert loop.engine.scheduler.migrations > 0
+
+
+def _assert_histogram_invariants(telemetry):
+    """Bucket laws for every histogram the hub holds: internal counts
+    conserve the observation count, the cumulative export is monotone
+    and ends at that count under a ``+Inf`` bound."""
+    snapshot = telemetry.snapshot()
+    assert snapshot["histograms"], "stress run recorded no histograms"
+    for hist in snapshot["histograms"]:
+        counts = [bucket["count"] for bucket in hist["buckets"]]
+        assert counts == sorted(counts), hist["name"]
+        assert hist["buckets"][-1]["le"] == "+Inf"
+        assert counts[-1] == hist["count"], hist["name"]
+        assert hist["count"] > 0
+        assert hist["sum"] >= 0.0
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_telemetry_histograms_consistent_under_concurrent_stress(seed):
+    """Telemetry on during the threaded submit-while-running scenario:
+    producers, the serving loop, and parallel dispatch workers all
+    report into the hub concurrently.  Every histogram must conserve
+    its counts, the hub's counters must reconcile with the intake's own
+    ledger, and the per-event campaign laws must hold throughout."""
+    loop, tasks = build_async_loop(
+        seed,
+        32,
+        4,
+        parallel=2,
+        max_pending=8,
+        expected_tasks=60,
+        grace=2.0,
+        telemetry="on",
+    )
+    chunks = [tasks[i::4] for i in range(4)]
+
+    def producer(chunk):
+        for k, task in enumerate(chunk):
+            loop.submit([task], start_time=float(k))
+
+    producers = [
+        threading.Thread(target=producer, args=(chunk,)) for chunk in chunks
+    ]
+
+    def closer():
+        for thread in producers:
+            thread.join()
+        loop.close_intake()
+
+    closer_thread = threading.Thread(target=closer)
+    for thread in producers:
+        thread.start()
+    closer_thread.start()
+    metrics = loop.run()
+    closer_thread.join(timeout=10.0)
+    assert not closer_thread.is_alive()
+    final_laws(loop.engine, metrics)
+    assert metrics.completed == metrics.submitted == 60
+
+    telemetry = loop.engine.telemetry
+    _assert_histogram_invariants(telemetry)
+    counters = {}
+    for row in telemetry.snapshot()["counters"]:
+        counters[row["name"]] = counters.get(row["name"], 0) + row["value"]
+    assert counters["intake.submitted"] == loop.intake.stats.submitted == 60
+    assert counters["engine.tasks_submitted"] == 60
+    assert counters["engine.tasks_completed"] == 60
+    # Per-producer rows cover every submitting thread and reconcile.
+    per_producer = loop.intake.stats.per_producer
+    assert sum(row["submits"] for row in per_producer.values()) == 60
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_telemetry_is_observation_only_under_seeded_interleavings(seed):
+    """The deterministic interleaved path must land on the same
+    fingerprint with the hub recording as with NullTelemetry — spans,
+    counters, and drain timing never leak into campaign decisions."""
+
+    def one_run(telemetry):
+        loop, tasks = build_async_loop(
+            seed,
+            48,
+            4,
+            parallel=2,
+            interleave=InterleavingSchedule(seed * 31 + 1),
+            expected_tasks=60,
+            checked=False,
+            telemetry=telemetry,
+        )
+        loop.submit(tasks)
+        metrics = loop.run()
+        if telemetry == "on":
+            _assert_histogram_invariants(loop.engine.telemetry)
+        return metrics.fingerprint()
+
+    assert one_run("off") == one_run("on")
