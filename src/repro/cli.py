@@ -45,6 +45,7 @@ from .engine import (
     ROUTING_POLICIES,
     Campaign,
     CampaignConfig,
+    CampaignServer,
     EngineTask,
     SQLiteBackend,
 )
@@ -296,6 +297,68 @@ def build_parser() -> argparse.ArgumentParser:
                             "intake/throughput series (default 1.0)")
     p_eng.add_argument("--seed", type=int, default=None)
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve a campaign over HTTP (daemon mode: tasks, "
+             "assignments, and votes arrive on the wire)")
+    p_srv.add_argument("--pool", default=None,
+                       help="pool CSV (default: synthetic pool)")
+    p_srv.add_argument("--num-workers", type=int, default=50,
+                       help="synthetic pool size when --pool is omitted")
+    p_srv.add_argument("--budget", type=float, default=None,
+                       help="total campaign budget (required unless "
+                            "--resume, which restores it from the "
+                            "checkpoint)")
+    p_srv.add_argument("--capacity", type=int, default=4)
+    p_srv.add_argument("--batch-size", type=int, default=25)
+    p_srv.add_argument("--alpha", type=float, default=0.5)
+    p_srv.add_argument("--confidence", type=float, default=0.97,
+                       help="early-stop confidence target")
+    p_srv.add_argument("--num-shards", type=_positive_int, default=1,
+                       help="worker-pool shards (1 = unsharded engine)")
+    p_srv.add_argument("--routing-policy", default="hash",
+                       choices=ROUTING_POLICIES)
+    p_srv.add_argument("--vote-source", default="external",
+                       choices=("external", "simulated"),
+                       help="'external' publishes vote offers and takes "
+                            "votes via POST /votes; 'simulated' draws "
+                            "votes from worker qualities (tasks still "
+                            "arrive via POST /tasks)")
+    p_srv.add_argument("--backend", default="memory",
+                       choices=("memory", "sqlite"))
+    p_srv.add_argument("--state-file", default=None,
+                       help="SQLite state file (required with "
+                            "--backend sqlite)")
+    p_srv.add_argument("--resume", action="store_true",
+                       help="resume the campaign checkpointed in "
+                            "--state-file instead of starting fresh")
+    p_srv.add_argument("--checkpoint-every", type=_nonnegative_int,
+                       default=0,
+                       help="checkpoint after every N completed tasks "
+                            "(0 = only on shutdown)")
+    p_srv.add_argument("--host", default=None,
+                       help="bind address (default: config serve_host, "
+                            "127.0.0.1)")
+    p_srv.add_argument("--port", type=_nonnegative_int, default=None,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: config serve_port, 8765)")
+    p_srv.add_argument("--telemetry", default=None, choices=("off", "on"),
+                       help="enable the telemetry hub; implied by "
+                            "--trace-out/--metrics-out (GET /metrics "
+                            "serves Prometheus text either way)")
+    p_srv.add_argument("--trace-out", default=None,
+                       help="write a Chrome trace-event JSON here on "
+                            "shutdown (atomic tmp+rename)")
+    p_srv.add_argument("--metrics-out", default=None,
+                       help="write a telemetry metrics snapshot (JSON) "
+                            "here every --metrics-interval and on "
+                            "shutdown (atomic tmp+rename)")
+    p_srv.add_argument("--metrics-interval", type=_positive_float,
+                       default=None,
+                       help="periodic --metrics-out flush interval in "
+                            "seconds (default 1.0)")
+    p_srv.add_argument("--seed", type=int, default=None)
+
     p_trace = sub.add_parser(
         "trace", help="inspect Chrome-trace files written by the engine")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
@@ -389,6 +452,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "engine":
         return _run_engine_command(args)
 
+    if args.command == "serve":
+        return _run_serve_command(args)
+
     if args.command == "trace":
         return _run_trace_summarize(args)
 
@@ -476,31 +542,197 @@ def _run_engine_command(args) -> int:
             warmed = campaign.import_cache(args.cache_file)
             print(f"# warmed JQ cache: {warmed} entries from "
                   f"{args.cache_file}")
-    metrics = campaign.run(until=args.run_until)
-    if backend is not None:
-        campaign.checkpoint()
-    if args.cache_file is not None:
-        exported = campaign.export_cache(args.cache_file)
-        print(f"# exported JQ cache: {exported} entries to "
-              f"{args.cache_file}")
-    if args.trace_out is not None:
-        if campaign.telemetry.enabled:
-            # Fresh runs already wrote config.trace_path during run();
-            # resumed campaigns carry no CLI-supplied trace_path, so
-            # write explicitly.  Rewriting is idempotent.
-            count = campaign.write_trace(args.trace_out)
-            print(f"# wrote trace: {count} events to {args.trace_out}")
-        else:
+    try:
+        metrics = campaign.run(until=args.run_until)
+        if backend is not None:
+            campaign.checkpoint()
+        if args.cache_file is not None:
+            exported = campaign.export_cache(args.cache_file)
+            print(f"# exported JQ cache: {exported} entries to "
+                  f"{args.cache_file}")
+    finally:
+        # Observability must survive a failed run: flush trace/metrics
+        # from here so a crash mid-campaign still leaves the files
+        # behind (atomic tmp+rename, so they are valid or absent —
+        # never truncated).
+        _write_observability(campaign, args.trace_out, args.metrics_out)
+    if not campaign.done:
+        note = (
+            "checkpointed; rerun with --resume to continue"
+            if backend is not None
+            else "memory backend: paused state dies with this process"
+        )
+        print(f"# paused at {metrics.completed} completed tasks ({note})")
+    print(metrics.render(budget=campaign.config.budget))
+    campaign.close()
+    return 0
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    """Write ``payload`` as JSON via tmp file + rename, so readers (and
+    crashes) never observe a partially written file."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _write_observability(campaign, trace_out, metrics_out,
+                         quiet: bool = False) -> None:
+    """Flush --trace-out / --metrics-out.  Runs from ``finally`` blocks
+    and signal-shutdown paths, so it must never raise: a broken flush
+    is reported to stderr, not allowed to mask the original error."""
+    if trace_out is not None:
+        try:
+            if campaign.telemetry.enabled:
+                # Fresh runs already wrote config.trace_path during
+                # run(); resumed campaigns carry no CLI-supplied
+                # trace_path, so write explicitly.  Rewriting is
+                # idempotent.
+                count = campaign.write_trace(trace_out)
+                if not quiet:
+                    print(f"# wrote trace: {count} events to {trace_out}")
+            else:
+                print(
+                    "warning: --trace-out ignored: campaign was opened "
+                    "with telemetry off (resumed checkpoint?)",
+                    file=sys.stderr,
+                )
+        except Exception as exc:
+            print(f"warning: could not write {trace_out}: {exc}",
+                  file=sys.stderr)
+    if metrics_out is not None:
+        try:
+            _atomic_write_json(metrics_out, campaign.snapshot_metrics())
+            if not quiet:
+                print(f"# wrote metrics snapshot to {metrics_out}")
+        except Exception as exc:
+            print(f"warning: could not write {metrics_out}: {exc}",
+                  file=sys.stderr)
+
+
+def _run_serve_command(args) -> int:
+    import signal
+
+    backend = None
+    if args.backend == "sqlite":
+        if args.state_file is None:
+            print("error: --backend sqlite requires --state-file",
+                  file=sys.stderr)
+            return 2
+        backend = SQLiteBackend(args.state_file)
+    if args.resume:
+        if backend is None:
+            print("error: --resume requires --backend sqlite --state-file",
+                  file=sys.stderr)
+            return 2
+        campaign = Campaign.resume(backend)
+        if campaign.config.ingestion != "async":
             print(
-                "warning: --trace-out ignored: campaign was opened with "
-                "telemetry off (resumed checkpoint?)",
+                "error: checkpointed campaign was opened with "
+                "ingestion='sync'; serving requires the async intake",
                 file=sys.stderr,
             )
+            campaign.close()
+            return 2
+    else:
+        if args.budget is None:
+            print("error: --budget is required (omit it only with "
+                  "--resume, which restores it from the checkpoint)",
+                  file=sys.stderr)
+            return 2
+        if backend is not None and backend.exists():
+            print(
+                f"error: {args.state_file} already holds a campaign "
+                "checkpoint; pass --resume to continue it, or point "
+                "--state-file at a new file",
+                file=sys.stderr,
+            )
+            return 2
+        rng = np.random.default_rng(args.seed)
+        if args.pool is not None:
+            pool = load_pool_csv(args.pool)
+        else:
+            pool = generate_pool(
+                SyntheticPoolConfig(
+                    num_workers=args.num_workers, quality_ceiling=0.95
+                ),
+                rng,
+            )
+        telemetry = args.telemetry
+        if telemetry is None:
+            telemetry = (
+                "on" if (args.trace_out or args.metrics_out) else "off"
+            )
+        config = CampaignConfig(
+            budget=args.budget,
+            capacity=args.capacity,
+            batch_size=args.batch_size,
+            alpha=args.alpha,
+            confidence_target=args.confidence,
+            checkpoint_every=args.checkpoint_every,
+            ingestion="async",
+            telemetry=telemetry,
+            metrics_interval=args.metrics_interval or 1.0,
+            vote_source=args.vote_source,
+            seed=args.seed,
+            num_shards=args.num_shards,
+            routing_policy=args.routing_policy,
+            serve_host=args.host if args.host is not None else "127.0.0.1",
+            serve_port=args.port if args.port is not None else 8765,
+        )
+        campaign = Campaign.open(pool, config, backend=backend)
+
+    server = CampaignServer(campaign, host=args.host, port=args.port)
+
+    # Graceful shutdown: the first SIGINT/SIGTERM pauses the serving
+    # loop (serve() returns, we checkpoint and flush observability,
+    # exit 0 — --resume continues the campaign).  A second signal
+    # force-exits immediately: the last checkpoint is already durable
+    # (SQLite WAL), so impatience cannot corrupt state, only lose
+    # whatever happened since.
+    signal_count = {"n": 0}
+
+    def _on_signal(signum, frame):
+        signal_count["n"] += 1
+        if signal_count["n"] >= 2:
+            os._exit(130)
+        server.stop()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+
+    tick = None
     if args.metrics_out is not None:
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            json.dump(campaign.snapshot_metrics(), handle, indent=2)
-            handle.write("\n")
-        print(f"# wrote metrics snapshot to {args.metrics_out}")
+        def tick():
+            _write_observability(campaign, None, args.metrics_out,
+                                 quiet=True)
+
+    print(f"# serving campaign on {server.url} "
+          f"(vote_source={campaign.config.vote_source}, "
+          f"num_shards={campaign.config.num_shards})")
+    print("# POST /tasks, GET /assignments?worker=, POST /votes, "
+          "GET /status, GET /metrics, POST /admin/checkpoint, "
+          "POST /admin/close")
+    try:
+        with server:
+            metrics = server.serve(
+                tick=tick,
+                tick_interval=args.metrics_interval or 1.0,
+            )
+        if backend is not None:
+            campaign.checkpoint()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        _write_observability(campaign, args.trace_out, args.metrics_out)
     if not campaign.done:
         note = (
             "checkpointed; rerun with --resume to continue"

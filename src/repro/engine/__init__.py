@@ -31,6 +31,11 @@ one budget, and finite worker attention".  See the module docstrings:
 ``metrics``
     :class:`EngineMetrics` — throughput, realized-vs-predicted
     accuracy, spend, cache stats, per-shard/allocator snapshots.
+``server``
+    :class:`CampaignServer` — the HTTP serving layer: task intake,
+    vote-offer assignments, synchronous vote delivery, status/metrics
+    endpoints, and admin checkpoint/close over a live campaign in
+    serve-forever daemon mode (``repro serve``).
 ``telemetry``
     :class:`Telemetry` / :data:`NULL_TELEMETRY` — thread-safe metrics
     registry (counters, gauges, latency histograms), bounded structured
@@ -72,6 +77,7 @@ from .events import (
     VoteArrival,
 )
 from .ingest import (
+    AssignmentBook,
     AsyncIngestLoop,
     IngestionClosed,
     IngestionError,
@@ -79,12 +85,18 @@ from .ingest import (
     IngestStats,
     IntakeQueue,
     InterleavingSchedule,
+    NoOpenOffer,
 )
 from .metrics import (
     AllocatorSnapshot,
     EngineMetrics,
     ShardSnapshot,
     TaskRecord,
+)
+from .server import (
+    CampaignServer,
+    LoopMailbox,
+    ServerError,
 )
 from .scheduler import (
     Assignment,
@@ -121,6 +133,7 @@ from .telemetry import (
 __all__ = [
     "AllocatorSnapshot",
     "Assignment",
+    "AssignmentBook",
     "AsyncIngestLoop",
     "BackendError",
     "BudgetAllocator",
@@ -130,6 +143,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignEngine",
     "CampaignScheduler",
+    "CampaignServer",
     "CapacityError",
     "EngineConfig",
     "EngineMetrics",
@@ -142,12 +156,15 @@ __all__ = [
     "IngestionOverflow",
     "IntakeQueue",
     "InterleavingSchedule",
+    "LoopMailbox",
     "MemoryBackend",
     "NULL_TELEMETRY",
+    "NoOpenOffer",
     "NullTelemetry",
     "ROUTING_POLICIES",
     "SQLiteBackend",
     "SchedulerStats",
+    "ServerError",
     "Shard",
     "ShardRegistryView",
     "SpanRecord",

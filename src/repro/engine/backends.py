@@ -177,8 +177,17 @@ class SQLiteBackend:
             # statement runs (the WAL/schema setup below already needs
             # it under contention); the PRAGMA keeps the value explicit
             # and introspectable on the live connection.
+            # ``check_same_thread=False``: under ``repro serve`` the
+            # connection is created by a checkpoint on the serving-loop
+            # thread but closed from the main thread after the loop
+            # exits.  Accesses are never concurrent — every save/load
+            # happens on whichever single thread owns the campaign at
+            # that moment — so only the same-thread assertion, not
+            # actual serialization, is being waived.
             self._conn = sqlite3.connect(
-                self.path, timeout=self.busy_timeout_ms / 1000.0
+                self.path,
+                timeout=self.busy_timeout_ms / 1000.0,
+                check_same_thread=False,
             )
             self._conn.execute(
                 f"PRAGMA busy_timeout={self.busy_timeout_ms}"

@@ -133,6 +133,10 @@ class Campaign:
         self._backend: StateBackend = MemoryBackend()
         self._ingest: AsyncIngestLoop | None = None
         self._closed = False
+        # Sync campaigns have no intake queue; external-vote mode still
+        # needs the "no more tasks are coming" handshake before run()
+        # may finalize, so the facade tracks it directly.
+        self._sync_intake_closed = False
 
     def _attach_ingest(self) -> None:
         """Build the async intake loop when the config asks for it
@@ -215,16 +219,19 @@ class Campaign:
         tasks: Iterable[EngineTask],
         start_time: float = 0.0,
         spacing: float = 1.0,
+        timeout: float | None = None,
     ) -> int:
         """Enqueue task arrivals (see :meth:`CampaignEngine.submit`).
         Allowed any time before the campaign finishes — including
         between :meth:`run` calls and after a :meth:`resume`.  Under
         ``ingestion="async"`` submission goes through the thread-safe
         intake queue (bounded backpressure), so producers on any thread
-        may stream tasks in **while** :meth:`run` is serving."""
+        may stream tasks in **while** :meth:`run` is serving;
+        ``timeout`` bounds how long a producer waits out backpressure
+        (async only — the sync path never blocks)."""
         self._require_serving()
         if self._ingest is not None:
-            return self._ingest.submit(tasks, start_time, spacing)
+            return self._ingest.submit(tasks, start_time, spacing, timeout)
         return self._engine.submit(tasks, start_time, spacing)
 
     def run(self, until: int | None = None) -> EngineMetrics:
@@ -254,7 +261,13 @@ class Campaign:
             until is None or engine.metrics.completed < until
         ):
             engine._step()
-        if not engine._queue:
+        # External-vote campaigns may only finalize once no jury still
+        # awaits votes and the caller has declared the task stream over
+        # (close_intake()) — otherwise this run() is just a pump.
+        external_waiting = engine.offers is not None and (
+            bool(engine._active) or not self._intake_closed
+        )
+        if not engine._queue and not external_waiting:
             engine._finish()
         else:
             # Paused mid-campaign: fold the live gauges (peak load,
@@ -275,13 +288,117 @@ class Campaign:
         if path and self._engine.telemetry.enabled:
             self._engine.telemetry.write_trace(path)
 
+    def serve(
+        self,
+        stop=None,
+        poll: float = 0.05,
+        drain_hook=None,
+        tick=None,
+        tick_interval: float | None = None,
+    ) -> EngineMetrics:
+        """Serve-forever daemon mode (requires ``ingestion="async"``).
+
+        Blocks the calling thread, idling indefinitely for live traffic
+        — unlike :meth:`run`, which concludes after one quiet
+        ``ingest_grace`` window.  Exits by finalizing once the intake
+        is closed and everything quiesced, or by *pausing* (checkpoint
+        and :meth:`resume` later) once ``stop`` — a
+        ``threading.Event`` — is set.  See
+        :meth:`AsyncIngestLoop.serve` for the hook parameters; the
+        HTTP layer (:class:`~repro.engine.server.CampaignServer`)
+        drives vote delivery and admin commands through them.
+        """
+        self._require_serving()
+        if self._ingest is None:
+            raise RuntimeError(
+                "serve() requires ingestion='async' "
+                "(CampaignConfig(ingestion='async'))"
+            )
+        metrics = self._ingest.serve(
+            stop=stop,
+            poll=poll,
+            drain_hook=drain_hook,
+            tick=tick,
+            tick_interval=tick_interval,
+        )
+        self._write_configured_trace()
+        return metrics
+
     def close_intake(self) -> None:
-        """Stop accepting async submissions (idempotent; sync campaigns
-        no-op).  The producer-side handshake for live serving: once the
-        last producer joins, closing the intake lets an in-flight
-        ``run()`` finish instead of idling for more traffic."""
+        """Stop accepting task submissions (idempotent).  The
+        producer-side handshake for live serving: once the last
+        producer joins, closing the intake lets an in-flight ``run()``
+        or ``serve()`` finish instead of idling for more traffic.  For
+        sync external-vote campaigns this is the explicit "no more
+        tasks" declaration that allows :meth:`run` to finalize."""
+        self._sync_intake_closed = True
         if self._ingest is not None:
             self._ingest.close_intake()
+
+    @property
+    def _intake_closed(self) -> bool:
+        if self._ingest is not None:
+            return self._ingest.intake.closed
+        return self._sync_intake_closed
+
+    # ------------------------------------------------------------------
+    # External-vote surface (vote_source="external")
+    # ------------------------------------------------------------------
+    @property
+    def offers(self):
+        """The open-offer book under ``vote_source="external"``
+        (``None`` when votes are simulated)."""
+        return self._engine.offers
+
+    def _pump(self) -> None:
+        """Drive the engine to a quiescent point on the caller's thread
+        (single-threaded external driving only — the serve loop owns
+        the engine while it runs)."""
+        engine = self._engine
+        engine._start()
+        if self._ingest is not None:
+            self._ingest.quiesce_intake()
+        while engine._queue:
+            engine._step()
+
+    def _require_external(self) -> None:
+        if self._engine.offers is None:
+            raise RuntimeError(
+                "this campaign simulates votes "
+                "(CampaignConfig(vote_source='external') enables "
+                "assignments()/vote())"
+            )
+        if self._ingest is not None and self._ingest.running:
+            raise RuntimeError(
+                "serve() owns the engine; submit assignments/votes "
+                "through the serving endpoint instead"
+            )
+
+    def assignments(self, worker_id: str) -> list[dict]:
+        """The worker's open vote offers (external mode, in-process
+        driving).  Pumps pending arrivals first so freshly submitted
+        tasks are seated before the worker looks for work."""
+        self._require_serving()
+        self._require_external()
+        self._pump()
+        return self._engine.offers.for_worker(worker_id)
+
+    def vote(self, task_id: str, worker_id: str, vote: int) -> bool:
+        """Claim the worker's open offer on ``task_id`` and apply the
+        vote (external mode, in-process driving).  Returns ``False``
+        when the vote landed after the task completed (counted as
+        cancelled); raises
+        :class:`~repro.engine.ingest.NoOpenOffer` when the seat is not
+        open.  Mirrors, step for step, what one ``POST /votes`` does on
+        the serving loop — the fingerprint-parity pin between the two
+        transports rests on that equivalence."""
+        self._require_serving()
+        self._require_external()
+        self._pump()
+        self._engine.offers.claim(task_id, worker_id)
+        accepted = self._engine.deliver_vote(task_id, worker_id, vote)
+        self._pump()
+        return accepted
 
     @property
     def intake_stats(self):
@@ -538,6 +655,18 @@ class Campaign:
                 done=bool(rt_state["done"]),
             )
             engine._active[task.task_id] = runtime
+        if engine.offers is not None:
+            # The offer book is derived state: every live task's
+            # not-yet-voted seats are exactly its open offers.  Rebuild
+            # in snapshot order so resumed fleets see a deterministic
+            # book.
+            for runtime in engine._active.values():
+                if not runtime.done and runtime.pending_workers:
+                    engine.offers.publish(
+                        runtime.task.task_id,
+                        runtime.pending_workers,
+                        prior=runtime.task.prior,
+                    )
 
         ledger = snapshot["ledger"]
         if ledger["mode"] != "unstarted":

@@ -62,14 +62,20 @@ class CampaignConfig:
     telemetry: str = "off"
     trace_path: str | None = None
     metrics_interval: float = 1.0
+    vote_source: str = "simulated"
     seed: int | None = None
     # -- sharding / routing (ShardingConfig) ---------------------------
     num_shards: int = 1
     routing_policy: str = "hash"
     rebalance_threshold: float = 0.25
     rebalance_max_moves: int = 2
+    # -- network serving (repro serve / CampaignServer) ----------------
+    serve_host: str = "127.0.0.1"
+    serve_port: int = 8765
 
     def __post_init__(self) -> None:
+        if not 0 <= self.serve_port <= 65535:
+            raise ValueError("serve_port must lie in [0, 65535]")
         # Delegate validation to the configs this one subsumes; they
         # own the invariants, this class owns the unified surface.
         self.engine_config()

@@ -52,6 +52,7 @@ from .events import (
     TaskComplete,
     VoteArrival,
 )
+from .ingest import AssignmentBook, NoOpenOffer
 from .metrics import EngineMetrics, TaskRecord
 from .scheduler import Assignment, CampaignScheduler
 from .state import WorkerRegistry, informativeness_key
@@ -147,6 +148,16 @@ class EngineConfig:
     metrics_interval:
         Width (seconds) of the windowed intake/throughput rate buckets
         in the telemetry snapshot.
+    vote_source:
+        ``"simulated"`` (default) draws every vote from the engine's
+        seeded RNG against each worker's true quality — the closed-loop
+        simulation mode.  ``"external"`` publishes seated juries as
+        open *offers* on an :class:`AssignmentBook` and applies only
+        votes delivered explicitly through
+        :meth:`CampaignEngine.deliver_vote` — the mode behind the HTTP
+        serving layer, where a real crowd is on the other end.  The
+        latent-truth draw for unlabeled tasks is identical in both
+        modes, so accuracy scoring works the same way.
     seed:
         Seed for the engine's single random generator (vote simulation
         and latent-truth draws).
@@ -175,6 +186,7 @@ class EngineConfig:
     telemetry: str = "off"
     trace_path: str | None = None
     metrics_interval: float = 1.0
+    vote_source: str = "simulated"
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -200,6 +212,8 @@ class EngineConfig:
             raise ValueError("ingest_grace must be positive")
         if self.telemetry not in ("off", "on"):
             raise ValueError("telemetry must be 'off' or 'on'")
+        if self.vote_source not in ("simulated", "external"):
+            raise ValueError("vote_source must be 'simulated' or 'external'")
         if self.metrics_interval <= 0:
             raise ValueError("metrics_interval must be positive")
         if not 0.5 <= self.confidence_target <= 1.0:
@@ -275,6 +289,11 @@ class CampaignEngine:
             else NULL_TELEMETRY
         )
         self.telemetry.add_collector(self._telemetry_gauges)
+        # External-vote serving: seated juries become open offers on
+        # the book instead of simulated VoteArrival events.
+        self.offers: AssignmentBook | None = (
+            AssignmentBook() if config.vote_source == "external" else None
+        )
         self.scheduler: CampaignScheduler | None = None
         self._queue = EventQueue()
         self._rng = np.random.default_rng(config.seed)
@@ -373,6 +392,11 @@ class CampaignEngine:
         """
         if self._finished:
             return
+        if self.offers is not None and self._active:
+            raise RuntimeError(
+                f"cannot finalize: {len(self._active)} task(s) still "
+                "await external votes — deliver them or keep serving"
+            )
         self._finished = True
         for task in self._deferred:
             self._finalize_unfunded(task)
@@ -406,6 +430,8 @@ class CampaignEngine:
         yield "registry.peak_load", {}, float(self.registry.peak_load)
         yield "engine.tasks_active", {}, float(len(self._active))
         yield "engine.tasks_deferred", {}, float(len(self._deferred))
+        if self.offers is not None:
+            yield "engine.open_offers", {}, float(self.offers.open_count)
 
     def _collect_stats(self) -> None:
         """Fold end-of-run state into the metrics.  Subclass hook: the
@@ -495,6 +521,16 @@ class CampaignEngine:
             return
         jurors = sorted(assignment.jury, key=informativeness_key)
         runtime.pending_workers = [w.worker_id for w in jurors]
+        if self.offers is not None:
+            # External votes: publish one open offer per seat and wait
+            # for deliver_vote() instead of scheduling simulated votes.
+            self.offers.publish(
+                task.task_id, runtime.pending_workers, prior=task.prior
+            )
+            self.telemetry.event(
+                "offer", task=task.task_id, seats=len(jurors)
+            )
+            return
         for k, worker in enumerate(jurors):
             self._queue.push(
                 VoteArrival(
@@ -536,6 +572,65 @@ class CampaignEngine:
             self._queue.push(
                 TaskComplete(event.time, event.task_id, "early-stop")
             )
+
+    def deliver_vote(self, task_id: str, worker_id: str, vote: int) -> bool:
+        """Apply one externally supplied vote (``vote_source="external"``
+        only; loop thread only — this touches the event heap).
+
+        Mirrors the simulated :meth:`_on_vote` path minus the RNG draw:
+        the vote is recorded, the decision session updated, and an
+        early stop or final vote pushes the task's ``TaskComplete``
+        onto the event queue (drive the loop afterwards to dispatch
+        it).  Returns ``False`` — counting the vote as cancelled, the
+        external analogue of a simulated vote landing after an early
+        stop — when the task already completed; claims through
+        :meth:`~repro.engine.ingest.AssignmentBook.claim` normally
+        prevent that, but a vote claimed just before its task finished
+        still lands here late.
+        """
+        if self.offers is None:
+            raise RuntimeError(
+                "deliver_vote requires vote_source='external' "
+                "(this campaign simulates votes)"
+            )
+        if vote not in (0, 1):
+            raise ValueError(f"vote must be 0 or 1, got {vote!r}")
+        runtime = self._active.get(task_id)
+        if runtime is None or runtime.done:
+            self.metrics.votes_cancelled += 1
+            self.telemetry.inc("engine.votes_cancelled")
+            self.telemetry.event("cancel", task=task_id, worker=worker_id)
+            return False
+        if worker_id not in runtime.pending_workers:
+            raise NoOpenOffer(
+                f"worker {worker_id!r} holds no open seat on task "
+                f"{task_id!r}"
+            )
+        worker = self.registry.worker(worker_id)
+        runtime.session.add_vote(worker, int(vote))
+        self.registry.record_vote(worker_id, task_id, int(vote))
+        self.metrics.votes_cast += 1
+        self.telemetry.inc("engine.votes_cast")
+        self.telemetry.event(
+            "vote", task=task_id, worker=worker_id, vote=int(vote)
+        )
+        runtime.pending_workers.remove(worker_id)
+
+        if not runtime.pending_workers:
+            runtime.done = True
+            self._queue.push(
+                TaskComplete(self._clock, task_id, "all-votes")
+            )
+        elif runtime.session.should_stop:
+            runtime.done = True
+            self._queue.push(
+                TaskComplete(self._clock, task_id, "early-stop")
+            )
+        if runtime.done:
+            # Seats whose votes are no longer needed: close the offers
+            # so late claims fail fast instead of queueing dead votes.
+            self.offers.revoke_task(task_id)
+        return True
 
     def _on_complete(self, event: TaskComplete) -> None:
         runtime = self._active.pop(event.task_id)

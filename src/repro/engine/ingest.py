@@ -164,6 +164,32 @@ class IntakeQueue:
         self._seen: set[str] = set(seen_ids)
         self._closed = False
         self.stats = IngestStats()
+        self.telemetry.add_collector(self._telemetry_gauges)
+
+    def _telemetry_gauges(self):
+        """Pull-based intake gauges (collector: read at export time
+        only).  Producer names are caller-chosen thread names and land
+        verbatim as label values — the exporter escapes them."""
+        with self._mutex:
+            pending = len(self._items)
+            rows = [
+                (name, dict(entry))
+                for name, entry in self.stats.per_producer.items()
+            ]
+        yield "intake.depth", {}, float(pending)
+        for name, entry in rows:
+            labels = {"producer": name}
+            yield "intake.producer_submits", labels, float(entry["submits"])
+            yield (
+                "intake.producer_overflows",
+                labels,
+                float(entry["overflows"]),
+            )
+            yield (
+                "intake.producer_blocked_seconds",
+                labels,
+                float(entry["blocked_seconds"]),
+            )
 
     # ------------------------------------------------------------------
     # Producer side (any thread)
@@ -293,6 +319,14 @@ class IntakeQueue:
                 self._not_empty.wait(timeout)
             return bool(self._items)
 
+    def kick(self) -> None:
+        """Wake a consumer blocked in :meth:`wait_for_traffic` without
+        staging anything — side channels (vote submission, admin
+        commands) use this so the serving loop notices their traffic
+        promptly instead of sleeping out the poll window."""
+        with self._mutex:
+            self._not_empty.notify_all()
+
     @property
     def pending(self) -> int:
         with self._mutex:
@@ -307,6 +341,109 @@ class IntakeQueue:
         return (
             f"IntakeQueue({len(self._items)}/{self.max_pending} pending"
             f"{', closed' if self._closed else ''})"
+        )
+
+
+class NoOpenOffer(ReproError, LookupError):
+    """A vote was claimed for a (task, worker) pair with no open offer —
+    never seated, already voted, or revoked by an early stop."""
+
+
+class AssignmentBook:
+    """Thread-safe registry of open external-vote offers.
+
+    Under ``vote_source="external"`` the engine stops simulating votes:
+    seating a jury *publishes* one offer per seated worker here, and the
+    offer stays open until that worker's vote is claimed (exactly once)
+    or the task completes first and revokes it.  Workers — HTTP clients,
+    in-process drivers — discover their open seats with
+    :meth:`for_worker` and spend them through
+    :meth:`~repro.engine.engine.CampaignEngine.deliver_vote`.
+
+    The book is observational bookkeeping on top of the engine's own
+    per-task ``pending_workers`` state (and is rebuilt from it on
+    resume); claims are what make vote delivery idempotent-safe under
+    concurrent spammy clients — the second claim of the same seat
+    raises :class:`NoOpenOffer` instead of double-voting.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        # worker id -> {task id -> offer row}; rows are plain dicts so
+        # the HTTP layer can serialize them without translation.
+        self._by_worker: dict[str, dict[str, dict]] = {}
+        self.published = 0
+        self.claimed = 0
+        self.revoked = 0
+
+    def publish(self, task_id: str, worker_ids, prior: float) -> None:
+        with self._mutex:
+            for worker_id in worker_ids:
+                self._by_worker.setdefault(worker_id, {})[task_id] = {
+                    "task_id": task_id,
+                    "worker_id": worker_id,
+                    "prior": prior,
+                }
+                self.published += 1
+
+    def claim(self, task_id: str, worker_id: str) -> dict:
+        """Close the (task, worker) offer and return its row; raises
+        :class:`NoOpenOffer` when it is not open."""
+        with self._mutex:
+            offers = self._by_worker.get(worker_id)
+            row = None if offers is None else offers.pop(task_id, None)
+            if row is None:
+                raise NoOpenOffer(
+                    f"no open offer for worker {worker_id!r} on task "
+                    f"{task_id!r}"
+                )
+            if not offers:
+                del self._by_worker[worker_id]
+            self.claimed += 1
+            return row
+
+    def revoke_task(self, task_id: str) -> int:
+        """Close every remaining offer for a completed task (early stop
+        releases seats whose votes are no longer needed).  Returns the
+        number revoked."""
+        revoked = 0
+        with self._mutex:
+            for worker_id in list(self._by_worker):
+                offers = self._by_worker[worker_id]
+                if offers.pop(task_id, None) is not None:
+                    revoked += 1
+                    if not offers:
+                        del self._by_worker[worker_id]
+            self.revoked += revoked
+        return revoked
+
+    def for_worker(self, worker_id: str) -> list[dict]:
+        """The worker's open offers, oldest first (dicts are copies —
+        safe to mutate/serialize)."""
+        with self._mutex:
+            offers = self._by_worker.get(worker_id, {})
+            return [dict(row) for row in offers.values()]
+
+    def open_offers(self) -> list[dict]:
+        """Every open offer, sorted by (task, worker) for deterministic
+        iteration by seeded client fleets."""
+        with self._mutex:
+            rows = [
+                dict(row)
+                for offers in self._by_worker.values()
+                for row in offers.values()
+            ]
+        return sorted(rows, key=lambda r: (r["task_id"], r["worker_id"]))
+
+    @property
+    def open_count(self) -> int:
+        with self._mutex:
+            return sum(len(offers) for offers in self._by_worker.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AssignmentBook({self.open_count} open, "
+            f"{self.claimed} claimed, {self.revoked} revoked)"
         )
 
 
@@ -375,6 +512,7 @@ class AsyncIngestLoop:
             telemetry=engine.telemetry,
         )
         self._running = False
+        self._idle = False
 
     # ------------------------------------------------------------------
     # Producer surface
@@ -437,6 +575,14 @@ class AsyncIngestLoop:
                 chunk = 0
                 if self.intake.pending:
                     continue
+                if engine.offers is not None and engine._active:
+                    # External-vote campaign with votes outstanding:
+                    # run() cannot conjure them (vote delivery is the
+                    # caller's job), so pause rather than idle or
+                    # finalize a half-voted campaign.  serve() is the
+                    # blocking mode that waits for that traffic.
+                    paused = True
+                    break
                 if not self.intake.closed and self.intake.wait_for_traffic(
                     self.grace
                 ):
@@ -469,6 +615,110 @@ class AsyncIngestLoop:
             # Fold intake totals into the report on every exit (pause,
             # finish, or error) — render-only, excluded from the
             # fingerprint, so sync/async parity is untouched.
+            engine.metrics.intake_stats = self.intake.stats.state_dict()
+            engine.metrics.wall_seconds += time.perf_counter() - start
+        return engine.metrics
+
+    @property
+    def running(self) -> bool:
+        """Whether a serving loop (:meth:`run` or :meth:`serve`) owns
+        the engine right now."""
+        return self._running
+
+    @property
+    def idle(self) -> bool:
+        """Whether a live :meth:`serve` loop is parked waiting for
+        traffic (nothing staged, queued, or delivered on its last
+        pass).  The quiescence half of an HTTP client's barrier:
+        ``idle and staged == 0 and queued_events == 0`` means every
+        previously accepted task has been seated."""
+        return self._idle
+
+    def serve(
+        self,
+        stop: threading.Event | None = None,
+        poll: float = 0.05,
+        drain_hook=None,
+        tick=None,
+        tick_interval: float | None = None,
+    ) -> EngineMetrics:
+        """Serve-forever daemon loop.
+
+        Unlike :meth:`run` — which concludes after one quiet
+        ``grace`` window — this loop idles indefinitely, waiting for
+        traffic, until one of two exits:
+
+        - the intake is **closed** and everything has quiesced (no
+          staged arrivals, no queued events, no tasks awaiting external
+          votes): the campaign finalizes exactly like ``run()``;
+        - ``stop`` is set: the loop folds staged arrivals into the
+          (checkpointable) event queue and **pauses** without
+          finalizing — the graceful-shutdown path: checkpoint, exit,
+          ``Campaign.resume`` later.
+
+        ``drain_hook()`` runs on the loop thread once per iteration —
+        the serving layer applies externally delivered votes and admin
+        commands through it (return truthy when anything was applied).
+        ``tick()`` runs at most every ``tick_interval`` seconds —
+        periodic observability flushes.  ``poll`` bounds how long the
+        idle loop sleeps between checks for side-channel traffic.
+        """
+        if self._running:
+            raise RuntimeError("AsyncIngestLoop is already serving")
+        if poll <= 0:
+            raise ValueError("poll must be positive")
+        self._running = True
+        engine = self.engine
+        start = time.perf_counter()
+        last_tick = time.monotonic()
+        finished = False
+        try:
+            self.quiesce_intake()
+            engine._start()
+            while True:
+                if stop is not None and stop.is_set():
+                    break
+                if (
+                    tick is not None
+                    and tick_interval
+                    and time.monotonic() - last_tick >= tick_interval
+                ):
+                    last_tick = time.monotonic()
+                    tick()
+                progressed = self.quiesce_intake() > 0
+                if drain_hook is not None and drain_hook():
+                    progressed = True
+                if progressed or engine._queue:
+                    self._idle = False
+                if engine._queue:
+                    engine._step()
+                    continue
+                if progressed:
+                    continue
+                # Idle: nothing queued, staged, or delivered this pass.
+                if self.intake.closed:
+                    if engine.offers is not None and engine._active:
+                        # Votes still owed to seated juries: keep
+                        # serving (the intake condition cannot wake on
+                        # side-channel traffic once closed, so sleep
+                        # out a poll window instead).
+                        self._idle = True
+                        time.sleep(poll)
+                        continue
+                    finished = True
+                    break
+                self._idle = True
+                self.intake.wait_for_traffic(poll)
+            if finished:
+                engine._finish()
+            else:
+                # Stopped: fold accepted-but-unscheduled arrivals in so
+                # the checkpoint that typically follows loses nothing.
+                self.quiesce_intake()
+                engine._collect_stats()
+        finally:
+            self._running = False
+            self._idle = False
             engine.metrics.intake_stats = self.intake.stats.state_dict()
             engine.metrics.wall_seconds += time.perf_counter() - start
         return engine.metrics

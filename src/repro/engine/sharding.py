@@ -46,7 +46,7 @@ from __future__ import annotations
 import threading
 import warnings
 import zlib
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait as _futures_wait
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -566,37 +566,83 @@ class ShardedScheduler:
         }
         grants = self.allocator.split(round_budget, masses)
         order = sorted(routed)
-        if self._executor is not None and len(order) > 1:
-            # Concurrent dispatch: every input (sub-batch, grant) is
-            # fixed before the first future is submitted, each shard
-            # scheduler touches only its own members, and the merge
-            # below consumes results in shard-id order — so the round's
-            # outcome is independent of thread interleaving.
-            futures = [
-                self._executor.submit(
-                    self.shards[shard_id].scheduler.admit,
-                    routed[shard_id],
-                    grants[shard_id],
+        # Every grant opened this round must be settled exactly once —
+        # on success against the shard's actual reservations, on error
+        # against whatever the shard reserved before raising (a partial
+        # admit may have seated juries already).  Otherwise the round's
+        # budget is never reabsorbed and the conservation ledger
+        # (granted == reserved + reabsorbed) is permanently short.
+        reserved_before = {
+            shard_id: self.shards[shard_id].scheduler.reserved
+            for shard_id in order
+        }
+        settled: set[int] = set()
+        try:
+            if self._executor is not None and len(order) > 1:
+                # Concurrent dispatch: every input (sub-batch, grant) is
+                # fixed before the first future is submitted, each shard
+                # scheduler touches only its own members, and the merge
+                # below consumes results in shard-id order — so the
+                # round's outcome is independent of thread interleaving.
+                futures = [
+                    self._executor.submit(
+                        self.shards[shard_id].scheduler.admit,
+                        routed[shard_id],
+                        grants[shard_id],
+                    )
+                    for shard_id in order
+                ]
+                try:
+                    results = [future.result() for future in futures]
+                except BaseException:
+                    # One shard failed: stop siblings that have not
+                    # started, and wait out the ones already running so
+                    # their reservations are final before the ledger is
+                    # repaired below.
+                    for future in futures:
+                        future.cancel()
+                    _futures_wait(futures)
+                    raise
+            else:
+                results = [
+                    self.shards[shard_id].scheduler.admit(
+                        routed[shard_id], batch_budget=grants[shard_id]
+                    )
+                    for shard_id in order
+                ]
+            assignments: list[Assignment] = []
+            deferred: list[EngineTask] = []
+            with self.telemetry.span("dispatch_merge"):
+                for shard_id, (admitted, shard_deferred) in zip(
+                    order, results
+                ):
+                    reserved = sum(a.reserved_cost for a in admitted)
+                    self.allocator.settle(grants[shard_id], reserved)
+                    self.shards[shard_id].granted += grants[shard_id]
+                    settled.add(shard_id)
+                    assignments.extend(admitted)
+                    deferred.extend(shard_deferred)
+        except BaseException:
+            for shard_id in order:
+                if shard_id in settled:
+                    continue
+                grant = grants[shard_id]
+                delta = (
+                    self.shards[shard_id].scheduler.reserved
+                    - reserved_before[shard_id]
                 )
-                for shard_id in order
-            ]
-            results = [future.result() for future in futures]
-        else:
-            results = [
-                self.shards[shard_id].scheduler.admit(
-                    routed[shard_id], batch_budget=grants[shard_id]
+                # Clamp into [0, grant]: the shard cannot legitimately
+                # reserve beyond its grant, but the error path must
+                # repair the ledger, not assert about a broken shard.
+                self.allocator.settle(grant, min(max(delta, 0.0), grant))
+                self.shards[shard_id].granted += grant
+                self.telemetry.event(
+                    "admit-error-settle",
+                    shard=shard_id,
+                    grant=grant,
+                    reserved=delta,
                 )
-                for shard_id in order
-            ]
-        assignments: list[Assignment] = []
-        deferred: list[EngineTask] = []
-        with self.telemetry.span("dispatch_merge"):
-            for shard_id, (admitted, shard_deferred) in zip(order, results):
-                reserved = sum(a.reserved_cost for a in admitted)
-                self.allocator.settle(grants[shard_id], reserved)
-                self.shards[shard_id].granted += grants[shard_id]
-                assignments.extend(admitted)
-                deferred.extend(shard_deferred)
+            raise
         self.rebalance()
         return assignments, deferred
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import re
 import threading
 import time
@@ -494,8 +495,26 @@ class Telemetry:
         return "repro_" + _METRIC_NAME_RE.sub("_", name)
 
     @staticmethod
-    def _prom_labels(labels: tuple, extra: str = "") -> str:
-        parts = [f'{_METRIC_NAME_RE.sub("_", k)}="{v}"' for k, v in labels]
+    def _prom_escape(value: Any) -> str:
+        """Escape a label value per the Prometheus text format (v0.0.4):
+        backslash, double-quote, and line-feed are the three characters
+        the spec requires escaping inside quoted label values.  Label
+        values are otherwise free-form UTF-8 — producer thread names
+        (arbitrary caller-chosen strings) flow through here, so a
+        hostile name must never break the exposition."""
+        return (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+
+    @classmethod
+    def _prom_labels(cls, labels: tuple, extra: str = "") -> str:
+        parts = [
+            f'{_METRIC_NAME_RE.sub("_", k)}="{cls._prom_escape(v)}"'
+            for k, v in labels
+        ]
         if extra:
             parts.append(extra)
         return "{" + ",".join(parts) + "}" if parts else ""
@@ -594,11 +613,22 @@ class Telemetry:
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def write_trace(self, path: str) -> int:
-        """Write the Chrome trace to ``path``; returns the event count."""
+        """Write the Chrome trace to ``path``; returns the event count.
+
+        The write is atomic (tmp file + rename), so a reader — or a
+        crash mid-write — never observes a truncated trace; serve-mode
+        periodic flushes rewrite the same path safely.
+        """
         trace = self.chrome_trace()
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(trace, handle)
-            handle.write("\n")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(trace, handle)
+                handle.write("\n")
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
         return len(trace["traceEvents"])
 
     # ----------------------------------------------------- persistence

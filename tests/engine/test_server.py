@@ -1,0 +1,798 @@
+"""The HTTP serving layer: endpoint correctness, adversarial traffic,
+daemon lifecycle, and the HTTP-vs-in-process fingerprint parity pin.
+
+The parity pin is the load-bearing test: a seeded client fleet driving
+a campaign over the wire (POST /tasks, GET /assignments, POST /votes)
+must land on a fingerprint byte-identical to the same fleet driving the
+synchronous facade in-process — across shard counts and state backends.
+"""
+
+import hashlib
+import json
+import re
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Campaign,
+    CampaignConfig,
+    CampaignServer,
+    EngineTask,
+    LoopMailbox,
+    NoOpenOffer,
+    SQLiteBackend,
+    ServerError,
+)
+from repro.simulation import SyntheticPoolConfig, generate_pool
+
+# ---------------------------------------------------------------------------
+# Workload helpers
+# ---------------------------------------------------------------------------
+
+
+def make_pool(num_workers=16, seed=11):
+    rng = np.random.default_rng(seed)
+    return generate_pool(
+        SyntheticPoolConfig(num_workers=num_workers, quality_ceiling=0.95),
+        rng,
+    )
+
+
+def make_tasks(num_tasks=10, seed=3):
+    rng = np.random.default_rng(seed)
+    truths = rng.integers(0, 2, size=num_tasks)
+    return [
+        EngineTask(f"t{i:03d}", ground_truth=int(t))
+        for i, t in enumerate(truths)
+    ]
+
+
+def task_rows(tasks):
+    return [
+        {"task_id": t.task_id, "prior": t.prior, "ground_truth": t.ground_truth}
+        for t in tasks
+    ]
+
+
+def make_config(**overrides):
+    defaults = dict(
+        budget=40.0,
+        capacity=3,
+        batch_size=4,
+        confidence_target=0.95,
+        seed=7,
+        ingestion="async",
+        vote_source="external",
+        ingest_grace=0.02,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def fleet_vote(task_id, worker_id, seed=0):
+    """Deterministic vote for (task, worker): the seeded fleet's crowd."""
+    digest = hashlib.sha256(
+        f"{seed}:{task_id}:{worker_id}".encode()
+    ).hexdigest()
+    return int(digest, 16) & 1
+
+
+# ---------------------------------------------------------------------------
+# HTTP helpers
+# ---------------------------------------------------------------------------
+
+
+def http_get(url, raw=False):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        body = response.read()
+        if raw:
+            return response.status, body.decode()
+        return response.status, json.loads(body)
+
+
+def http_post(url, payload, timeout=10):
+    """POST JSON; returns (status, body) without raising on 4xx/5xx."""
+    data = (
+        payload if isinstance(payload, bytes)
+        else json.dumps(payload).encode()
+    )
+    request = urllib.request.Request(url, data=data, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class serving:
+    """Context manager: a Campaign served by a CampaignServer on an
+    ephemeral port, with the serve loop on a background thread.  Always
+    shuts the listener down; joins the loop when the test drained it."""
+
+    def __init__(self, config=None, backend=None, campaign=None, **server_kw):
+        self.campaign = campaign or Campaign.open(
+            make_pool(), config or make_config(), backend=backend
+        )
+        self.server = CampaignServer(self.campaign, port=0, **server_kw)
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.metrics = None
+
+    def _serve(self):
+        self.metrics = self.server.serve()
+
+    def __enter__(self):
+        self.thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.server.stop()
+        self.thread.join(timeout=10)
+        self.server.shutdown()
+        if not self.campaign._closed:
+            self.campaign.close()
+
+    @property
+    def url(self):
+        return self.server.url
+
+    def join(self, timeout=20):
+        self.thread.join(timeout=timeout)
+        assert not self.thread.is_alive(), "serve loop failed to finish"
+        return self.metrics
+
+
+# ---------------------------------------------------------------------------
+# Seeded client fleets — the same sweep discipline in-process and on the wire
+# ---------------------------------------------------------------------------
+
+
+def barrier_http(url, deadline=20.0):
+    """Wait until every accepted task is seated (idle && staged == 0 &&
+    queued_events == 0) — the documented client barrier."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        _, status = http_get(url + "/status")
+        if (
+            status["idle"]
+            and status["staged"] == 0
+            and status["queued_events"] == 0
+        ):
+            return status
+        time.sleep(0.005)
+    raise AssertionError("campaign never quiesced")
+
+
+def drive_fleet_http(url, worker_ids, seed=0, deadline=30.0):
+    """Sweep workers in sorted order, voting on every open offer, until
+    the campaign holds no open offers and no active tasks."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        _, status = http_get(url + "/status")
+        if (
+            status["open_offers"] == 0
+            and status["active"] == 0
+            and status["staged"] == 0
+            and status["queued_events"] == 0
+        ):
+            return
+        progressed = False
+        for worker_id in sorted(worker_ids):
+            _, payload = http_get(f"{url}/assignments?worker={worker_id}")
+            for row in sorted(
+                payload["assignments"], key=lambda r: r["task_id"]
+            ):
+                code, _ = http_post(url + "/votes", {
+                    "task_id": row["task_id"],
+                    "worker_id": worker_id,
+                    "vote": fleet_vote(row["task_id"], worker_id, seed),
+                })
+                assert code in (200, 409), code
+                if code == 200:
+                    progressed = True
+        if not progressed:
+            time.sleep(0.01)
+    raise AssertionError("HTTP fleet never drained the campaign")
+
+
+def drive_fleet_in_process(campaign, worker_ids, seed=0, max_sweeps=500):
+    """The same fleet against the synchronous facade."""
+    for _ in range(max_sweeps):
+        offers = campaign.offers
+        if offers.open_count == 0 and not campaign.engine._active:
+            return
+        progressed = False
+        for worker_id in sorted(worker_ids):
+            for row in sorted(
+                campaign.assignments(worker_id),
+                key=lambda r: r["task_id"],
+            ):
+                try:
+                    campaign.vote(
+                        row["task_id"],
+                        worker_id,
+                        fleet_vote(row["task_id"], worker_id, seed),
+                    )
+                    progressed = True
+                except NoOpenOffer:
+                    pass
+        if not progressed:
+            raise AssertionError("in-process fleet stalled")
+    raise AssertionError("in-process fleet never drained the campaign")
+
+
+def run_http_campaign(config, backend, tasks, fleet_seed=0):
+    with serving(config=config, backend=backend) as srv:
+        worker_ids = list(srv.campaign.registry.worker_ids)
+        code, body = http_post(
+            srv.url + "/tasks", {"tasks": task_rows(tasks), "spacing": 1.0}
+        )
+        assert code == 202 and body["staged"] == len(tasks)
+        barrier_http(srv.url)
+        drive_fleet_http(srv.url, worker_ids, seed=fleet_seed)
+        code, _ = http_post(srv.url + "/admin/close", {"mode": "drain"})
+        assert code == 200
+        metrics = srv.join()
+        assert srv.campaign.done
+        return metrics.fingerprint(), metrics
+
+
+def run_in_process_campaign(config, backend, tasks, fleet_seed=0):
+    campaign = Campaign.open(make_pool(), config, backend=backend)
+    worker_ids = list(campaign.registry.worker_ids)
+    campaign.submit(tasks)
+    campaign.run()  # seats the juries; pauses awaiting external votes
+    drive_fleet_in_process(campaign, worker_ids, seed=fleet_seed)
+    campaign.close_intake()
+    metrics = campaign.run()
+    assert campaign.done
+    fingerprint = metrics.fingerprint()
+    campaign.close()
+    return fingerprint, metrics
+
+
+# ---------------------------------------------------------------------------
+# The tentpole pin: HTTP == in-process, across shards × backends
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprintParity:
+    @pytest.mark.parametrize("backend_kind", ["memory", "sqlite"])
+    @pytest.mark.parametrize("num_shards", [1, 4])
+    def test_http_fleet_matches_in_process(
+        self, num_shards, backend_kind, tmp_path
+    ):
+        tasks = make_tasks(num_tasks=8)
+
+        def backend(tag):
+            if backend_kind == "memory":
+                return None
+            return SQLiteBackend(tmp_path / f"{tag}.db")
+
+        config = make_config(num_shards=num_shards)
+        http_fp, http_metrics = run_http_campaign(
+            config, backend("http"), tasks
+        )
+        sync_fp, sync_metrics = run_in_process_campaign(
+            config, backend("sync"), tasks
+        )
+        assert http_metrics.completed == len(tasks)
+        assert http_metrics.votes_cast == sync_metrics.votes_cast
+        assert http_metrics.votes_cancelled == sync_metrics.votes_cancelled
+        assert http_fp == sync_fp
+
+    def test_fleet_seed_changes_the_outcome(self):
+        # The pin above is meaningful only if the fingerprint actually
+        # depends on the votes the fleet casts.
+        tasks = make_tasks(num_tasks=8)
+        fp_a, _ = run_in_process_campaign(make_config(), None, tasks, 0)
+        fp_b, _ = run_in_process_campaign(make_config(), None, tasks, 99)
+        assert fp_a != fp_b
+
+
+# ---------------------------------------------------------------------------
+# Endpoint correctness and hostile payloads
+# ---------------------------------------------------------------------------
+
+
+class TestEndpoints:
+    def test_status_reports_live_counters(self):
+        with serving() as srv:
+            tasks = make_tasks(num_tasks=4)
+            code, body = http_post(
+                srv.url + "/tasks", {"tasks": task_rows(tasks)}
+            )
+            assert code == 202 and body == {"staged": 4}
+            status = barrier_http(srv.url)
+            assert status["submitted"] == 4
+            assert status["active"] == 4
+            assert status["vote_source"] == "external"
+            assert status["open_offers"] > 0
+            assert status["serving"] is True
+            assert status["done"] is False
+
+    def test_metrics_endpoint_serves_prometheus_text(self):
+        with serving(config=make_config(telemetry="on")) as srv:
+            http_post(srv.url + "/tasks", {"tasks": task_rows(make_tasks(4))})
+            barrier_http(srv.url)
+            status, body = http_get(srv.url + "/metrics", raw=True)
+            assert status == 200
+            assert "repro_engine_tasks_submitted_total 4" in body
+
+    def test_assignments_requires_worker_param(self):
+        with serving() as srv:
+            code, body = http_post(srv.url + "/tasks", {
+                "tasks": task_rows(make_tasks(2))})
+            assert code == 202
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                http_get(srv.url + "/assignments")
+            assert excinfo.value.code == 400
+
+    def test_unknown_routes_404(self):
+        with serving() as srv:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                http_get(srv.url + "/nope")
+            assert excinfo.value.code == 404
+            code, _ = http_post(srv.url + "/nope", {})
+            assert code == 404
+
+    def test_invalid_json_400(self):
+        with serving() as srv:
+            code, body = http_post(srv.url + "/tasks", b"{not json")
+            assert code == 400
+            assert "JSON" in body["error"]
+
+    def test_non_object_body_400(self):
+        with serving() as srv:
+            code, _ = http_post(srv.url + "/tasks", b"[1, 2, 3]")
+            assert code == 400
+
+    def test_oversized_body_413(self):
+        with serving(max_body=256) as srv:
+            bomb = {"tasks": [{"task_id": "x" * 1000}]}
+            code, body = http_post(srv.url + "/tasks", bomb)
+            assert code == 413
+            assert "cap" in body["error"]
+
+    def test_task_payload_validation_400(self):
+        with serving() as srv:
+            for payload in (
+                {},
+                {"tasks": []},
+                {"tasks": "t0"},
+                {"tasks": [42]},
+                {"tasks": [{"prior": 0.5}]},
+                {"tasks": [{"task_id": ""}]},
+                {"tasks": [{"task_id": "t0", "prior": "high"}]},
+            ):
+                code, _ = http_post(srv.url + "/tasks", payload)
+                assert code == 400, payload
+
+    def test_duplicate_task_409(self):
+        with serving() as srv:
+            rows = task_rows(make_tasks(2))
+            code, _ = http_post(srv.url + "/tasks", {"tasks": rows})
+            assert code == 202
+            barrier_http(srv.url)
+            code, body = http_post(srv.url + "/tasks", {"tasks": rows})
+            assert code == 409
+            assert "duplicate" in body["error"]
+
+    def test_vote_payload_validation_400(self):
+        with serving() as srv:
+            for payload in (
+                {},
+                {"task_id": "t", "worker_id": "w"},
+                {"task_id": "t", "worker_id": "w", "vote": 2},
+                {"task_id": "t", "worker_id": "w", "vote": "1"},
+                {"task_id": "t", "worker_id": "w", "vote": True},
+                {"task_id": "t", "worker_id": 3, "vote": 1},
+                {"task_id": None, "worker_id": "w", "vote": 0},
+            ):
+                code, _ = http_post(srv.url + "/votes", payload)
+                assert code == 400, payload
+
+    def test_vote_without_offer_409(self):
+        with serving() as srv:
+            code, body = http_post(srv.url + "/votes", {
+                "task_id": "ghost", "worker_id": "w0", "vote": 1})
+            assert code == 409
+
+    def test_simulated_campaign_rejects_external_votes(self):
+        with serving(config=make_config(vote_source="simulated")) as srv:
+            code, body = http_post(srv.url + "/votes", {
+                "task_id": "t", "worker_id": "w", "vote": 1})
+            assert code == 409
+            assert "simulate" in body["error"]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                http_get(srv.url + "/assignments?worker=w0")
+            assert excinfo.value.code == 409
+
+    def test_simulated_campaign_still_serves_tasks(self):
+        # Tasks over the wire, votes simulated in-engine: the serving
+        # layer works for pure task-intake deployments too.
+        with serving(config=make_config(vote_source="simulated")) as srv:
+            code, _ = http_post(
+                srv.url + "/tasks", {"tasks": task_rows(make_tasks(4))}
+            )
+            assert code == 202
+            code, _ = http_post(srv.url + "/admin/close", {"mode": "drain"})
+            assert code == 200
+            metrics = srv.join()
+            assert metrics.completed == 4
+
+    def test_submit_after_close_409(self):
+        with serving() as srv:
+            code, _ = http_post(srv.url + "/admin/close", {"mode": "drain"})
+            assert code == 200
+            srv.join()
+            code, _ = http_post(
+                srv.url + "/tasks", {"tasks": task_rows(make_tasks(1))}
+            )
+            assert code == 409
+
+    def test_close_mode_validation(self):
+        with serving() as srv:
+            code, _ = http_post(
+                srv.url + "/admin/close", {"mode": "detonate"}
+            )
+            assert code == 400
+
+
+# ---------------------------------------------------------------------------
+# Adversarial traffic
+# ---------------------------------------------------------------------------
+
+
+class TestAdversarialTraffic:
+    def test_spammer_double_votes_are_rejected(self):
+        """A worker replaying the same vote gets exactly one acceptance;
+        the campaign's vote accounting stays exact."""
+        with serving() as srv:
+            http_post(srv.url + "/tasks", {"tasks": task_rows(make_tasks(2))})
+            barrier_http(srv.url)
+            # Pick a worker the engine actually seated.
+            row = srv.campaign.offers.open_offers()[0]
+            outcomes = []
+            for _ in range(5):
+                code, _ = http_post(srv.url + "/votes", {
+                    "task_id": row["task_id"],
+                    "worker_id": row["worker_id"],
+                    "vote": 1,
+                })
+                outcomes.append(code)
+            assert outcomes.count(200) == 1
+            assert outcomes.count(409) == 4
+            _, status = http_get(srv.url + "/status")
+            assert status["votes_cast"] == 1
+
+    def test_latency_skewed_concurrent_fleet_completes(self):
+        """Workers voting concurrently with wildly different latencies:
+        no deadlock, no lost votes, every task completes."""
+        config = make_config(budget=60.0)
+        with serving(config=config) as srv:
+            worker_ids = list(srv.campaign.registry.worker_ids)
+            tasks = make_tasks(num_tasks=6)
+            http_post(srv.url + "/tasks", {"tasks": task_rows(tasks)})
+            barrier_http(srv.url)
+            stop = threading.Event()
+            errors = []
+
+            def worker_loop(worker_id, delay):
+                try:
+                    while not stop.is_set():
+                        _, payload = http_get(
+                            f"{srv.url}/assignments?worker={worker_id}"
+                        )
+                        if not payload["assignments"]:
+                            time.sleep(delay)
+                            continue
+                        for row in payload["assignments"]:
+                            code, _ = http_post(srv.url + "/votes", {
+                                "task_id": row["task_id"],
+                                "worker_id": worker_id,
+                                "vote": fleet_vote(row["task_id"], worker_id),
+                            })
+                            assert code in (200, 409), code
+                            time.sleep(delay)
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(
+                    target=worker_loop,
+                    args=(worker_id, 0.001 * (1 + 20 * (i % 3 == 0))),
+                    daemon=True,
+                )
+                for i, worker_id in enumerate(worker_ids)
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                _, status = http_get(srv.url + "/status")
+                if status["active"] == 0 and status["open_offers"] == 0:
+                    break
+                time.sleep(0.02)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5)
+            assert not errors, errors
+            http_post(srv.url + "/admin/close", {"mode": "drain"})
+            metrics = srv.join()
+            assert metrics.completed == len(tasks)
+            records = metrics.records
+            assert sum(r.votes_used for r in records) == metrics.votes_cast
+
+    def test_hostile_payload_storm_leaves_campaign_consistent(self):
+        """A barrage of malformed requests must not perturb a normal
+        workload running through the same server."""
+        with serving() as srv:
+            garbage = [
+                (srv.url + "/votes", b"\xff\xfe\x00"),
+                (srv.url + "/tasks", b'{"tasks": [{"task_id": 1}]}'),
+                (srv.url + "/votes", {"task_id": "t000", "vote": 7}),
+                (srv.url + "/admin/close", {"mode": "wipe"}),
+                (srv.url + "/elsewhere", {}),
+            ]
+            for target, payload in garbage * 10:
+                code, _ = http_post(target, payload)
+                assert 400 <= code < 500
+            tasks = make_tasks(num_tasks=4)
+            worker_ids = list(srv.campaign.registry.worker_ids)
+            code, _ = http_post(srv.url + "/tasks", {"tasks": task_rows(tasks)})
+            assert code == 202
+            barrier_http(srv.url)
+            drive_fleet_http(srv.url, worker_ids)
+            http_post(srv.url + "/admin/close", {"mode": "drain"})
+            metrics = srv.join()
+            assert metrics.completed == len(tasks)
+
+
+# ---------------------------------------------------------------------------
+# Hostile Prometheus labels through the live exporter (satellite 2)
+# ---------------------------------------------------------------------------
+
+#: One Prometheus text-format sample line: name{labels} value — label
+#: values may contain any character except raw newline/quote/backslash,
+#: which must appear escaped.
+_PROM_SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*")*\})?'
+    r' \S+$'
+)
+
+
+def assert_valid_prometheus(body):
+    for line in body.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _PROM_SAMPLE.match(line), f"invalid exposition line: {line!r}"
+
+
+class TestHostileMetricsLabels:
+    def test_metrics_endpoint_survives_hostile_producer_names(self):
+        hostile = 'evil"producer\nname\\with everything'
+        with serving(config=make_config(telemetry="on")) as srv:
+            thread = threading.Thread(
+                target=srv.campaign.submit,
+                args=(make_tasks(3),),
+                name=hostile,
+            )
+            thread.start()
+            thread.join(timeout=10)
+            barrier_http(srv.url)
+            status, body = http_get(srv.url + "/metrics", raw=True)
+            assert status == 200
+            assert_valid_prometheus(body)
+            assert 'evil\\"producer\\nname\\\\with everything' in body
+
+    def test_server_response_labels_are_escaped(self):
+        with serving(config=make_config(telemetry="on")) as srv:
+            code, _ = http_post(srv.url + '/votes?x="\n', {})
+            assert code in (400, 404)
+            _, body = http_get(srv.url + "/metrics", raw=True)
+            assert_valid_prometheus(body)
+
+
+# ---------------------------------------------------------------------------
+# Daemon lifecycle (satellite 4)
+# ---------------------------------------------------------------------------
+
+
+class TestDaemonLifecycle:
+    def test_close_intake_ends_serve(self):
+        with serving() as srv:
+            http_post(srv.url + "/tasks", {"tasks": task_rows(make_tasks(2))})
+            barrier_http(srv.url)
+            worker_ids = list(srv.campaign.registry.worker_ids)
+            drive_fleet_http(srv.url, worker_ids)
+            code, body = http_post(srv.url + "/admin/close", {"mode": "drain"})
+            assert code == 200 and body == {"closing": "drain"}
+            metrics = srv.join()
+            assert srv.campaign.done
+            assert metrics.completed == 2
+
+    def test_close_stop_pauses_without_finalizing(self):
+        with serving() as srv:
+            http_post(srv.url + "/tasks", {"tasks": task_rows(make_tasks(2))})
+            barrier_http(srv.url)
+            code, _ = http_post(srv.url + "/admin/close", {"mode": "stop"})
+            assert code == 200
+            srv.join()
+            assert not srv.campaign.done
+            assert srv.campaign.engine._active
+
+    def test_admin_checkpoint_persists_mid_serve(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "live.db")
+        with serving(backend=backend) as srv:
+            http_post(srv.url + "/tasks", {"tasks": task_rows(make_tasks(3))})
+            barrier_http(srv.url)
+            code, body = http_post(srv.url + "/admin/checkpoint", {})
+            assert code == 200 and body["checkpointed"] is True
+        assert backend.exists()
+
+    def test_serve_stop_checkpoint_resume_is_fingerprint_identical(
+        self, tmp_path
+    ):
+        """The daemon pin: pause a served campaign mid-flight, resume
+        it from the checkpoint, finish the fleet — byte-identical to
+        the same workload served without interruption."""
+        tasks = make_tasks(num_tasks=6)
+        baseline_fp, _ = run_http_campaign(make_config(), None, tasks)
+
+        backend = SQLiteBackend(tmp_path / "paused.db")
+        campaign = Campaign.open(make_pool(), make_config(), backend=backend)
+        worker_ids = list(campaign.registry.worker_ids)
+        with serving(campaign=campaign) as srv:
+            http_post(srv.url + "/tasks", {"tasks": task_rows(tasks)})
+            barrier_http(srv.url)
+            # Deliver the first sweep's worth of votes for two workers,
+            # then pause mid-campaign.
+            for worker_id in sorted(worker_ids)[:2]:
+                _, payload = http_get(
+                    f"{srv.url}/assignments?worker={worker_id}"
+                )
+                for row in sorted(
+                    payload["assignments"], key=lambda r: r["task_id"]
+                ):
+                    http_post(srv.url + "/votes", {
+                        "task_id": row["task_id"],
+                        "worker_id": worker_id,
+                        "vote": fleet_vote(row["task_id"], worker_id),
+                    })
+            srv.server.stop()
+            srv.join()
+            assert not campaign.done
+            campaign.checkpoint()
+        campaign.close()
+
+        resumed = Campaign.resume(backend)
+        assert resumed.offers.open_count > 0  # offers rebuilt on resume
+        with serving(campaign=resumed) as srv:
+            drive_fleet_http(srv.url, worker_ids)
+            http_post(srv.url + "/admin/close", {"mode": "drain"})
+            metrics = srv.join()
+            assert resumed.done
+            assert metrics.fingerprint() == baseline_fp
+
+    def test_stopped_server_rejects_staged_commands(self):
+        with serving() as srv:
+            srv.server.stop()
+            srv.join()
+            code, body = http_post(srv.url + "/admin/checkpoint", {})
+            assert code == 503
+            assert "no longer serving" in body["error"]
+
+
+# ---------------------------------------------------------------------------
+# LoopMailbox unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestLoopMailbox:
+    def test_call_blocks_until_drained(self):
+        mailbox = LoopMailbox()
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(mailbox.call(lambda: 42)),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 5
+        while mailbox.pending == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        for command in mailbox.drain():
+            command.run()
+        thread.join(timeout=5)
+        assert results == [42]
+        assert mailbox.pending == 0
+
+    def test_call_propagates_the_commands_exception(self):
+        mailbox = LoopMailbox()
+        errors = []
+
+        def caller():
+            try:
+                mailbox.call(self._boom)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        thread = threading.Thread(target=caller, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while mailbox.pending == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        for command in mailbox.drain():
+            command.run()
+        thread.join(timeout=5)
+        assert errors == ["kaboom"]
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("kaboom")
+
+    def test_call_times_out_when_nobody_drains(self):
+        mailbox = LoopMailbox()
+        with pytest.raises(ServerError, match="did not apply"):
+            mailbox.call(lambda: None, timeout=0.05)
+
+    def test_reject_all_fails_pending_and_future_calls(self):
+        mailbox = LoopMailbox()
+        outcome = []
+
+        def caller():
+            try:
+                mailbox.call(lambda: None, timeout=10)
+            except ServerError as exc:
+                outcome.append(str(exc))
+
+        thread = threading.Thread(target=caller, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while mailbox.pending == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        mailbox.reject_all(ServerError("loop gone"))
+        thread.join(timeout=5)
+        assert outcome == ["loop gone"]
+        with pytest.raises(ServerError, match="loop gone"):
+            mailbox.call(lambda: None)
+
+    def test_kick_fires_on_every_call(self):
+        kicks = []
+        mailbox = LoopMailbox(kick=lambda: kicks.append(1))
+        thread = threading.Thread(
+            target=lambda: mailbox.call(lambda: None, timeout=10),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 5
+        while not kicks and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert kicks
+        for command in mailbox.drain():
+            command.run()
+        thread.join(timeout=5)
+
+
+class TestServerConstruction:
+    def test_requires_async_ingestion(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_FORCE_INGESTION", raising=False)
+        campaign = Campaign.open(
+            make_pool(), make_config(ingestion="sync")
+        )
+        with pytest.raises(ValueError, match="async"):
+            CampaignServer(campaign)
+        campaign.close()
+
+    def test_ephemeral_port_is_reported(self):
+        campaign = Campaign.open(make_pool(), make_config())
+        with CampaignServer(campaign, port=0) as server:
+            assert server.port != 0
+            assert str(server.port) in server.url
+        campaign.close()

@@ -358,3 +358,93 @@ class TestShardedEngine:
         )
         plain = plain_engine.run()
         assert plain.fingerprint() == sharded.fingerprint()
+
+
+class TestAdmitErrorSettlement:
+    """Regression: a shard scheduler raising mid-``admit`` used to leave
+    that round's grants unsettled — the allocator then violated
+    ``granted == reserved + reabsorbed`` for the rest of the campaign,
+    and the round's unreserved budget was never re-absorbed (a
+    permanent ledger leak).  The error path must settle every grant
+    against what each shard actually reserved before re-raising."""
+
+    @staticmethod
+    def build(parallel=0, shards=4, seed=5):
+        rng = np.random.default_rng(seed)
+        pool = generate_pool(
+            SyntheticPoolConfig(num_workers=16, quality_ceiling=0.95), rng
+        )
+        registry = WorkerRegistry(pool, capacity=2)
+        config = EngineConfig(
+            budget=30.0, capacity=2, seed=seed, parallel_shards=parallel
+        )
+        return ShardedScheduler(
+            registry, config, ShardingConfig(shards), 100
+        )
+
+    @staticmethod
+    def tasks(count, offset=0):
+        return [EngineTask(f"t{offset + i}") for i in range(count)]
+
+    @staticmethod
+    def assert_ledger(scheduler):
+        allocator = scheduler.allocator
+        assert allocator.granted == pytest.approx(
+            allocator.reserved + allocator.reabsorbed, abs=1e-9
+        )
+        shard_reserved = sum(
+            shard.scheduler.reserved for shard in scheduler.shards
+        )
+        assert shard_reserved == pytest.approx(
+            allocator.reserved, abs=1e-9
+        )
+        granted = sum(shard.granted for shard in scheduler.shards)
+        assert granted == pytest.approx(allocator.granted, abs=1e-9)
+
+    @pytest.mark.parametrize("parallel", [0, 4])
+    def test_raise_before_reserving_reabsorbs_the_grant(self, parallel):
+        scheduler = self.build(parallel=parallel)
+        calls = []
+
+        def exploding_admit(tasks, batch_budget=None):
+            calls.append(len(tasks))
+            raise RuntimeError("shard exploded")
+
+        scheduler.shards[2].scheduler.admit = exploding_admit
+        with pytest.raises(RuntimeError, match="shard exploded"):
+            scheduler.admit(self.tasks(16))
+        assert calls, "the broken shard was never dispatched to"
+        self.assert_ledger(scheduler)
+
+    @pytest.mark.parametrize("parallel", [0, 4])
+    def test_raise_after_partial_reserve_settles_the_delta(self, parallel):
+        scheduler = self.build(parallel=parallel)
+        victim = scheduler.shards[1].scheduler
+        real_admit = victim.admit
+
+        def admit_then_explode(tasks, batch_budget=None):
+            real_admit(tasks, batch_budget)
+            raise RuntimeError("post-reserve failure")
+
+        scheduler.shards[1].scheduler.admit = admit_then_explode
+        with pytest.raises(RuntimeError, match="post-reserve failure"):
+            scheduler.admit(self.tasks(16))
+        # The victim's real reservations happened before the raise; the
+        # repair must settle them (not zero) or the shard-sum law breaks.
+        self.assert_ledger(scheduler)
+
+    def test_scheduler_still_serves_after_a_failed_round(self):
+        scheduler = self.build()
+        original = scheduler.shards[3].scheduler.admit
+
+        def explode_once(tasks, batch_budget=None):
+            scheduler.shards[3].scheduler.admit = original
+            raise RuntimeError("transient")
+
+        scheduler.shards[3].scheduler.admit = explode_once
+        with pytest.raises(RuntimeError, match="transient"):
+            scheduler.admit(self.tasks(16))
+        self.assert_ledger(scheduler)
+        assignments, deferred = scheduler.admit(self.tasks(16, offset=100))
+        assert assignments or deferred
+        self.assert_ledger(scheduler)

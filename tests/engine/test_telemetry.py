@@ -12,6 +12,7 @@ Chrome trace, ``repro trace summarize``).
 """
 
 import json
+import re
 import threading
 
 import numpy as np
@@ -636,3 +637,61 @@ class TestCLI:
         assert main(["trace", "summarize", str(path)]) == 0
         out = capsys.readouterr().out
         assert "1 spans, 1 instant events" in out
+
+
+class TestPrometheusLabelEscaping:
+    """Label values reaching the exporter are producer-controlled
+    (thread names, shard tags); per the text-format v0.0.4 spec,
+    backslash, double-quote, and newline must be escaped or the
+    exposition is unparseable."""
+
+    def test_escape_covers_the_three_special_characters(self):
+        assert Telemetry._prom_escape('a"b') == 'a\\"b'
+        assert Telemetry._prom_escape("a\\b") == "a\\\\b"
+        assert Telemetry._prom_escape("a\nb") == "a\\nb"
+        assert Telemetry._prom_escape('\\"\n') == '\\\\\\"\\n'
+        assert Telemetry._prom_escape("plain") == "plain"
+
+    def test_hostile_label_values_render_single_line(self):
+        telemetry = Telemetry()
+        telemetry.inc("requests", producer='evil"name\nwith\\stuff')
+        text = telemetry.render_prometheus()
+        line = next(
+            l for l in text.splitlines() if l.startswith("repro_requests")
+        )
+        assert line == (
+            'repro_requests_total{producer="evil\\"name\\nwith\\\\stuff"} 1'
+        )
+
+    def test_hostile_producer_thread_name_flows_through_intake(self):
+        telemetry = Telemetry()
+        queue = IntakeQueue(telemetry=telemetry)
+        thread = threading.Thread(
+            target=queue.submit,
+            args=([EngineTask("t0"), EngineTask("t1")],),
+            name='prod"uc\ner\\1',
+        )
+        thread.start()
+        thread.join(timeout=10)
+        text = telemetry.render_prometheus()
+        assert 'producer="prod\\"uc\\ner\\\\1"' in text
+        # One sample per line: no raw newline/quote survived into a
+        # label value, so every line parses under the v0.0.4 grammar.
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*")*\})?'
+            r' \S+$'
+        )
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert sample.match(line), f"unparseable line: {line!r}"
+
+    def test_gauge_and_histogram_labels_are_escaped_too(self):
+        telemetry = Telemetry()
+        telemetry.set_gauge("depth", 3, queue='q"1')
+        telemetry.observe("lat", 0.5, route="a\\b")
+        text = telemetry.render_prometheus()
+        assert 'queue="q\\"1"' in text
+        assert 'route="a\\\\b"' in text

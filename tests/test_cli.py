@@ -323,3 +323,164 @@ class TestEngineKernelAndCheckpointFlags:
         assert "# paused at" in out
         assert "peak load    : 0 concurrent seats" not in out
         assert "cache        : " in out
+
+
+class TestServeCommand:
+    """The `repro serve` daemon: flag validation in-process; signal
+    handling, checkpoint-on-shutdown, and SQLite durability against a
+    real subprocess."""
+
+    def test_sqlite_requires_state_file(self, capsys):
+        assert main(["serve", "--budget", "5", "--backend", "sqlite"]) == 2
+        assert "--state-file" in capsys.readouterr().err
+
+    def test_fresh_serve_requires_budget(self, capsys):
+        # --budget is only optional with --resume (the checkpoint
+        # carries it); a fresh serve without it must fail cleanly.
+        assert main(["serve"]) == 2
+        assert "--budget is required" in capsys.readouterr().err
+
+    def test_resume_requires_sqlite_backend(self, capsys):
+        assert main(["serve", "--budget", "5", "--resume"]) == 2
+        assert "--resume requires" in capsys.readouterr().err
+
+    def test_fresh_serve_refuses_to_clobber_a_checkpoint(
+        self, tmp_path, capsys
+    ):
+        state = tmp_path / "campaign.db"
+        assert main([
+            "engine", "--budget", "3", "--num-tasks", "5",
+            "--num-workers", "8", "--seed", "1",
+            "--backend", "sqlite", "--state-file", str(state),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--budget", "3",
+            "--backend", "sqlite", "--state-file", str(state),
+        ]) == 2
+        assert "already holds" in capsys.readouterr().err
+
+    # -- subprocess lifecycle ------------------------------------------
+
+    @staticmethod
+    def _spawn(tmp_path, *extra):
+        import os
+        import re
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        log = tmp_path / "serve.log"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro", "serve",
+                "--budget", "20", "--num-workers", "8",
+                "--seed", "3", "--port", "0", *extra,
+            ],
+            stdout=open(log, "w"),
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        url = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            text = log.read_text() if log.exists() else ""
+            match = re.search(r"http://[0-9.:]+", text)
+            if match:
+                url = match.group()
+                break
+            if process.poll() is not None:
+                raise AssertionError(f"serve died at startup:\n{text}")
+            time.sleep(0.05)
+        assert url, "serve never printed its URL"
+        return process, url, log
+
+    @staticmethod
+    def _post(url, payload):
+        import json
+        import urllib.request
+
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode(), method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return json.loads(response.read())
+
+    def test_sigint_checkpoints_and_exits_cleanly(self, tmp_path):
+        import json
+        import signal
+
+        from repro.engine import Campaign, SQLiteBackend
+
+        state = tmp_path / "campaign.db"
+        metrics_out = tmp_path / "metrics.json"
+        process, url, log = self._spawn(
+            tmp_path,
+            "--backend", "sqlite", "--state-file", str(state),
+            "--vote-source", "simulated",
+            "--metrics-out", str(metrics_out),
+            "--metrics-interval", "0.1",
+        )
+        try:
+            staged = self._post(url + "/tasks", {"tasks": [
+                {"task_id": f"t{i}", "ground_truth": i % 2}
+                for i in range(3)
+            ]})
+            assert staged == {"staged": 3}
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=30) == 0
+        finally:
+            process.kill()
+        text = log.read_text()
+        assert "rerun with --resume" in text
+        # The periodic + shutdown flush left valid JSON behind.
+        snapshot = json.loads(metrics_out.read_text())
+        assert snapshot["submitted"] == 3
+        # The checkpoint is durable and resumable.
+        campaign = Campaign.resume(SQLiteBackend(state))
+        assert campaign.metrics.submitted == 3
+        campaign.close()
+
+    def test_double_signal_force_exits_without_corrupting_sqlite(
+        self, tmp_path
+    ):
+        import signal
+        import sqlite3
+        import time
+
+        from repro.engine import Campaign, SQLiteBackend
+
+        state = tmp_path / "campaign.db"
+        process, url, log = self._spawn(
+            tmp_path, "--backend", "sqlite", "--state-file", str(state)
+        )
+        try:
+            self._post(url + "/tasks", {"tasks": [
+                {"task_id": f"t{i}"} for i in range(3)
+            ]})
+            self._post(url + "/admin/checkpoint", {})
+            process.send_signal(signal.SIGINT)
+            time.sleep(0.05)
+            process.send_signal(signal.SIGINT)
+            returncode = process.wait(timeout=30)
+        finally:
+            process.kill()
+        # Either the graceful path won the race (0) or the second
+        # signal force-exited (130) — both must leave the durable
+        # checkpoint loadable and the database physically intact.
+        assert returncode in (0, 130)
+        connection = sqlite3.connect(state)
+        assert connection.execute(
+            "PRAGMA integrity_check"
+        ).fetchone()[0] == "ok"
+        connection.close()
+        campaign = Campaign.resume(SQLiteBackend(state))
+        assert campaign.metrics.submitted == 3
+        assert campaign.offers is not None
+        campaign.close()
