@@ -280,6 +280,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "this many workers (0 = sequential; "
                             "decisions are byte-identical either way; "
                             "needs --num-shards > 1 to matter)")
+    p_eng.add_argument("--dispatch", default="threads",
+                       choices=("threads", "processes"),
+                       help="shard admit dispatch: 'processes' ships "
+                            "each shard's round to a persistent worker "
+                            "process (byte-identical decisions; needs "
+                            "--num-shards > 1 to matter)")
+    p_eng.add_argument("--vote-fanout", type=_nonnegative_int, default=0,
+                       help="simulate concurrent same-time vote "
+                            "arrivals on a thread pool of this many "
+                            "workers (0 = sequential; byte-identical "
+                            "either way)")
+    p_eng.add_argument("--coordinate", default=None, metavar="PATH",
+                       help="shared seat-lease SQLite file: engines "
+                            "pointing at the same file share one worker "
+                            "pool without double-seating")
+    p_eng.add_argument("--lease-ttl", type=_positive_float, default=30.0,
+                       help="seat-lease lifetime in seconds under "
+                            "--coordinate (crashed engines' seats "
+                            "return after this)")
     p_eng.add_argument("--telemetry", default=None,
                        choices=("off", "on"),
                        help="enable the telemetry hub (counters, spans, "
@@ -318,6 +337,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker-pool shards (1 = unsharded engine)")
     p_srv.add_argument("--routing-policy", default="hash",
                        choices=ROUTING_POLICIES)
+    p_srv.add_argument("--dispatch", default="threads",
+                       choices=("threads", "processes"),
+                       help="shard admit dispatch: 'processes' ships "
+                            "each shard's round to a persistent worker "
+                            "process (needs --num-shards > 1 to matter)")
+    p_srv.add_argument("--vote-fanout", type=_nonnegative_int, default=0,
+                       help="process same-time simulated vote arrivals "
+                            "on a thread pool of this many workers "
+                            "(0 = sequential)")
+    p_srv.add_argument("--coordinate", default=None, metavar="PATH",
+                       help="shared seat-lease SQLite file: N 'repro "
+                            "serve' processes pointing at the same file "
+                            "share one worker pool without "
+                            "double-seating (keep it separate from "
+                            "--state-file)")
+    p_srv.add_argument("--lease-ttl", type=_positive_float, default=30.0,
+                       help="seat-lease lifetime in seconds under "
+                            "--coordinate; serving renews at ttl/3, a "
+                            "crashed engine's seats return after one "
+                            "TTL")
     p_srv.add_argument("--vote-source", default="external",
                        choices=("external", "simulated"),
                        help="'external' publishes vote offers and takes "
@@ -523,6 +562,10 @@ def _run_engine_command(args) -> int:
             checkpoint_every=args.checkpoint_every,
             ingestion=args.ingestion,
             parallel_shards=args.parallel_shards,
+            dispatch=args.dispatch,
+            vote_fanout=args.vote_fanout,
+            coordinate_path=args.coordinate,
+            lease_ttl=args.lease_ttl,
             telemetry=telemetry,
             trace_path=args.trace_out,
             metrics_interval=args.metrics_interval or 1.0,
@@ -683,6 +726,10 @@ def _run_serve_command(args) -> int:
             seed=args.seed,
             num_shards=args.num_shards,
             routing_policy=args.routing_policy,
+            dispatch=args.dispatch,
+            vote_fanout=args.vote_fanout,
+            coordinate_path=args.coordinate,
+            lease_ttl=args.lease_ttl,
             serve_host=args.host if args.host is not None else "127.0.0.1",
             serve_port=args.port if args.port is not None else 8765,
         )

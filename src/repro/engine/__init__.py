@@ -31,6 +31,13 @@ one budget, and finite worker attention".  See the module docstrings:
 ``metrics``
     :class:`EngineMetrics` — throughput, realized-vs-predicted
     accuracy, spend, cache stats, per-shard/allocator snapshots.
+``procpool``
+    :class:`ShardProcessPool` / :class:`LeaseCoordinator` — multi-process
+    campaign pools: shard admit rounds shipped to persistent worker
+    processes (``CampaignConfig(dispatch="processes")``,
+    byte-identical to threads), and cross-process seat leases over a
+    shared SQLite file so N serving engines share one worker pool
+    without double-seating (``coordinate_path=...``).
 ``server``
     :class:`CampaignServer` — the HTTP serving layer: task intake,
     vote-offer assignments, synchronous vote delivery, status/metrics
@@ -55,6 +62,7 @@ from .backends import (
     BackendError,
     MemoryBackend,
     SQLiteBackend,
+    StaleEpochError,
     StateBackend,
 )
 from .cache import (
@@ -86,6 +94,13 @@ from .ingest import (
     IntakeQueue,
     InterleavingSchedule,
     NoOpenOffer,
+)
+from .procpool import (
+    AdmitResult,
+    LeaseCoordinator,
+    ProcPoolError,
+    ShardProcessPool,
+    ShardWorkState,
 )
 from .metrics import (
     AllocatorSnapshot,
@@ -131,6 +146,7 @@ from .telemetry import (
 )
 
 __all__ = [
+    "AdmitResult",
     "AllocatorSnapshot",
     "Assignment",
     "AssignmentBook",
@@ -156,22 +172,27 @@ __all__ = [
     "IngestionOverflow",
     "IntakeQueue",
     "InterleavingSchedule",
+    "LeaseCoordinator",
     "LoopMailbox",
     "MemoryBackend",
     "NULL_TELEMETRY",
     "NoOpenOffer",
     "NullTelemetry",
+    "ProcPoolError",
     "ROUTING_POLICIES",
     "SQLiteBackend",
     "SchedulerStats",
     "ServerError",
     "Shard",
+    "ShardProcessPool",
     "ShardRegistryView",
+    "ShardWorkState",
     "SpanRecord",
     "ShardSnapshot",
     "ShardedCampaignEngine",
     "ShardedScheduler",
     "ShardingConfig",
+    "StaleEpochError",
     "StateBackend",
     "SubstituteIndex",
     "TaskArrival",

@@ -43,6 +43,8 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import time
+from contextlib import contextmanager
 from typing import Protocol, runtime_checkable
 
 from ..core.exceptions import ReproError
@@ -56,6 +58,16 @@ SNAPSHOT_SECTIONS = ("campaign", "workers", "votes", "ledger", "caches")
 
 class BackendError(ReproError, RuntimeError):
     """A state backend could not save or load a campaign snapshot."""
+
+
+class StaleEpochError(BackendError):
+    """A lease operation carried a deposed registration epoch.
+
+    Raised when an engine whose owner id has since re-registered (it
+    crashed and restarted, or an operator replaced it) tries to touch
+    leases under its old epoch — the fencing that keeps a zombie
+    process from seating workers against leases it no longer owns.
+    """
 
 
 @runtime_checkable
@@ -130,14 +142,25 @@ class SQLiteBackend:
                                                       --  + event-loop JSON
         workers(position INTEGER PRIMARY KEY, worker_id TEXT UNIQUE, ...)
         votes(wpos INTEGER PRIMARY KEY, worker_id, task_id, label, tpos)
-        ledger(scope TEXT PRIMARY KEY, value TEXT)    -- budget/allocator/
-                                                      --  shard ledgers
+        ledger(scope TEXT PRIMARY KEY, value TEXT,
+               version INTEGER)                       -- budget/allocator/
+                                                      --  shard ledgers +
+                                                      --  CAS version
         cache(cache_id TEXT, position INTEGER, key TEXT, value REAL,
               PRIMARY KEY(cache_id, position))        -- JQ-cache entries
                                                       --  in LRU order
+        leases(worker_id, task_id, owner, epoch, expires,
+               PRIMARY KEY(worker_id, task_id))       -- cross-process
+                                                      --  seat leases
+        engines(owner TEXT PRIMARY KEY, epoch, registered)
 
     ``save`` replaces the whole snapshot inside one transaction, so a
-    reader never observes a half-written checkpoint.
+    reader never observes a half-written checkpoint.  The ``leases`` /
+    ``engines`` tables (and the ledger ``version`` column) belong to the
+    cross-process coordination layer
+    (:mod:`repro.engine.procpool.coordinator`); ``save`` never touches
+    them, so checkpointing one engine cannot clobber seats other engines
+    hold in a shared coordination file.
     """
 
     _WORKER_COLUMNS = (
@@ -223,15 +246,39 @@ class SQLiteBackend:
                     tpos INTEGER NOT NULL,
                     UNIQUE(worker_id, task_id));
                 CREATE TABLE IF NOT EXISTS ledger(
-                    scope TEXT PRIMARY KEY, value TEXT NOT NULL);
+                    scope TEXT PRIMARY KEY, value TEXT NOT NULL,
+                    version INTEGER NOT NULL DEFAULT 0);
                 CREATE TABLE IF NOT EXISTS cache(
                     cache_id TEXT NOT NULL,
                     position INTEGER NOT NULL,
                     key TEXT NOT NULL,
                     value REAL NOT NULL,
                     PRIMARY KEY(cache_id, position));
+                CREATE TABLE IF NOT EXISTS leases(
+                    worker_id TEXT NOT NULL,
+                    task_id TEXT NOT NULL,
+                    owner TEXT NOT NULL,
+                    epoch INTEGER NOT NULL,
+                    expires REAL NOT NULL,
+                    PRIMARY KEY(worker_id, task_id));
+                CREATE TABLE IF NOT EXISTS engines(
+                    owner TEXT PRIMARY KEY,
+                    epoch INTEGER NOT NULL,
+                    registered REAL NOT NULL);
                 """
             )
+            # Files written before the lease layer predate the ledger's
+            # optimistic-concurrency column; add it in place so old
+            # checkpoints keep loading (rows default to version 0).
+            columns = [
+                row[1]
+                for row in self._conn.execute("PRAGMA table_info(ledger)")
+            ]
+            if "version" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE ledger "
+                    "ADD COLUMN version INTEGER NOT NULL DEFAULT 0"
+                )
 
     # ------------------------------------------------------------------
     # StateBackend surface
@@ -269,7 +316,7 @@ class SQLiteBackend:
                 ),
             )
             conn.executemany(
-                "INSERT INTO ledger VALUES (?,?)",
+                "INSERT INTO ledger(scope, value) VALUES (?,?)",
                 (
                     (scope, json.dumps(value))
                     for scope, value in snapshot["ledger"].items()
@@ -277,7 +324,7 @@ class SQLiteBackend:
             )
             for cache_id, cache_state in snapshot["caches"].items():
                 conn.execute(
-                    "INSERT INTO ledger VALUES (?,?)",
+                    "INSERT INTO ledger(scope, value) VALUES (?,?)",
                     (
                         f"cache-meta:{cache_id}",
                         json.dumps(
@@ -351,6 +398,200 @@ class SQLiteBackend:
             "SELECT 1 FROM campaign WHERE key = 'campaign'"
         ).fetchone()
         return row is not None
+
+    # ------------------------------------------------------------------
+    # Cross-process coordination: seat leases + epoch fencing
+    # ------------------------------------------------------------------
+    # These methods back repro.engine.procpool.coordinator.  Every
+    # mutation runs inside one BEGIN IMMEDIATE transaction: the write
+    # lock is taken up front, so a check-then-insert (count seats, then
+    # lease one) is atomic against every other engine process sharing
+    # the file — two engines racing a worker's last seat serialize on
+    # the database and exactly one wins.
+
+    @contextmanager
+    def _immediate(self):
+        """One write transaction holding the lock from the first read."""
+        conn = self._connect()
+        if conn.in_transaction:  # pragma: no cover - defensive
+            conn.commit()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield conn
+        except BaseException:
+            conn.rollback()
+            raise
+        else:
+            conn.commit()
+
+    @staticmethod
+    def _check_epoch(conn, owner: str, epoch: int) -> None:
+        row = conn.execute(
+            "SELECT epoch FROM engines WHERE owner = ?", (owner,)
+        ).fetchone()
+        if row is None or int(row[0]) != int(epoch):
+            current = "unregistered" if row is None else f"epoch {row[0]}"
+            raise StaleEpochError(
+                f"engine {owner!r} holds stale epoch {epoch} ({current})"
+            )
+
+    def register_engine(self, owner: str) -> int:
+        """Register (or re-register) an engine owner; returns its epoch.
+
+        Re-registration bumps the epoch, deposing any earlier
+        incarnation of the same owner id: the zombie's subsequent lease
+        calls fail with :class:`StaleEpochError`, and its leases —
+        now unrenewable — expire back into the pool.
+        """
+        now = time.time()
+        with self._immediate() as conn:
+            conn.execute(
+                "INSERT INTO engines(owner, epoch, registered) "
+                "VALUES (?, 1, ?) "
+                "ON CONFLICT(owner) DO UPDATE SET "
+                "epoch = epoch + 1, registered = excluded.registered",
+                (owner, now),
+            )
+            (epoch,) = conn.execute(
+                "SELECT epoch FROM engines WHERE owner = ?", (owner,)
+            ).fetchone()
+            return int(epoch)
+
+    def acquire_lease(
+        self,
+        worker_id: str,
+        task_id: str,
+        owner: str,
+        epoch: int,
+        ttl: float,
+        capacity: int,
+    ) -> bool:
+        """Atomically lease one ``(worker, task)`` seat.
+
+        Inside a single immediate transaction: fence the caller's
+        epoch, purge expired leases (a crashed engine's seats return to
+        the pool here), count the worker's live seats against
+        ``capacity``, and insert.  Returns ``False`` when the worker is
+        saturated across all engines or the seat is already leased.
+        """
+        now = time.time()
+        with self._immediate() as conn:
+            self._check_epoch(conn, owner, epoch)
+            conn.execute("DELETE FROM leases WHERE expires <= ?", (now,))
+            (held,) = conn.execute(
+                "SELECT COUNT(*) FROM leases WHERE worker_id = ?",
+                (worker_id,),
+            ).fetchone()
+            if held >= capacity:
+                return False
+            try:
+                conn.execute(
+                    "INSERT INTO leases VALUES (?,?,?,?,?)",
+                    (worker_id, task_id, owner, int(epoch), now + ttl),
+                )
+            except sqlite3.IntegrityError:
+                return False
+            return True
+
+    def release_lease(self, worker_id: str, task_id: str, owner: str) -> bool:
+        """Drop one seat lease if this owner holds it (idempotent)."""
+        with self._immediate() as conn:
+            cursor = conn.execute(
+                "DELETE FROM leases "
+                "WHERE worker_id = ? AND task_id = ? AND owner = ?",
+                (worker_id, task_id, owner),
+            )
+            return cursor.rowcount > 0
+
+    def renew_leases(self, owner: str, epoch: int, ttl: float) -> int:
+        """Extend every live lease the owner holds; returns the count.
+
+        Fences on epoch first — a deposed engine cannot keep its zombie
+        leases alive by renewing them.
+        """
+        now = time.time()
+        with self._immediate() as conn:
+            self._check_epoch(conn, owner, epoch)
+            cursor = conn.execute(
+                "UPDATE leases SET expires = ? "
+                "WHERE owner = ? AND expires > ?",
+                (now + ttl, owner, now),
+            )
+            return cursor.rowcount
+
+    def count_leases(self, worker_id: str) -> int:
+        """The worker's live seat count across all engines (expired
+        leases are purged first)."""
+        now = time.time()
+        with self._immediate() as conn:
+            conn.execute("DELETE FROM leases WHERE expires <= ?", (now,))
+            (held,) = conn.execute(
+                "SELECT COUNT(*) FROM leases WHERE worker_id = ?",
+                (worker_id,),
+            ).fetchone()
+            return int(held)
+
+    def release_owner(self, owner: str) -> int:
+        """Drop every lease an owner holds (graceful shutdown);
+        returns the number released."""
+        with self._immediate() as conn:
+            cursor = conn.execute(
+                "DELETE FROM leases WHERE owner = ?", (owner,)
+            )
+            return cursor.rowcount
+
+    def list_leases(self) -> list[tuple]:
+        """Live ``(worker_id, task_id, owner, epoch, expires)`` rows —
+        observability for tests and the ``/status`` endpoint."""
+        now = time.time()
+        return list(
+            self._connect().execute(
+                "SELECT worker_id, task_id, owner, epoch, expires "
+                "FROM leases WHERE expires > ? ORDER BY worker_id, task_id",
+                (now,),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Optimistic concurrency on the ledger
+    # ------------------------------------------------------------------
+    def read_ledger(self, scope: str):
+        """Return ``(value, version)`` for one ledger scope, or ``None``
+        when the scope does not exist."""
+        row = self._connect().execute(
+            "SELECT value, version FROM ledger WHERE scope = ?", (scope,)
+        ).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0]), int(row[1])
+
+    def cas_ledger(self, scope: str, value, expected_version=None) -> bool:
+        """Compare-and-swap one ledger scope.
+
+        With ``expected_version=None`` the scope must not exist yet
+        (create); otherwise the write lands only if the stored version
+        still matches, and bumps it.  Returns ``False`` on a lost race —
+        the caller re-reads and retries (see
+        ``LeaseCoordinator.update_shared_ledger``).
+        """
+        payload = json.dumps(value)
+        with self._immediate() as conn:
+            if expected_version is None:
+                try:
+                    conn.execute(
+                        "INSERT INTO ledger(scope, value, version) "
+                        "VALUES (?, ?, 1)",
+                        (scope, payload),
+                    )
+                except sqlite3.IntegrityError:
+                    return False
+                return True
+            cursor = conn.execute(
+                "UPDATE ledger SET value = ?, version = version + 1 "
+                "WHERE scope = ? AND version = ?",
+                (payload, scope, int(expected_version)),
+            )
+            return cursor.rowcount == 1
 
     def close(self) -> None:
         if self._conn is not None:

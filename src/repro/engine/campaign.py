@@ -50,6 +50,7 @@ from .engine import CampaignEngine, _TaskRuntime
 from .events import EngineTask, EventQueue
 from .ingest import AsyncIngestLoop, IngestStats
 from .metrics import EngineMetrics
+from .procpool import LeaseCoordinator
 from .scheduler import Assignment
 from .sharding import ShardedCampaignEngine, ShardedScheduler
 from .state import WorkerRegistry
@@ -63,6 +64,7 @@ from .cache import load_cache_file, save_cache_file
 FORCE_INGESTION_ENV = "REPRO_ENGINE_FORCE_INGESTION"
 FORCE_PARALLEL_SHARDS_ENV = "REPRO_ENGINE_FORCE_PARALLEL_SHARDS"
 FORCE_TELEMETRY_ENV = "REPRO_ENGINE_FORCE_TELEMETRY"
+FORCE_DISPATCH_ENV = "REPRO_ENGINE_FORCE_DISPATCH"
 
 
 def _apply_env_overrides(config: CampaignConfig) -> CampaignConfig:
@@ -73,6 +75,12 @@ def _apply_env_overrides(config: CampaignConfig) -> CampaignConfig:
     parallel = os.environ.get(FORCE_PARALLEL_SHARDS_ENV)
     if parallel:
         updates["parallel_shards"] = int(parallel)
+    dispatch = os.environ.get(FORCE_DISPATCH_ENV)
+    if dispatch:
+        # Re-runs the whole engine suite under process dispatch, which
+        # is byte-identical to threaded dispatch by construction — the
+        # CI ``procpool`` job is exactly this toggle over the suite.
+        updates["dispatch"] = dispatch
     if os.environ.get(FORCE_TELEMETRY_ENV):
         # Any non-empty value forces the live hub on — telemetry only
         # observes, so forcing it must never change a decision (that is
@@ -132,6 +140,7 @@ class Campaign:
         self._config: CampaignConfig | None = None
         self._backend: StateBackend = MemoryBackend()
         self._ingest: AsyncIngestLoop | None = None
+        self._coordinator: LeaseCoordinator | None = None
         self._closed = False
         # Sync campaigns have no intake queue; external-vote mode still
         # needs the "no more tasks are coming" handshake before run()
@@ -146,7 +155,27 @@ class Campaign:
                 self._engine,
                 max_pending=self._config.ingest_max_pending,
                 grace=self._config.ingest_grace,
+                producer_quota=self._config.ingest_producer_quota,
             )
+
+    def _attach_coordinator(self) -> None:
+        """Join the shared seat-lease store when the config names one
+        (``coordinate_path``): every seat this engine takes acquires a
+        cross-process lease first, so N engines serving one worker pool
+        cannot double-seat (see :mod:`repro.engine.procpool`)."""
+        if self._config.coordinate_path:
+            self._coordinator = LeaseCoordinator(
+                self._config.coordinate_path, ttl=self._config.lease_ttl
+            )
+            self._engine.registry.attach_lease_coordinator(
+                self._coordinator
+            )
+
+    @property
+    def coordinator(self) -> LeaseCoordinator | None:
+        """This engine's lease-store handle (``None`` when the campaign
+        is not coordinated)."""
+        return self._coordinator
 
     # ------------------------------------------------------------------
     # Lifecycle entry points
@@ -173,6 +202,7 @@ class Campaign:
             campaign._backend = backend
         campaign._engine._checkpoint_hook = campaign.checkpoint
         campaign._attach_ingest()
+        campaign._attach_coordinator()
         return campaign
 
     @classmethod
@@ -203,6 +233,14 @@ class Campaign:
                 self._ingest.close_intake()
             if self._engine is not None and self._engine.scheduler is not None:
                 self._engine.scheduler.close()
+            if (
+                self._engine is not None
+                and self._engine._vote_pool is not None
+            ):
+                self._engine._vote_pool.shutdown(wait=True)
+                self._engine._vote_pool = None
+            if self._coordinator is not None:
+                self._coordinator.close()
             self._backend.close()
 
     def __enter__(self) -> "Campaign":
@@ -313,6 +351,40 @@ class Campaign:
             raise RuntimeError(
                 "serve() requires ingestion='async' "
                 "(CampaignConfig(ingestion='async'))"
+            )
+        if self._coordinator is not None:
+            # A coordinated engine must renew its seat leases well
+            # inside the TTL or a live engine's seats get reclaimed as
+            # if it had crashed.  Renewal rides the serve loop's tick
+            # at ttl/3; the caller's own tick keeps its own cadence.
+            # A StaleEpochError out of renew() (this owner re-registered
+            # elsewhere) propagates and stops serving — fenced means
+            # fenced.
+            coordinator = self._coordinator
+            renew_every = coordinator.ttl / 3.0
+            caller_tick, caller_interval = tick, tick_interval
+            last = {
+                "renew": time.monotonic(),
+                "tick": time.monotonic(),
+            }
+
+            def tick() -> None:
+                now = time.monotonic()
+                if now - last["renew"] >= renew_every:
+                    last["renew"] = now
+                    coordinator.renew()
+                if (
+                    caller_tick is not None
+                    and caller_interval
+                    and now - last["tick"] >= caller_interval
+                ):
+                    last["tick"] = now
+                    caller_tick()
+
+            tick_interval = (
+                renew_every
+                if not caller_interval
+                else min(renew_every, caller_interval)
             )
         metrics = self._ingest.serve(
             stop=stop,
@@ -495,6 +567,9 @@ class Campaign:
     def _caches(self):
         engine = self._engine
         if isinstance(engine.scheduler, ShardedScheduler):
+            # Under process dispatch the worker-side caches are the
+            # live ones; sync the parent replicas before reading.
+            engine.scheduler.pull_worker_state()
             return [shard.cache for shard in engine.scheduler.shards]
         return [engine.cache]
 
@@ -515,7 +590,13 @@ class Campaign:
             # them.
             self._ingest.quiesce_intake()
         self._engine._start()
-        return load_cache_file(path, self._caches())
+        imported = load_cache_file(path, self._caches())
+        scheduler = self._engine.scheduler
+        if isinstance(scheduler, ShardedScheduler):
+            # Warmed entries must reach the shard worker processes, or
+            # process dispatch would serve from cold caches.
+            scheduler.push_worker_state()
+        return imported
 
     # ------------------------------------------------------------------
     # Guards
@@ -688,11 +769,16 @@ class Campaign:
                     shard.cache.load_state(
                         snapshot["caches"][f"shard:{shard.shard_id}"]
                     )
+                # load_state pushed scheduler state before the caches
+                # above were restored; push again so the shard worker
+                # processes hold the full checkpoint.
+                engine.scheduler.push_worker_state()
         engine.telemetry.load_state(section.get("telemetry"))
         self._config = config
         self._engine = engine
         engine._checkpoint_hook = self.checkpoint
         self._attach_ingest()
+        self._attach_coordinator()
         intake_state = section.get("intake_stats")
         if self._ingest is not None and intake_state:
             # The intake queue is rebuilt fresh; the counters are not —

@@ -57,8 +57,11 @@ class CampaignConfig:
     vote_latency: float = 1.0
     ingestion: str = "sync"
     parallel_shards: int = 0
+    dispatch: str = "threads"
+    vote_fanout: int = 0
     ingest_max_pending: int = 10_000
-    ingest_grace: float = 0.05
+    ingest_grace: float | str = 0.05
+    ingest_producer_quota: float = 0.0
     telemetry: str = "off"
     trace_path: str | None = None
     metrics_interval: float = 1.0
@@ -72,10 +75,19 @@ class CampaignConfig:
     # -- network serving (repro serve / CampaignServer) ----------------
     serve_host: str = "127.0.0.1"
     serve_port: int = 8765
+    # -- cross-process coordination (repro.engine.procpool) ------------
+    # A shared SQLite file through which N engine processes lease worker
+    # seats (None = this engine owns its pool outright).  Keep it
+    # separate from any per-engine checkpoint path: checkpoints replace
+    # whole tables and must not clobber shared leases.
+    coordinate_path: str | None = None
+    lease_ttl: float = 30.0
 
     def __post_init__(self) -> None:
         if not 0 <= self.serve_port <= 65535:
             raise ValueError("serve_port must lie in [0, 65535]")
+        if self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
         # Delegate validation to the configs this one subsumes; they
         # own the invariants, this class owns the unified surface.
         self.engine_config()

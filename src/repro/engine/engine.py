@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import time
 import warnings
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -127,13 +128,39 @@ class EngineConfig:
         only touch their own members and results merge in shard-id
         order — so the toggle is purely a throughput lever.  Ignored by
         the single-scheduler engine.
+    dispatch:
+        ``"threads"`` (default) runs sharded per-shard admits inline or
+        on the ``parallel_shards`` thread pool; ``"processes"`` routes
+        them to a persistent
+        :class:`~repro.engine.procpool.ShardProcessPool` — one sticky
+        worker *process* per shard, breaking the GIL limit on the
+        envelope-walking DP.  Decisions and fingerprints stay
+        byte-identical (the parent replays worker decisions in shard-id
+        order); env var ``REPRO_ENGINE_FORCE_DISPATCH`` overrides the
+        setting under the Campaign facade.  Ignored by the
+        single-scheduler engine.
+    vote_fanout:
+        Drain same-tick simulated vote arrivals over *distinct* tasks
+        on a thread pool of this many workers (0 = the classic
+        one-at-a-time drain).  Uniform draws are pre-consumed in pop
+        order and results committed in pop order, so the fanout drain
+        is byte-identical to the sequential one (pinned).
     ingest_max_pending:
         Async backpressure bound: producers block once this many
         submitted tasks await intake draining.
     ingest_grace:
         Async coalescing deadline (seconds): how long an idle serving
         loop waits for straggler producers before finishing (or
-        returning from a paused run).
+        returning from a paused run).  ``"auto"`` derives the deadline
+        from the engine's observed admit latency (EWMA) — slow admits
+        earn producers a longer window — falling back to 50 ms until
+        the first batch lands.
+    ingest_producer_quota:
+        Per-producer share of ``ingest_max_pending`` a single named
+        producer may occupy (a fraction in ``(0, 1]``; 0 disables).
+        Producers over their share block in ``submit`` until their own
+        staged tasks drain — per-producer backpressure, so one runaway
+        client cannot starve the rest of the intake queue.
     telemetry:
         ``"off"`` (default) serves with the no-op
         :data:`~repro.engine.telemetry.NULL_TELEMETRY`; ``"on"`` attaches
@@ -181,8 +208,11 @@ class EngineConfig:
     vote_latency: float = 1.0
     ingestion: str = "sync"
     parallel_shards: int = 0
+    dispatch: str = "threads"
+    vote_fanout: int = 0
     ingest_max_pending: int = 10_000
-    ingest_grace: float = 0.05
+    ingest_grace: float | str = 0.05
+    ingest_producer_quota: float = 0.0
     telemetry: str = "off"
     trace_path: str | None = None
     metrics_interval: float = 1.0
@@ -206,10 +236,21 @@ class EngineConfig:
             raise ValueError("ingestion must be 'sync' or 'async'")
         if self.parallel_shards < 0:
             raise ValueError("parallel_shards must be >= 0")
+        if self.dispatch not in ("threads", "processes"):
+            raise ValueError("dispatch must be 'threads' or 'processes'")
+        if self.vote_fanout < 0:
+            raise ValueError("vote_fanout must be >= 0")
         if self.ingest_max_pending < 1:
             raise ValueError("ingest_max_pending must be >= 1")
-        if self.ingest_grace <= 0:
-            raise ValueError("ingest_grace must be positive")
+        if self.ingest_grace != "auto":
+            if isinstance(self.ingest_grace, str) or self.ingest_grace <= 0:
+                raise ValueError(
+                    "ingest_grace must be positive (seconds) or 'auto'"
+                )
+        if not 0.0 <= self.ingest_producer_quota <= 1.0:
+            raise ValueError(
+                "ingest_producer_quota must lie in [0, 1] (0 disables)"
+            )
         if self.telemetry not in ("off", "on"):
             raise ValueError("telemetry must be 'off' or 'on'")
         if self.vote_source not in ("simulated", "external"):
@@ -307,6 +348,11 @@ class CampaignEngine:
         self._finished = False
         # Set by the Campaign facade; drives config.checkpoint_every.
         self._checkpoint_hook = None
+        # Observed scheduler-admit wall latency (EWMA, seconds); feeds
+        # the adaptive async intake grace (ingest_grace="auto").
+        self.admit_latency_ewma: float | None = None
+        # Lazy thread pool for the vote-fanout drain (vote_fanout > 0).
+        self._vote_pool: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------
     # Submission
@@ -404,6 +450,9 @@ class CampaignEngine:
         self._collect_stats()
         if self.scheduler is not None:
             self.scheduler.close()
+        if self._vote_pool is not None:
+            self._vote_pool.shutdown(wait=True)
+            self._vote_pool = None
 
     def _make_scheduler(self, expected_tasks: int):
         """Build this campaign's scheduler.  Subclass hook: the sharded
@@ -452,7 +501,10 @@ class CampaignEngine:
         if isinstance(event, TaskArrival):
             self._on_arrival(event)
         elif isinstance(event, VoteArrival):
-            self._on_vote(event)
+            if self.config.vote_fanout > 0:
+                self._on_vote_fanout(event)
+            else:
+                self._on_vote(event)
         elif isinstance(event, TaskComplete):
             self._on_complete(event)
         else:  # pragma: no cover - closed event algebra
@@ -483,7 +535,14 @@ class CampaignEngine:
         take = waiting[: self.config.batch_size]
         rest = waiting[self.config.batch_size :]
         assert self.scheduler is not None
+        admit_start = time.perf_counter()
         assignments, deferred = self.scheduler.admit(take)
+        admit_seconds = time.perf_counter() - admit_start
+        self.admit_latency_ewma = (
+            admit_seconds
+            if self.admit_latency_ewma is None
+            else 0.2 * admit_seconds + 0.8 * self.admit_latency_ewma
+        )
         self._deferred = deferred + rest
         self.telemetry.event(
             "admit",
@@ -572,6 +631,93 @@ class CampaignEngine:
             self._queue.push(
                 TaskComplete(event.time, event.task_id, "early-stop")
             )
+
+    def _on_vote_fanout(self, first: VoteArrival) -> None:
+        """Drain a same-tick run of vote arrivals on the fanout pool.
+
+        Byte-identity with the sequential drain rests on three fences:
+
+        * only *same-time* events join the run — any ``TaskComplete`` a
+          run member pushes carries that same time with a later enqueue
+          serial, so sequentially it would pop after every run member
+          anyway (a strictly earlier-time completion would pop — and
+          could retry deferred tasks, consuming RNG — between votes, so
+          later-time votes must not be folded in);
+        * only *distinct live* tasks join, so the parallel phase
+          touches disjoint decision sessions and a member cannot
+          complete another member's task mid-run;
+        * uniforms are pre-drawn in pop order and effects (vote matrix
+          rows, metrics, completion pushes) committed in pop order.
+
+        Only the per-vote simulation (uniform compare + posterior
+        update) runs on the pool — the registry, metrics, and event
+        queue are touched solely from the loop thread.
+        """
+        events = [first]
+        run_tasks = {first.task_id}
+        while True:
+            nxt = self._queue.peek()
+            if (
+                not isinstance(nxt, VoteArrival)
+                or nxt.time != first.time
+                or nxt.task_id in run_tasks
+            ):
+                break
+            runtime = self._active.get(nxt.task_id)
+            if runtime is None or runtime.done:
+                break
+            run_tasks.add(nxt.task_id)
+            event = self._queue.pop()
+            self._clock = max(self._clock, event.time)
+            events.append(event)
+        live: list[tuple[VoteArrival, _TaskRuntime, float]] = []
+        for event in events:
+            runtime = self._active.get(event.task_id)
+            if runtime is None or runtime.done:
+                # Only the run's head can be dead (later members were
+                # screened); the sequential path consumes no RNG here.
+                self._on_vote(event)
+                continue
+            live.append((event, runtime, self._rng.random()))
+        if not live:
+            return
+
+        def simulate(item) -> int:
+            event, runtime, u = item
+            worker = self.registry.worker(event.worker_id)
+            q_true = self.registry.true_quality(event.worker_id)
+            truth = runtime.sim_truth
+            vote = truth if u < q_true else 1 - truth
+            runtime.session.add_vote(worker, vote)
+            return vote
+
+        if len(live) == 1:
+            votes = [simulate(live[0])]
+        else:
+            if self._vote_pool is None:
+                self._vote_pool = ThreadPoolExecutor(
+                    max_workers=self.config.vote_fanout,
+                    thread_name_prefix="repro-vote",
+                )
+            votes = list(self._vote_pool.map(simulate, live))
+        for (event, runtime, _), vote in zip(live, votes):
+            self.registry.record_vote(event.worker_id, event.task_id, vote)
+            self.metrics.votes_cast += 1
+            self.telemetry.inc("engine.votes_cast")
+            self.telemetry.event(
+                "vote", task=event.task_id, worker=event.worker_id, vote=vote
+            )
+            runtime.pending_workers.remove(event.worker_id)
+            if not runtime.pending_workers:
+                runtime.done = True
+                self._queue.push(
+                    TaskComplete(event.time, event.task_id, "all-votes")
+                )
+            elif runtime.session.should_stop:
+                runtime.done = True
+                self._queue.push(
+                    TaskComplete(event.time, event.task_id, "early-stop")
+                )
 
     def deliver_vote(self, task_id: str, worker_id: str, vote: int) -> bool:
         """Apply one externally supplied vote (``vote_source="external"``

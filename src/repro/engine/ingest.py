@@ -90,6 +90,8 @@ class IngestStats:
     peak_pending: int = 0
     blocked_submits: int = 0  # staged tasks that had to wait out a full queue
     overflows: int = 0  # submits that gave up after a backpressure timeout
+    quota_blocked: int = 0  # submits that waited on their *own* quota
+    quota_overflows: int = 0  # quota waits that timed out
     per_producer: dict[str, dict] = field(default_factory=dict)
 
     def producer(self, name: str) -> dict:
@@ -113,6 +115,8 @@ class IngestStats:
             "peak_pending": self.peak_pending,
             "blocked_submits": self.blocked_submits,
             "overflows": self.overflows,
+            "quota_blocked": self.quota_blocked,
+            "quota_overflows": self.quota_overflows,
             "per_producer": {
                 name: dict(entry) for name, entry in self.per_producer.items()
             },
@@ -127,6 +131,8 @@ class IngestStats:
             peak_pending=int(state.get("peak_pending", 0)),
             blocked_submits=int(state.get("blocked_submits", 0)),
             overflows=int(state.get("overflows", 0)),
+            quota_blocked=int(state.get("quota_blocked", 0)),
+            quota_overflows=int(state.get("quota_overflows", 0)),
             per_producer={
                 name: dict(entry)
                 for name, entry in state.get("per_producer", {}).items()
@@ -148,19 +154,39 @@ class IntakeQueue:
         this from the restored engine), so duplicate submission is
         caught at the intake mutex — before two threads could race the
         engine's own duplicate check.
+    producer_quota:
+        Per-producer fairness bound as a fraction of ``max_pending``
+        (0 disables).  One producer may occupy at most
+        ``max(1, int(producer_quota * max_pending))`` staged slots; a
+        producer over its share blocks until its *own* staged tasks
+        drain, even while the queue as a whole has room — so one
+        firehose producer cannot starve its peers out of the intake.
     """
 
     def __init__(
-        self, max_pending: int = 10_000, seen_ids=(), telemetry=NULL_TELEMETRY
+        self,
+        max_pending: int = 10_000,
+        seen_ids=(),
+        telemetry=NULL_TELEMETRY,
+        producer_quota: float = 0.0,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if not 0.0 <= producer_quota <= 1.0:
+            raise ValueError("producer_quota must lie in [0, 1]")
         self.max_pending = max_pending
+        self.producer_quota = producer_quota
+        self._quota_cap = (
+            max(1, int(producer_quota * max_pending))
+            if producer_quota > 0
+            else None
+        )
         self.telemetry = telemetry
         self._mutex = threading.Lock()
         self._not_full = threading.Condition(self._mutex)
         self._not_empty = threading.Condition(self._mutex)
-        self._items: deque[tuple[float, EngineTask]] = deque()
+        self._items: deque[tuple[float, EngineTask, str]] = deque()
+        self._staged_by_producer: dict[str, int] = {}
         self._seen: set[str] = set(seen_ids)
         self._closed = False
         self.stats = IngestStats()
@@ -194,6 +220,19 @@ class IntakeQueue:
     # ------------------------------------------------------------------
     # Producer side (any thread)
     # ------------------------------------------------------------------
+    def _over_quota(self, producer: str) -> bool:
+        """Whether the producer has its full quota of slots staged
+        (call under the intake mutex)."""
+        return (
+            self._quota_cap is not None
+            and self._staged_by_producer.get(producer, 0) >= self._quota_cap
+        )
+
+    def _must_wait(self, producer: str) -> bool:
+        return len(self._items) >= self.max_pending or self._over_quota(
+            producer
+        )
+
     def submit(
         self,
         tasks,
@@ -220,23 +259,48 @@ class IntakeQueue:
             arrival = start_time + i * spacing
             with self._not_full:
                 entry = self.stats.producer(producer)
-                if len(self._items) >= self.max_pending:
-                    self.stats.blocked_submits += 1
+                if self._must_wait(producer):
+                    # Distinguish *why* at entry: a producer over its
+                    # own quota while the queue has room is throttled
+                    # for fairness, not by global backpressure.
+                    if self._over_quota(producer) and (
+                        len(self._items) < self.max_pending
+                    ):
+                        self.stats.quota_blocked += 1
+                    else:
+                        self.stats.blocked_submits += 1
                     blocked_at = time.monotonic()
                     deadline = (
                         None if timeout is None else blocked_at + timeout
                     )
                     try:
-                        while (
-                            len(self._items) >= self.max_pending
-                            and not self._closed
-                        ):
+                        while self._must_wait(producer) and not self._closed:
                             remaining = (
                                 None
                                 if deadline is None
                                 else deadline - time.monotonic()
                             )
                             if remaining is not None and remaining <= 0:
+                                if self._over_quota(producer) and (
+                                    len(self._items) < self.max_pending
+                                ):
+                                    self.stats.quota_overflows += 1
+                                    entry["overflows"] += 1
+                                    self.telemetry.inc(
+                                        "intake.quota_overflows"
+                                    )
+                                    self.telemetry.event(
+                                        "intake-quota-overflow",
+                                        producer=producer,
+                                        staged=self._staged_by_producer.get(
+                                            producer, 0
+                                        ),
+                                    )
+                                    raise IngestionOverflow(
+                                        f"producer {producer!r} is over its "
+                                        f"intake quota ({self._quota_cap} "
+                                        f"staged) for {timeout:g}s"
+                                    )
                                 self.stats.overflows += 1
                                 entry["overflows"] += 1
                                 self.telemetry.inc("intake.overflows")
@@ -262,7 +326,10 @@ class IntakeQueue:
                 if task.task_id in self._seen:
                     raise ValueError(f"duplicate task id {task.task_id!r}")
                 self._seen.add(task.task_id)
-                self._items.append((arrival, task))
+                self._items.append((arrival, task, producer))
+                self._staged_by_producer[producer] = (
+                    self._staged_by_producer.get(producer, 0) + 1
+                )
                 self.stats.submitted += 1
                 entry["submits"] += 1
                 self.stats.peak_pending = max(
@@ -299,7 +366,15 @@ class IntakeQueue:
             take = len(self._items)
             if max_items is not None:
                 take = min(take, max(int(max_items), 0))
-            out = [self._items.popleft() for _ in range(take)]
+            out = []
+            for _ in range(take):
+                arrival, task, producer = self._items.popleft()
+                staged = self._staged_by_producer.get(producer, 0) - 1
+                if staged > 0:
+                    self._staged_by_producer[producer] = staged
+                else:
+                    self._staged_by_producer.pop(producer, None)
+                out.append((arrival, task))
             if out:
                 self.stats.drained += len(out)
                 self.stats.drains += 1
@@ -498,10 +573,17 @@ class AsyncIngestLoop:
         self,
         engine,
         max_pending: int = 10_000,
-        grace: float = 0.05,
+        grace: float | str = 0.05,
         interleave: InterleavingSchedule | None = None,
+        producer_quota: float = 0.0,
     ) -> None:
-        if grace <= 0:
+        if isinstance(grace, str):
+            if grace != "auto":
+                raise ValueError(
+                    f"grace must be a positive number or 'auto', "
+                    f"got {grace!r}"
+                )
+        elif grace <= 0:
             raise ValueError("grace must be positive")
         self.engine = engine
         self.grace = grace
@@ -510,9 +592,29 @@ class AsyncIngestLoop:
             max_pending,
             seen_ids=engine._task_ids,
             telemetry=engine.telemetry,
+            producer_quota=producer_quota,
         )
         self._running = False
         self._idle = False
+
+    def _effective_grace(self) -> float:
+        """The coalescing deadline in seconds.
+
+        A fixed ``grace`` is used verbatim.  ``grace="auto"`` sizes the
+        window from the engine's admit-latency EWMA — a few admit
+        rounds' worth (clamped to [10ms, 500ms]) — so cheap campaigns
+        quiesce fast while expensive ones hold the window open long
+        enough to coalesce stragglers into full batches.  The grace
+        only shapes *wall-clock* waiting for traffic, never which tasks
+        land in which batch, so it is fingerprint-neutral by
+        construction.
+        """
+        if self.grace != "auto":
+            return self.grace
+        ewma = self.engine.admit_latency_ewma
+        if ewma is None:
+            return 0.05
+        return min(max(8.0 * ewma, 0.01), 0.5)
 
     # ------------------------------------------------------------------
     # Producer surface
@@ -584,7 +686,7 @@ class AsyncIngestLoop:
                     paused = True
                     break
                 if not self.intake.closed and self.intake.wait_for_traffic(
-                    self.grace
+                    self._effective_grace()
                 ):
                     continue
                 # Quiescence candidate: nothing queued, nothing staged,

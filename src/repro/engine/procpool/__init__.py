@@ -1,0 +1,259 @@
+"""Multi-process campaign pools: process-pool shard dispatch + leases.
+
+Every "parallel" path below this package runs threads under one GIL.
+The shard frontier walk — candidate ranking, envelope DP, substitution
+— is pure Python/numpy over small arrays, so threaded dispatch
+serializes exactly where the work is.  This package breaks that limit
+with two cooperating halves:
+
+* :class:`ShardProcessPool` (this module + :mod:`.worker`) — one
+  persistent worker **process** per shard, each owning the shard's real
+  scheduler and JQ cache over a synced shadow of the shard's registry
+  view.  The parent routes and grants exactly as before, ships each
+  round's :class:`~repro.engine.procpool.worker.ShardWorkState` down a
+  pipe, and replays the returned decisions through the real registry in
+  shard-id order — so ``dispatch="processes"`` is fingerprint-
+  byte-identical to ``"threads"`` and sequential dispatch while the
+  envelope walks genuinely parallelize.
+* :class:`~repro.engine.procpool.coordinator.LeaseCoordinator` — seat
+  leases with expiry and epoch fencing in the shared
+  :class:`~repro.engine.backends.SQLiteBackend`, so N ``repro serve``
+  engine *processes* can serve one worker pool without double-seating
+  (the DB-nets shape: transitions consuming and producing rows in one
+  relational store).
+
+Pool protocol and determinism notes live in :mod:`.worker`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+from ..telemetry import NULL_TELEMETRY
+from .coordinator import LeaseCoordinator
+from .worker import (
+    SCHEDULER_PARAMS,
+    AdmitResult,
+    ShadowRegistry,
+    ShardWorkState,
+    admit_work,
+    build_shard_scheduler,
+    shard_worker_main,
+)
+
+__all__ = [
+    "AdmitResult",
+    "LeaseCoordinator",
+    "ProcPoolError",
+    "SCHEDULER_PARAMS",
+    "ShadowRegistry",
+    "ShardProcessPool",
+    "ShardWorkState",
+    "admit_work",
+    "build_shard_scheduler",
+    "shard_worker_main",
+]
+
+#: How long ``close()`` waits for a worker to exit before terminating it.
+_JOIN_TIMEOUT = 5.0
+
+
+class ProcPoolError(RuntimeError):
+    """A shard worker process failed or died mid-round."""
+
+
+def _pool_context():
+    """``fork`` where available (cheap, inherits the loaded modules),
+    ``spawn`` elsewhere."""
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context("spawn")
+
+
+class ShardProcessPool:
+    """One sticky worker process per shard, speaking the pipe protocol.
+
+    The pool is deliberately *not* a task queue: shard ``k``'s rounds
+    always run on shard ``k``'s process, because that process holds the
+    shard's live scheduler state (frontier memo, reservation ledger,
+    cache) between rounds.  Affinity is what makes worker-side state —
+    and therefore every cache counter in the metrics fingerprint —
+    evolve exactly as inline dispatch would.
+
+    Parameters
+    ----------
+    num_shards:
+        Worker processes to spawn (one per shard).
+    params:
+        Scheduler/cache construction parameters (see
+        :data:`~repro.engine.procpool.worker.SCHEDULER_PARAMS`).
+    telemetry:
+        Parent-side observability hub; dispatch rounds report spans and
+        per-process (``shard``/``pid``-labelled) counters here.  The
+        worker processes themselves run without telemetry — observation
+        stays in one process, decisions stay identical.
+    """
+
+    def __init__(self, num_shards: int, params: dict, telemetry=NULL_TELEMETRY):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        missing = [k for k in SCHEDULER_PARAMS if k not in params]
+        if missing:
+            raise ValueError(f"params is missing {missing}")
+        self.telemetry = telemetry
+        self._ctx = _pool_context()
+        self._procs: list = []
+        self._pipes: list = []
+        self.pids: list[int] = []
+        self._broken = False
+        try:
+            for shard_id in range(num_shards):
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                proc = self._ctx.Process(
+                    target=shard_worker_main,
+                    args=(child_conn, shard_id),
+                    name=f"repro-shard-{shard_id}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._pipes.append(parent_conn)
+            for shard_id in range(num_shards):
+                pid = self._request(shard_id, ("init", dict(params)))
+                self.pids.append(pid)
+        except BaseException:
+            self.close()
+            raise
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    @property
+    def broken(self) -> bool:
+        """True once a worker died mid-request; the pool is unusable."""
+        return self._broken
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _send(self, shard_id: int, message) -> None:
+        if self._broken:
+            raise ProcPoolError("shard process pool is broken")
+        try:
+            self._pipes[shard_id].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            self._broken = True
+            raise ProcPoolError(
+                f"shard {shard_id} worker is gone ({exc})"
+            ) from exc
+
+    def _recv(self, shard_id: int):
+        try:
+            response = self._pipes[shard_id].recv()
+        except (EOFError, OSError) as exc:
+            self._broken = True
+            raise ProcPoolError(
+                f"shard {shard_id} worker died mid-request"
+            ) from exc
+        if response[0] == "error":
+            raise ProcPoolError(
+                f"shard {shard_id} worker failed:\n{response[1]}"
+            )
+        return response[1]
+
+    def _request(self, shard_id: int, message):
+        self._send(shard_id, message)
+        return self._recv(shard_id)
+
+    # ------------------------------------------------------------------
+    # The dispatch surface
+    # ------------------------------------------------------------------
+    def admit_round(
+        self, work_states: list[ShardWorkState]
+    ) -> list[AdmitResult]:
+        """Dispatch one round's shard work units concurrently.
+
+        All requests are written before the first response is read, so
+        the shard processes compute in parallel; responses are collected
+        — and must be consumed — in the given (shard-id) order.  A
+        worker error surfaces as :class:`ProcPoolError` *after* every
+        surviving shard's response has been read, carrying each shard's
+        reservation delta so the caller can settle the allocator ledger
+        for the whole round (``errors`` maps shard id -> reserved
+        delta on the exception's ``partial_reserved`` attribute).
+        """
+        for work in work_states:
+            self._send(work.shard_id, ("admit", work))
+        results: list[AdmitResult] = []
+        failures: list[str] = []
+        partial: dict[int, float] = {}
+        for work in work_states:
+            try:
+                response = self._pipes[work.shard_id].recv()
+            except (EOFError, OSError):
+                self._broken = True
+                failures.append(f"shard {work.shard_id} worker died mid-admit")
+                partial[work.shard_id] = 0.0
+                continue
+            if response[0] == "error":
+                failures.append(
+                    f"shard {work.shard_id} worker failed:\n{response[1]}"
+                )
+                partial[work.shard_id] = float(response[2])
+                continue
+            results.append(response[1])
+        if failures:
+            error = ProcPoolError("; ".join(failures))
+            error.partial_reserved = partial
+            error.results = results
+            raise error
+        return results
+
+    def pull(self, shard_ids) -> dict[int, tuple]:
+        """Fetch ``(scheduler_state, cache_state)`` from each shard
+        worker (requests pipelined, responses in order)."""
+        shard_ids = list(shard_ids)
+        for shard_id in shard_ids:
+            self._send(shard_id, ("pull",))
+        return {shard_id: self._recv(shard_id) for shard_id in shard_ids}
+
+    def push(self, shard_id: int, scheduler_state, cache_state) -> None:
+        """Load a full scheduler/cache state into one shard worker
+        (checkpoint restore, cache import)."""
+        self._request(shard_id, ("load", scheduler_state, cache_state))
+
+    def warm(self, shard_id: int, entries) -> int:
+        """Warm one shard worker's cache with exported entries."""
+        return int(self._request(shard_id, ("warm", entries)))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker (idempotent).  Workers exit on ``stop`` —
+        or on the pipe closing — and are terminated if they linger."""
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=_JOIN_TIMEOUT)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=_JOIN_TIMEOUT)
+        self._pipes = []
+        self._procs = []
+        self._broken = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "broken" if self._broken else f"{len(self._procs)} workers"
+        return f"ShardProcessPool({state}, pid={os.getpid()})"

@@ -48,7 +48,12 @@ from ..frontier import Frontier, FrontierPoint, exact_frontier
 from ..portfolio import allocate_budget
 from .cache import CachedJQObjective, JQCache
 from .events import EngineTask
-from .state import WorkerRegistry, informativeness, informativeness_key
+from .state import (
+    CapacityError,
+    WorkerRegistry,
+    informativeness,
+    informativeness_key,
+)
 from .telemetry import NULL_TELEMETRY
 
 
@@ -524,29 +529,48 @@ class CampaignScheduler:
         """
         seated: list[str] = []
         taken: set[str] = set()
+        # Workers whose *shared* seats ran out (a lease coordinator
+        # denied the assign — another engine process got there first).
+        # Locally they still show free capacity, so they must be
+        # excluded explicitly or the substitute index would keep
+        # offering them.  Single-process campaigns never populate this
+        # set: free_capacity was just checked and shard members are
+        # disjoint, so assign cannot raise — decisions (and
+        # fingerprints) are untouched.
+        failed: set[str] = set()
         for worker_id in planned_ids:
             if (
                 worker_id not in taken
+                and worker_id not in failed
                 and self.registry.free_capacity(worker_id) > 0
             ):
-                self.registry.assign(worker_id, task.task_id)
-                seated.append(worker_id)
-                taken.add(worker_id)
-                continue
+                try:
+                    self.registry.assign(worker_id, task.task_id)
+                    seated.append(worker_id)
+                    taken.add(worker_id)
+                    continue
+                except CapacityError:
+                    failed.add(worker_id)
             # Saturated — or already seated on this jury as an earlier
             # member's substitute; either way this seat needs a fresh
             # (no-dearer) worker.
-            substitute = substitutes.best(
-                max_cost=self.registry.worker(worker_id).cost,
-                exclude=taken,
-            )
-            if substitute is None:
-                self.stats.dropped_seats += 1
-                continue
-            self.registry.assign(substitute, task.task_id)
-            seated.append(substitute)
-            taken.add(substitute)
-            self.stats.substitutions += 1
+            max_cost = self.registry.worker(worker_id).cost
+            while True:
+                substitute = substitutes.best(
+                    max_cost=max_cost, exclude=taken | failed
+                )
+                if substitute is None:
+                    self.stats.dropped_seats += 1
+                    break
+                try:
+                    self.registry.assign(substitute, task.task_id)
+                except CapacityError:
+                    failed.add(substitute)
+                    continue
+                seated.append(substitute)
+                taken.add(substitute)
+                self.stats.substitutions += 1
+                break
         if not seated:
             return None
         jury = Jury(self.registry.worker(w) for w in seated)

@@ -45,6 +45,7 @@ then exit).
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -308,7 +309,15 @@ class CampaignServer:
         intake = ingest.intake
         metrics = engine.metrics
         offers = engine.offers
+        coordinator = campaign.coordinator
         return {
+            # Which process answered, and its seat-lease identity when
+            # N engines share one worker pool (procpool coordination) —
+            # lets an operator tell coordinated peers apart.
+            "pid": os.getpid(),
+            "coordinated": coordinator is not None,
+            "lease_owner": None if coordinator is None else coordinator.owner,
+            "lease_epoch": None if coordinator is None else coordinator.epoch,
             "serving": ingest.running,
             "idle": ingest.idle,
             "done": campaign.done,

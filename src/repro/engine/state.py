@@ -170,10 +170,21 @@ class WorkerRegistry:
         self.answers = AnswerMatrix(num_labels=2)
         self.reestimations = 0
         self._locks = tuple(threading.Lock() for _ in range(_LOCK_STRIPES))
+        self._lease = None
 
     def _seat_lock(self, worker_id: str) -> threading.Lock:
         """The stripe serializing this worker's seat mutations."""
         return self._locks[hash(worker_id) % len(self._locks)]
+
+    def attach_lease_coordinator(self, coordinator) -> None:
+        """Route every seat through a shared
+        :class:`~repro.engine.procpool.LeaseCoordinator`: ``assign``
+        acquires the cross-process lease before seating locally (a
+        denial — another engine holds the worker's last shared seat —
+        surfaces as :class:`CapacityError`, which the scheduler treats
+        like local saturation), and ``release`` drops it.  Detach with
+        ``None``."""
+        self._lease = coordinator
 
     # ------------------------------------------------------------------
     # Lookup
@@ -254,6 +265,13 @@ class WorkerRegistry:
                     f"worker {worker_id!r} is at capacity "
                     f"({state.load}/{state.capacity})"
                 )
+            if self._lease is not None and not self._lease.acquire(
+                worker_id, task_id, capacity=state.capacity
+            ):
+                raise CapacityError(
+                    f"worker {worker_id!r} is at shared capacity "
+                    f"(another engine holds the remaining seats)"
+                )
             state.active_tasks.add(task_id)
             state.peak_load = max(state.peak_load, state.load)
 
@@ -261,6 +279,8 @@ class WorkerRegistry:
         """Free the worker's seat on a task (idempotent)."""
         with self._seat_lock(worker_id):
             self._states[worker_id].active_tasks.discard(task_id)
+            if self._lease is not None:
+                self._lease.release(worker_id, task_id)
 
     def record_vote(self, worker_id: str, task_id: str, vote: int) -> None:
         """Record a landed vote: pay the worker, log the answer."""
@@ -375,6 +395,7 @@ class WorkerRegistry:
         registry._locks = tuple(
             threading.Lock() for _ in range(_LOCK_STRIPES)
         )
+        registry._lease = None
         for row in sorted(worker_rows, key=lambda r: r["position"]):
             worker = Worker(
                 row["worker_id"],

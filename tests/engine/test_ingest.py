@@ -22,6 +22,7 @@ from repro.engine import (
     EngineTask,
     IngestionClosed,
     IngestionOverflow,
+    IngestStats,
     IntakeQueue,
     InterleavingSchedule,
 )
@@ -168,6 +169,102 @@ def test_intake_validation():
         IntakeQueue(max_pending=0)
     with pytest.raises(ValueError):
         InterleavingSchedule(0, max_chunk=0)
+    with pytest.raises(ValueError):
+        IntakeQueue(producer_quota=1.5)
+    with pytest.raises(ValueError):
+        IntakeQueue(producer_quota=-0.1)
+
+
+# ----------------------------------------------------------------------
+# Per-producer intake quota
+# ----------------------------------------------------------------------
+def test_quota_caps_one_producer_without_starving_peers():
+    # cap = max(1, int(0.25 * 8)) = 2 staged slots per producer.
+    queue = IntakeQueue(max_pending=8, producer_quota=0.25)
+    queue.submit(tasks(2, prefix="a"))
+    with pytest.raises(IngestionOverflow, match="quota"):
+        queue.submit([EngineTask("a9")], timeout=0.02)
+    assert queue.stats.quota_blocked == 1
+    assert queue.stats.quota_overflows == 1
+    # The firehose producer being throttled leaves room for a peer.
+    staged = []
+    peer = threading.Thread(
+        target=lambda: staged.append(queue.submit(tasks(2, prefix="b"))),
+        name="peer-producer",
+    )
+    peer.start()
+    peer.join(timeout=5.0)
+    assert staged == [2]
+    assert queue.pending == 4
+
+
+def test_quota_frees_as_own_tasks_drain():
+    queue = IntakeQueue(max_pending=8, producer_quota=0.25)
+    queue.submit(tasks(2))
+    released = []
+
+    def producer():
+        released.append(queue.submit([EngineTask("t9")], timeout=5.0))
+
+    # Quota is keyed by the submitting thread's name: impersonate the
+    # main thread so the helper counts against the same producer.
+    thread = threading.Thread(
+        target=producer, name=threading.current_thread().name
+    )
+    thread.start()
+    time.sleep(0.02)
+    assert not released  # still over quota
+    queue.drain(1)  # the producer's own staged count drops below cap
+    thread.join(timeout=5.0)
+    assert released == [1]
+    assert queue.stats.quota_overflows == 0
+
+
+def test_quota_floor_is_one_slot():
+    # A tiny quota never rounds to zero — every producer may always
+    # stage at least one task.
+    queue = IntakeQueue(max_pending=4, producer_quota=0.01)
+    assert queue.submit(tasks(1)) == 1
+    with pytest.raises(IngestionOverflow, match="quota"):
+        queue.submit([EngineTask("t9")], timeout=0.02)
+
+
+def test_quota_zero_disables_enforcement():
+    queue = IntakeQueue(max_pending=4, producer_quota=0.0)
+    assert queue.submit(tasks(4)) == 4  # one producer fills the queue
+
+
+def test_quota_counters_survive_state_round_trip():
+    queue = IntakeQueue(max_pending=4, producer_quota=0.25)
+    queue.submit(tasks(1))
+    with pytest.raises(IngestionOverflow):
+        queue.submit([EngineTask("t9")], timeout=0.01)
+    state = queue.stats.state_dict()
+    restored = IngestStats.from_state(state)
+    assert restored.quota_blocked == 1
+    assert restored.quota_overflows == 1
+    # Old checkpoints without the quota keys still load.
+    legacy = {k: v for k, v in state.items() if not k.startswith("quota")}
+    assert IngestStats.from_state(legacy).quota_overflows == 0
+
+
+def test_campaign_config_threads_quota_to_the_loop():
+    rng = np.random.default_rng(0)
+    pool = generate_pool(SyntheticPoolConfig(num_workers=8), rng)
+    with Campaign.open(
+        pool,
+        CampaignConfig(
+            budget=5.0,
+            ingestion="async",
+            ingest_max_pending=8,
+            ingest_producer_quota=0.25,
+        ),
+    ) as campaign:
+        intake = campaign._ingest.intake
+        assert intake.producer_quota == 0.25
+        assert intake._quota_cap == 2
+    with pytest.raises(ValueError, match="quota"):
+        CampaignConfig(budget=5.0, ingest_producer_quota=1.5)
     with pytest.raises(ValueError):
         InterleavingSchedule(0, max_take=0)
 
