@@ -1,0 +1,156 @@
+"""Streamed subset-lattice frontier past the dense 2^n ceiling.
+
+The dense all-subsets kernel refuses pools past ``ALL_SUBSETS_MAX``
+(= 14): it materializes the full 2^n jq array.  The streamed sweep
+(`repro.quality.stream`) holds one popcount level at a time instead,
+so ``exact_frontier`` now builds *exact* frontiers out to the
+scheduler's ``MAX_FRONTIER_POOL`` (= 20) — six doublings past the old
+ceiling — under a flat memory envelope.
+
+This benchmark is the memory-envelope gate.  Each build runs in a
+fresh subprocess so ``ru_maxrss`` measures that build alone, and the
+peak RSS must stay under ``MEMORY_CEILING_MB`` — at n = 20 the dense
+kernel's 2^20 x 20 member/bit intermediates would need multiple GB,
+while the streamed sweep was measured at ~280 MB.  CI smokes n = 18
+(~45 s); ``REPRO_STREAM_FULL=1`` adds the n = 20 build (~4 min) that
+recorded the committed BENCH_engine.json numbers.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+
+import repro
+from repro.experiments.reporting import ExperimentResult, SweepSeries
+from repro.selection import JQObjective
+
+SEED = 2015
+#: CI smoke size — past the dense bound, finishes in under a minute.
+SMOKE_POOL = 18
+#: Full size — the new ``MAX_FRONTIER_POOL`` ceiling, env-gated
+#: (``REPRO_STREAM_FULL=1``) because the build takes ~4 minutes.
+FULL_POOL = 20
+#: Peak-RSS gate per build.  Measured: 214 MB at n = 18, 278 MB at
+#: n = 20 — the ceiling leaves allocator/platform headroom while still
+#: failing loudly if a regression reintroduces a 2^n-sized buffer
+#: (the dense kernel's intermediates at n = 20 would blow well past it).
+MEMORY_CEILING_MB = 1024
+
+#: One frontier build, run in a child process so ``ru_maxrss`` (the
+#: process-lifetime high-water mark) isolates this build from the
+#: pytest parent and from sibling builds.
+_CHILD = """
+import json, resource, sys, time
+import numpy as np
+from repro.core import Worker, WorkerPool
+from repro.frontier import exact_frontier
+from repro.selection import JQObjective
+
+n = int(sys.argv[1])
+rng = np.random.default_rng(int(sys.argv[2]))
+pool = WorkerPool(
+    Worker(f"w{i}", float(0.55 + 0.44 * q), float(0.2 + 3.0 * c))
+    for i, (q, c) in enumerate(zip(rng.random(n), rng.random(n)))
+)
+objective = JQObjective()
+start = time.perf_counter()
+frontier = exact_frontier(pool, objective, implementation="stream")
+seconds = time.perf_counter() - start
+jqs = [p.jq for p in frontier.points]
+assert frontier.exact
+assert jqs == sorted(jqs)
+print(json.dumps({
+    "seconds": seconds,
+    "points": len(frontier.points),
+    "evaluations": objective.evaluations,
+    "maxrss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024,
+}))
+"""
+
+
+def _measure(n: int) -> dict:
+    src = pathlib.Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(n), str(SEED)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=900,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_streamed_frontier_memory_envelope(benchmark, emit, emit_json):
+    sizes = [SMOKE_POOL]
+    if os.environ.get("REPRO_STREAM_FULL") == "1":
+        sizes.append(FULL_POOL)
+
+    # The point of the streamed path: the dense lattice genuinely
+    # refuses every size measured here, so these builds have no
+    # materialize-everything fallback to lean on.
+    for n in sizes:
+        assert JQObjective().all_subsets(np.full(n, 0.7)) is None
+
+    def sweep():
+        return [_measure(n) for n in sizes]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for n, row in zip(sizes, rows):
+        # Every subset scored exactly once, and a real frontier out.
+        assert row["evaluations"] == 2**n - 1
+        assert row["points"] >= 1
+
+    result = ExperimentResult(
+        experiment_id="streamed-frontier",
+        title=(
+            f"Streamed exact frontier past the dense 2^n bound "
+            f"(seed {SEED}, peak-RSS gate {MEMORY_CEILING_MB} MB "
+            f"per subprocess build)"
+        ),
+        x_label="pool size (workers)",
+        xs=tuple(float(n) for n in sizes),
+        series=(
+            SweepSeries(
+                "build seconds", tuple(r["seconds"] for r in rows)
+            ),
+            SweepSeries(
+                "peak RSS (MB)", tuple(r["maxrss_mb"] for r in rows)
+            ),
+            SweepSeries(
+                "frontier points", tuple(float(r["points"]) for r in rows)
+            ),
+        ),
+        notes=(
+            "dense kernel refuses every size shown (> ALL_SUBSETS_MAX); "
+            "streamed sweep holds one popcount level at a time — memory "
+            "stays flat while 2^n grows 64x from 14 to 20"
+        ),
+    )
+    emit(result.render())
+    emit_json(
+        "streamed-frontier",
+        {
+            "pool_sizes": sizes,
+            "build_seconds": [r["seconds"] for r in rows],
+            "peak_rss_mb": [r["maxrss_mb"] for r in rows],
+            "frontier_points": [r["points"] for r in rows],
+            "memory_ceiling_mb": MEMORY_CEILING_MB,
+        },
+    )
+    for n, row in zip(sizes, rows):
+        assert row["maxrss_mb"] < MEMORY_CEILING_MB, (
+            f"streamed frontier build at n={n} peaked at "
+            f"{row['maxrss_mb']:.0f} MB — over the "
+            f"{MEMORY_CEILING_MB} MB envelope; a 2^n-sized buffer "
+            f"has probably crept back into the sweep"
+        )

@@ -216,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_eng.add_argument("--capacity", type=int, default=4,
                        help="max concurrent jury seats per worker")
     p_eng.add_argument("--batch-size", type=int, default=25)
+    p_eng.add_argument("--frontier-pool-size", type=_positive_int,
+                       default=None,
+                       help="per-batch candidate pool for the exact "
+                            "frontier (default 10, max 20; >14 builds "
+                            "through the streamed lattice sweep)")
     p_eng.add_argument("--alpha", type=float, default=0.5)
     p_eng.add_argument("--confidence", type=float, default=0.97,
                        help="early-stop confidence target")
@@ -330,6 +335,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "checkpoint)")
     p_srv.add_argument("--capacity", type=int, default=4)
     p_srv.add_argument("--batch-size", type=int, default=25)
+    p_srv.add_argument("--frontier-pool-size", type=_positive_int,
+                       default=None,
+                       help="per-batch candidate pool for the exact "
+                            "frontier (default 10, max 20; >14 builds "
+                            "through the streamed lattice sweep)")
     p_srv.add_argument("--alpha", type=float, default=0.5)
     p_srv.add_argument("--confidence", type=float, default=0.97,
                        help="early-stop confidence target")
@@ -553,6 +563,7 @@ def _run_engine_command(args) -> int:
             budget=args.budget,
             capacity=args.capacity,
             batch_size=args.batch_size,
+            frontier_pool_size=args.frontier_pool_size or 10,
             alpha=args.alpha,
             confidence_target=args.confidence,
             reestimate_every=args.reestimate_every,
@@ -716,6 +727,7 @@ def _run_serve_command(args) -> int:
             budget=args.budget,
             capacity=args.capacity,
             batch_size=args.batch_size,
+            frontier_pool_size=args.frontier_pool_size or 10,
             alpha=args.alpha,
             confidence_target=args.confidence,
             checkpoint_every=args.checkpoint_every,

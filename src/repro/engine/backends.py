@@ -178,13 +178,19 @@ class SQLiteBackend:
     #: riding out a sub-second hold.
     DEFAULT_BUSY_TIMEOUT_MS = 5_000
 
-    def __init__(self, path, busy_timeout_ms: int | None = None) -> None:
+    def __init__(
+        self, path, busy_timeout_ms: int | None = None, clock=None
+    ) -> None:
         self.path = str(path)
         self.busy_timeout_ms = (
             self.DEFAULT_BUSY_TIMEOUT_MS
             if busy_timeout_ms is None
             else int(busy_timeout_ms)
         )
+        # Lease expiry runs on the wall clock (the only clock shared
+        # across processes and hosts); ``clock`` is injectable so the
+        # skewed-clock degradation contract is testable.
+        self._clock = time.time if clock is None else clock
         self._conn: sqlite3.Connection | None = None
 
     def _connect(self) -> sqlite3.Connection:
@@ -435,6 +441,34 @@ class SQLiteBackend:
                 f"engine {owner!r} holds stale epoch {epoch} ({current})"
             )
 
+    @staticmethod
+    def _purge_expired(conn, now: float) -> None:
+        """Reclaim expired leases — and *depose* their owners.
+
+        Expiry runs on the wall clock, which NTP can step under a live
+        engine.  Deleting a lease without fencing its owner would let
+        the (possibly still healthy) owner keep operating while a peer
+        re-seats the same worker — double-seating, the exact failure
+        the lease layer exists to prevent.  Bumping the owner's epoch
+        here turns every later write from that incarnation into
+        :class:`StaleEpochError`: a skewed clock degrades to a fenced
+        engine, never to two engines on one seat.
+        """
+        owners = [
+            row[0]
+            for row in conn.execute(
+                "SELECT DISTINCT owner FROM leases WHERE expires <= ?",
+                (now,),
+            )
+        ]
+        if not owners:
+            return
+        conn.execute("DELETE FROM leases WHERE expires <= ?", (now,))
+        conn.executemany(
+            "UPDATE engines SET epoch = epoch + 1 WHERE owner = ?",
+            [(owner,) for owner in owners],
+        )
+
     def register_engine(self, owner: str) -> int:
         """Register (or re-register) an engine owner; returns its epoch.
 
@@ -443,7 +477,7 @@ class SQLiteBackend:
         calls fail with :class:`StaleEpochError`, and its leases —
         now unrenewable — expire back into the pool.
         """
-        now = time.time()
+        now = self._clock()
         with self._immediate() as conn:
             conn.execute(
                 "INSERT INTO engines(owner, epoch, registered) "
@@ -468,16 +502,20 @@ class SQLiteBackend:
     ) -> bool:
         """Atomically lease one ``(worker, task)`` seat.
 
-        Inside a single immediate transaction: fence the caller's
-        epoch, purge expired leases (a crashed engine's seats return to
-        the pool here), count the worker's live seats against
+        Inside a single immediate transaction: purge expired leases
+        (a crashed engine's seats return to the pool here, and their
+        owners are deposed — see :meth:`_purge_expired`), fence the
+        caller's epoch, count the worker's live seats against
         ``capacity``, and insert.  Returns ``False`` when the worker is
         saturated across all engines or the seat is already leased.
+        Purging before the fence means a caller whose *own* leases just
+        expired (e.g. a forward clock step) gets
+        :class:`StaleEpochError` instead of silently re-seating.
         """
-        now = time.time()
+        now = self._clock()
         with self._immediate() as conn:
+            self._purge_expired(conn, now)
             self._check_epoch(conn, owner, epoch)
-            conn.execute("DELETE FROM leases WHERE expires <= ?", (now,))
             (held,) = conn.execute(
                 "SELECT COUNT(*) FROM leases WHERE worker_id = ?",
                 (worker_id,),
@@ -493,57 +531,84 @@ class SQLiteBackend:
                 return False
             return True
 
-    def release_lease(self, worker_id: str, task_id: str, owner: str) -> bool:
-        """Drop one seat lease if this owner holds it (idempotent)."""
+    def release_lease(
+        self, worker_id: str, task_id: str, owner: str, epoch=None
+    ) -> bool:
+        """Drop one seat lease if this owner holds it (idempotent).
+
+        With ``epoch`` given, only that incarnation's row is dropped —
+        a deposed zombie releasing on shutdown cannot delete a seat its
+        successor re-acquired under a newer epoch.
+        """
         with self._immediate() as conn:
-            cursor = conn.execute(
+            query = (
                 "DELETE FROM leases "
-                "WHERE worker_id = ? AND task_id = ? AND owner = ?",
-                (worker_id, task_id, owner),
+                "WHERE worker_id = ? AND task_id = ? AND owner = ?"
             )
+            params = [worker_id, task_id, owner]
+            if epoch is not None:
+                query += " AND epoch = ?"
+                params.append(int(epoch))
+            cursor = conn.execute(query, params)
             return cursor.rowcount > 0
 
     def renew_leases(self, owner: str, epoch: int, ttl: float) -> int:
-        """Extend every live lease the owner holds; returns the count.
+        """Extend every lease the owner still has on file; returns the
+        count.
 
         Fences on epoch first — a deposed engine cannot keep its zombie
-        leases alive by renewing them.
+        leases alive by renewing them.  Two clock-skew safeties beyond
+        the fence:
+
+        * the new expiry is ``MAX(expires, now + ttl)`` — a backward
+          clock step can never *shorten* a lease;
+        * rows are renewed even when ``expires`` already passed, as
+          long as no peer purged them yet (purging deposes the owner,
+          which the fence above catches).  A briefly-late but healthy
+          engine keeps its seats; one that actually lost them learns so
+          via :class:`StaleEpochError`, not by silently renewing a seat
+          someone else now holds.
         """
-        now = time.time()
+        now = self._clock()
         with self._immediate() as conn:
             self._check_epoch(conn, owner, epoch)
             cursor = conn.execute(
-                "UPDATE leases SET expires = ? "
-                "WHERE owner = ? AND expires > ?",
-                (now + ttl, owner, now),
+                "UPDATE leases SET expires = MAX(expires, ?) "
+                "WHERE owner = ? AND epoch = ?",
+                (now + ttl, owner, int(epoch)),
             )
             return cursor.rowcount
 
     def count_leases(self, worker_id: str) -> int:
         """The worker's live seat count across all engines (expired
-        leases are purged first)."""
-        now = time.time()
+        leases are purged first, deposing their owners)."""
+        now = self._clock()
         with self._immediate() as conn:
-            conn.execute("DELETE FROM leases WHERE expires <= ?", (now,))
+            self._purge_expired(conn, now)
             (held,) = conn.execute(
                 "SELECT COUNT(*) FROM leases WHERE worker_id = ?",
                 (worker_id,),
             ).fetchone()
             return int(held)
 
-    def release_owner(self, owner: str) -> int:
+    def release_owner(self, owner: str, epoch=None) -> int:
         """Drop every lease an owner holds (graceful shutdown);
-        returns the number released."""
+        returns the number released.  With ``epoch`` given, only that
+        incarnation's rows are dropped (zombie-shutdown safety, as in
+        :meth:`release_lease`)."""
         with self._immediate() as conn:
-            cursor = conn.execute(
-                "DELETE FROM leases WHERE owner = ?", (owner,)
-            )
+            query = "DELETE FROM leases WHERE owner = ?"
+            params = [owner]
+            if epoch is not None:
+                query += " AND epoch = ?"
+                params.append(int(epoch))
+            cursor = conn.execute(query, params)
             return cursor.rowcount
 
     def list_leases(self) -> list[tuple]:
         """Live ``(worker_id, task_id, owner, epoch, expires)`` rows —
         observability for tests and the ``/status`` endpoint."""
-        now = time.time()
+        now = self._clock()
         return list(
             self._connect().execute(
                 "SELECT worker_id, task_id, owner, epoch, expires "

@@ -94,7 +94,9 @@ class EngineConfig:
         the engine's campaign cache, and per shard in the sharded
         engine.
     frontier_pool_size:
-        Per-batch candidate pool size (exact frontier; keep <= 12).
+        Per-batch candidate pool size (exact frontier; up to
+        ``scheduler.MAX_FRONTIER_POOL`` — pools past ``ALL_SUBSETS_MAX``
+        build through the streamed lattice sweep).
     reestimate_every:
         Re-fit worker qualities after every N completed tasks
         (0 disables).

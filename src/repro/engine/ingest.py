@@ -769,6 +769,13 @@ class AsyncIngestLoop:
             raise RuntimeError("AsyncIngestLoop is already serving")
         if poll <= 0:
             raise ValueError("poll must be positive")
+        # The idle sleeps must never outlast the tick cadence: ``tick``
+        # carries the coordinator's lease renewals, so an idle serve
+        # loop sleeping a full ``poll > tick_interval`` would let live
+        # leases expire mid-serve and another engine steal the seats.
+        effective_poll = (
+            poll if not tick_interval else min(poll, tick_interval)
+        )
         self._running = True
         engine = self.engine
         start = time.perf_counter()
@@ -805,12 +812,12 @@ class AsyncIngestLoop:
                         # side-channel traffic once closed, so sleep
                         # out a poll window instead).
                         self._idle = True
-                        time.sleep(poll)
+                        time.sleep(effective_poll)
                         continue
                     finished = True
                     break
                 self._idle = True
-                self.intake.wait_for_traffic(poll)
+                self.intake.wait_for_traffic(effective_poll)
             if finished:
                 engine._finish()
             else:

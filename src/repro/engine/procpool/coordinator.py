@@ -104,9 +104,13 @@ class LeaseCoordinator:
             )
 
     def release(self, worker_id: str, task_id: str) -> None:
-        """Release this engine's lease on a seat (idempotent)."""
+        """Release this engine's lease on a seat (idempotent).  Scoped
+        to this incarnation's epoch: a deposed zombie cannot delete a
+        seat its successor re-acquired."""
         with self._mutex:
-            self.backend.release_lease(worker_id, task_id, owner=self.owner)
+            self.backend.release_lease(
+                worker_id, task_id, owner=self.owner, epoch=self.epoch
+            )
 
     def renew(self) -> int:
         """Extend every lease this engine holds by one TTL; returns the
@@ -150,10 +154,10 @@ class LeaseCoordinator:
         )
 
     def release_all(self) -> int:
-        """Drop every lease this engine holds (graceful shutdown);
+        """Drop every lease this incarnation holds (graceful shutdown);
         returns the number released."""
         with self._mutex:
-            return self.backend.release_owner(self.owner)
+            return self.backend.release_owner(self.owner, epoch=self.epoch)
 
     def close(self, release: bool = True) -> None:
         """Release held seats (unless ``release=False`` — e.g. tests

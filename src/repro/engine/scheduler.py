@@ -57,6 +57,14 @@ from .state import (
 from .telemetry import NULL_TELEMETRY
 
 
+#: Upper bound on ``frontier_pool_size``.  The streamed lattice sweep
+#: (:func:`repro.quality.stream.streamed_frontier_jq`) keeps frontier
+#: builds memory-bounded past ``ALL_SUBSETS_MAX``, so the cap is set by
+#: per-batch runtime (``2^k - 1`` juries are still scored on a memo
+#: miss), not by the dense kernel's memory wall that used to pin it
+#: at 12.
+MAX_FRONTIER_POOL = 20
+
 #: Exact frontiers over a 10-worker pool can carry hundreds of points;
 #: the budget-split greedy walks every envelope step of every task, so
 #: allocation uses a thinned frontier of at most this many points.
@@ -248,8 +256,12 @@ class CampaignScheduler:
         How many tasks the campaign expects in total; sets the pro-rata
         batch budget share.
     frontier_pool_size:
-        Size of the per-batch candidate pool (exact frontiers enumerate
-        ``2^k`` juries, so keep this <= 12; default 10).
+        Size of the per-batch candidate pool (default 10; hard-capped
+        at :data:`MAX_FRONTIER_POOL`).  Exact frontiers still score
+        ``2^k - 1`` juries, but past ``ALL_SUBSETS_MAX`` the build
+        streams the lattice level by level
+        (:func:`repro.quality.stream.streamed_frontier_jq`), so the cap
+        is runtime, not memory.
     jq_kernel:
         ``"batch"`` (default) builds frontier-memo misses through the
         all-subsets lattice kernel — one shared sweep per miss instead
@@ -282,8 +294,10 @@ class CampaignScheduler:
             raise ValueError("budget must be non-negative")
         if expected_tasks < 1:
             raise ValueError("expected_tasks must be >= 1")
-        if not 1 <= frontier_pool_size <= 12:
-            raise ValueError("frontier_pool_size must lie in [1, 12]")
+        if not 1 <= frontier_pool_size <= MAX_FRONTIER_POOL:
+            raise ValueError(
+                f"frontier_pool_size must lie in [1, {MAX_FRONTIER_POOL}]"
+            )
         if jq_kernel not in ("batch", "scalar"):
             raise ValueError("jq_kernel must be 'batch' or 'scalar'")
         self.registry = registry

@@ -45,6 +45,7 @@ then exit).
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
 import time
@@ -337,6 +338,28 @@ class CampaignServer:
             "uptime_seconds": time.monotonic() - self._started,
         }
 
+    def retry_after_hint(self) -> int:
+        """Backpressure advice (seconds) for 503 responses.
+
+        A full intake drains at roughly one scheduler admit per
+        ``batch_size`` staged tasks, so the honest hint is the time to
+        work through a full buffer:
+        ``admit_latency_ewma * (ingest_max_pending / batch_size)`` —
+        the same EWMA that drives ``ingest_grace="auto"``.  Floored at
+        1s (never invite a tighter retry loop than the old hardcoded
+        hint) and capped at 60s (a heavy campaign should still be
+        re-probed within the minute).  Before any admit has been
+        observed the EWMA is unset and the floor is the hint.
+        """
+        ewma = getattr(self.campaign.engine, "admit_latency_ewma", None)
+        if not ewma:
+            return 1
+        config = self.campaign.config
+        backlog_admits = config.ingest_max_pending / max(
+            config.batch_size, 1
+        )
+        return int(min(max(math.ceil(ewma * backlog_admits), 1), 60))
+
     # ----------------------------------------------------- command bodies
     def submit_tasks(self, payload: dict) -> dict:
         """``POST /tasks`` body → staged count.  Raises ``ValueError``
@@ -411,7 +434,11 @@ class _CampaignRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if status == 503:
-            self.send_header("Retry-After", "1")
+            # Derived from the admit-latency EWMA: heavy campaigns get
+            # a proportionally later retry instead of an instant storm.
+            self.send_header(
+                "Retry-After", str(self.ctx.retry_after_hint())
+            )
         self.end_headers()
         self.wfile.write(body)
         self.ctx.campaign.telemetry.inc(

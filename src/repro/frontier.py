@@ -21,6 +21,7 @@ import numpy as np
 from .core.exceptions import EnumerationLimitError
 from .core.jury import Jury
 from .core.worker import WorkerPool
+from .quality.stream import streamed_frontier_jq
 from .selection.annealing import AnnealingSelector
 from .selection.base import JQObjective
 
@@ -95,15 +96,10 @@ def _pareto_filter(
     return tuple(points)
 
 
-#: Masks per chunk when the batch frontier path falls back from the
-#: all-subsets lattice to grouped per-jury kernels (large pools).
-_FRONTIER_CHUNK = 4096
-
-
 def exact_frontier(
     pool: WorkerPool,
     objective: JQObjective | None = None,
-    max_pool: int = 18,
+    max_pool: int = 20,
     implementation: str = "auto",
 ) -> Frontier:
     """The exact Pareto frontier by full enumeration (small pools).
@@ -111,13 +107,19 @@ def exact_frontier(
     ``implementation`` selects how the ``2^n - 1`` candidate juries are
     scored: ``"batch"`` pushes the whole subset lattice through the
     batched JQ kernels (one shared sweep instead of per-jury dynamic
-    programs), ``"scalar"`` is the historical one-jury-at-a-time loop,
-    and ``"auto"`` (default) batches whenever the objective supports it.
-    Both paths produce the identical frontier — same points, same
-    floats — pinned by the regression tests; batching is purely a
-    performance lever (``benchmarks/bench_frontier_kernel.py``).
+    programs) when the pool fits the dense lattice
+    (``ALL_SUBSETS_MAX`` workers) and streams it level by level
+    otherwise, ``"stream"`` forces the streamed level-by-level sweep
+    (:func:`repro.quality.stream.streamed_frontier_jq` — memory bounded
+    by the widest lattice level instead of ``2^n``), ``"scalar"`` is
+    the historical one-jury-at-a-time loop, and ``"auto"`` (default)
+    batches whenever the objective supports it.  All paths produce the
+    identical frontier — same points, same floats — pinned by the
+    regression tests; the choice is purely a performance/memory lever
+    (``benchmarks/bench_frontier_kernel.py``,
+    ``benchmarks/bench_streamed_frontier.py``).
     """
-    if implementation not in ("auto", "batch", "scalar"):
+    if implementation not in ("auto", "batch", "scalar", "stream"):
         raise ValueError(f"unknown implementation {implementation!r}")
     n = len(pool)
     if n > max_pool:
@@ -127,9 +129,14 @@ def exact_frontier(
         )
     if objective is None:
         objective = JQObjective()
-    use_batch = implementation == "batch" or (
-        implementation == "auto"
-        and getattr(objective, "supports_batch", False)
+    supports_batch = getattr(objective, "supports_batch", False)
+    if implementation == "stream" and not supports_batch:
+        raise ValueError(
+            "implementation='stream' needs a batch-capable objective "
+            "(JQObjective.batch_qualities)"
+        )
+    use_batch = implementation in ("batch", "stream") or (
+        implementation == "auto" and supports_batch
     )
     workers = pool.workers
     costs = pool.costs
@@ -145,7 +152,11 @@ def exact_frontier(
 
     ids = tuple(w.worker_id for w in workers)
     qualities = pool.qualities
-    jqs = objective.all_subsets(qualities)
+    jqs = (
+        None
+        if implementation == "stream"
+        else objective.all_subsets(qualities)
+    )
     candidates = []
     if jqs is not None:
         objective.evaluations += (1 << n) - 1
@@ -176,30 +187,22 @@ def exact_frontier(
             sub_cost[mask] = cost
             candidates.append((cost, jq_list[mask], member_ids))
     else:
-        # Pool too large for the lattice (or non-BV objective): score
-        # in order-preserving chunks through the per-jury batch kernel.
-        pending: list[tuple[float, tuple[str, ...], np.ndarray]] = []
-
-        def flush() -> None:
-            if not pending:
-                return
-            values = objective.batch_qualities([row for _, _, row in pending])
-            for (cost, member_ids, _), jq in zip(pending, values):
-                candidates.append((cost, float(jq), member_ids))
-            pending.clear()
-
-        for mask in range(1, 1 << n):
-            members = [i for i in range(n) if mask >> i & 1]
-            pending.append(
-                (
-                    float(costs[members].sum()),
-                    tuple(ids[i] for i in members),
-                    qualities[members],
-                )
-            )
-            if len(pending) >= _FRONTIER_CHUNK:
-                flush()
-        flush()
+        # Pool past the dense lattice (or streaming forced): sweep the
+        # lattice level by level, keeping only Pareto survivors — the
+        # memory-bounded path that admits pools up to ``max_pool``.
+        streamed = streamed_frontier_jq(
+            qualities,
+            costs,
+            alpha=getattr(objective, "alpha", 0.5),
+            batch_jq=objective.batch_qualities,
+        )
+        for mask, cost, jq in zip(
+            streamed.masks.tolist(),
+            streamed.costs.tolist(),
+            streamed.jqs.tolist(),
+        ):
+            member_ids = tuple(ids[i] for i in range(n) if mask >> i & 1)
+            candidates.append((cost, jq, member_ids))
     return Frontier(_pareto_filter(candidates), exact=True)
 
 

@@ -11,6 +11,9 @@ Entry points:
 * :func:`estimate_jq_batch` / :func:`exact_jq_bv_batch` /
   :func:`all_subsets_jq_bv` — batched kernels that amortize the DP
   across many juries (bit-identical to the scalar oracles).
+* :func:`streamed_frontier_jq` — the subset lattice one popcount level
+  at a time with on-the-fly Pareto filtering: frontier pools past
+  ``ALL_SUBSETS_MAX``, memory bounded by the widest level.
 * :func:`bucket_error_bound` / :func:`buckets_for_error` — the proven
   additive guarantees of Section 4.4.
 """
@@ -57,6 +60,7 @@ from .majority import (
     poisson_binomial_pmf,
 )
 from .prior import PRIOR_WORKER_ID, fold_prior, fold_prior_jury, pseudo_worker
+from .stream import STREAM_MAX, StreamedFrontier, streamed_frontier_jq
 
 #: Above this jury size the facade switches BV from exact enumeration to
 #: the bucket estimator.
@@ -122,6 +126,8 @@ __all__ = [
     "DEFAULT_NUM_BUCKETS",
     "EXACT_BV_CUTOFF",
     "PRIOR_WORKER_ID",
+    "STREAM_MAX",
+    "StreamedFrontier",
     "all_subset_costs",
     "all_subsets_jq_bv",
     "as_qualities",
@@ -148,6 +154,7 @@ __all__ = [
     "pseudo_worker",
     "reinterpret_voting",
     "strategy_accuracy_per_voting",
+    "streamed_frontier_jq",
     "subset_members",
     "vote_matrix",
 ]

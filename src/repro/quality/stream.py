@@ -1,0 +1,240 @@
+"""Streamed subset-lattice frontier sweep: past ``ALL_SUBSETS_MAX``.
+
+:func:`repro.quality.batch.all_subsets_jq_bv` materializes the full
+``2^n`` JQ array (plus one likelihood vector per lattice node), which
+is what pins it — and everything above it, up to the engine
+scheduler's ``frontier_pool_size`` cap — at ``ALL_SUBSETS_MAX = 14``
+workers.  This module processes the same lattice **one popcount level
+at a time**: level ``k`` holds the ``C(n, k)`` subsets of size ``k``,
+each generated from its parent (the subset minus its highest-index
+member) by one vectorized bit-OR, scored through the batched JQ
+kernels, folded into a running Pareto (cost, JQ) skyline, and then
+*discarded* — only the skyline survivors and the current expansion
+fringe stay resident.  Peak memory is ``O(max-level width)`` (a few
+scalar arrays of ``C(n, n/2)`` entries) instead of ``O(2^n)``
+likelihood vectors, which lifts the exact-frontier ceiling from 14 to
+:data:`STREAM_MAX` workers.
+
+Why the fringe is the *whole* level and not just the skyline: Pareto
+dominance does not propagate down the lattice.  A dominated subset can
+have undominated supersets (``{0.9, 0.9}`` is dominated by a cheaper
+``{0.91}``, yet ``{0.9, 0.9, 0.9}`` beats ``{0.91, 0.9}``), so pruning
+the expansion set would silently drop frontier points.  The streaming
+win is memory, not work: every subset is still scored exactly once.
+
+**Parity contract.**  The survivors, pushed through
+:func:`repro.frontier._pareto_filter`, reproduce the scalar
+full-enumeration frontier bit-for-bit — same points, same floats, same
+tie-breaks:
+
+* JQ values come from the same batched kernels the per-jury fallback
+  used (each row's arithmetic is independent of batch composition), so
+  they equal the scalar oracle exactly.
+* Costs follow the frontier's parity rule: sizes below 8 extend the
+  parent's cost with one IEEE add (numpy's sequential small-array
+  sum), sizes 8+ keep the ``costs[members].sum()`` reduction.
+* The per-level skyline keeps a candidate unless a dominator precedes
+  it under the exact order ``(cost asc, jq desc, mask asc)`` —
+  the order ``_pareto_filter``'s stable sort induces over the
+  mask-ascending enumeration — so dropping it provably never changes
+  the final filter's output, ties included.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple, Sequence
+
+import numpy as np
+
+from ..core.exceptions import EnumerationLimitError
+from ..core.task import validate_prior
+from .batch import estimate_jq_batch, exact_jq_bv_batch
+from .bucket import DEFAULT_NUM_BUCKETS
+from .canonical import as_qualities
+
+#: Largest pool the streamed sweep accepts.  The binding constraint is
+#: time (every one of the ``2^n - 1`` subsets is still scored once),
+#: not memory — level widths stay a few scalar arrays of ``C(n, n/2)``
+#: entries, ~65 MB at n = 24.
+STREAM_MAX = 24
+
+#: Masks per chunk when unpacking a level into member/quality matrices
+#: (elements = masks * n); bounds the dense temporaries the same way
+#: ``batch._CHUNK_ELEMENTS`` bounds the kernels'.
+_LEVEL_CHUNK_ELEMENTS = 1 << 21
+
+
+class StreamedFrontier(NamedTuple):
+    """Pareto-undominated subsets of one candidate pool.
+
+    Arrays are aligned and sorted by ascending bitmask — the scalar
+    frontier's enumeration order, which is what makes feeding them to
+    ``_pareto_filter`` reproduce its tie-breaks exactly.
+    """
+
+    masks: np.ndarray  #: int64 bitmasks (bit i set = worker i seated)
+    costs: np.ndarray  #: subset costs, scalar-summation parity
+    jqs: np.ndarray  #: subset JQ, bit-identical to the scalar oracle
+    evaluations: int  #: juries scored (= 2^n - 1: streaming saves memory, not work)
+
+
+def _default_batch_jq(
+    alpha: float, exact_cutoff: int | None, num_buckets: int
+) -> Callable[[np.ndarray], np.ndarray]:
+    """The stock evaluator: the exact/bucket size split of
+    ``JQObjective.batch_qualities`` (every level has uniform jury
+    size, so the split is one branch per level)."""
+
+    def batch_jq(rows: np.ndarray) -> np.ndarray:
+        size = rows.shape[1]
+        if exact_cutoff is None or size <= exact_cutoff:
+            return exact_jq_bv_batch(rows, alpha)
+        return estimate_jq_batch(rows, alpha=alpha, num_buckets=num_buckets)
+
+    return batch_jq
+
+
+def streamed_frontier_jq(
+    qualities: Sequence[float],
+    costs: Sequence[float],
+    alpha: float = 0.5,
+    exact_cutoff: int | None = None,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    batch_jq: Callable[[np.ndarray], np.ndarray] | None = None,
+    max_size: int = STREAM_MAX,
+) -> StreamedFrontier:
+    """Pareto (cost, JQ) survivors over every nonempty subset of a pool.
+
+    Parameters
+    ----------
+    qualities, costs:
+        The candidate pool, aligned by worker index (= bit position).
+    alpha, exact_cutoff, num_buckets:
+        The stock BV evaluator's parameters (``exact_cutoff=None``
+        scores every level exactly).  Ignored when ``batch_jq`` is
+        given.
+    batch_jq:
+        Optional evaluator mapping a ``(B, k)`` quality matrix to ``B``
+        JQ values — ``exact_frontier`` passes the objective's
+        ``batch_qualities`` here so engine calls replay through the
+        campaign ``JQCache`` and evaluation accounting matches the
+        scalar path.
+    max_size:
+        Guard on the pool size (:data:`STREAM_MAX` by default).
+
+    Returns
+    -------
+    A :class:`StreamedFrontier` whose (mask, cost, jq) triples, run
+    through the standard Pareto filter, equal the scalar
+    full-enumeration frontier exactly.
+    """
+    q = as_qualities(qualities)
+    cost_arr = np.asarray(costs, dtype=float)
+    if cost_arr.ndim != 1 or cost_arr.size != q.size:
+        raise ValueError(
+            f"costs must align with qualities: {cost_arr.shape} vs {q.size}"
+        )
+    n = q.size
+    if n > max_size:
+        raise EnumerationLimitError(
+            f"streamed frontier scores 2^{n} subsets; pool size {n} "
+            f"exceeds the limit {max_size}"
+        )
+    a = validate_prior(alpha)
+    if batch_jq is None:
+        batch_jq = _default_batch_jq(a, exact_cutoff, num_buckets)
+
+    empty = np.empty(0)
+    if n == 0:
+        return StreamedFrontier(
+            np.empty(0, dtype=np.int64), empty, empty, 0
+        )
+
+    bit_values = np.int64(1) << np.arange(n, dtype=np.int64)
+    surv_masks = np.empty(0, dtype=np.int64)
+    surv_costs = empty
+    surv_jqs = empty
+    evaluations = 0
+
+    # Expansion fringe: the full previous level, mask-ascending, with
+    # each mask's highest set bit and (below size 8) its DP cost.
+    prev_masks = np.empty(0, dtype=np.int64)
+    prev_highs = np.empty(0, dtype=np.int64)
+    prev_costs = empty
+
+    for k in range(1, n + 1):
+        if k == 1:
+            masks = bit_values.copy()
+            highs = np.arange(n, dtype=np.int64)
+            dp_costs = cost_arr.copy()
+        else:
+            # Children of parent p (highest bit h): p | bit(j) for every
+            # j > h — each subset generated exactly once, from the
+            # parent it loses its highest bit to.
+            counts = n - 1 - prev_highs
+            parent_idx = np.repeat(
+                np.arange(prev_masks.size), counts
+            )
+            starts = np.concatenate(
+                ([0], np.cumsum(counts)[:-1])
+            ).astype(np.int64)
+            new_bits = (
+                prev_highs[parent_idx]
+                + 1
+                + (np.arange(parent_idx.size) - starts[parent_idx])
+            )
+            masks = prev_masks[parent_idx] | bit_values[new_bits]
+            highs = new_bits
+            # One IEEE add extends the parent's sequential sum — the
+            # scalar cost parity rule below size 8 (only used there).
+            dp_costs = prev_costs[parent_idx] + cost_arr[new_bits]
+            order = np.argsort(masks)
+            masks = masks[order]
+            highs = highs[order]
+            dp_costs = dp_costs[order]
+
+        level_costs = np.empty(masks.size)
+        level_jqs = np.empty(masks.size)
+        chunk = max(1, _LEVEL_CHUNK_ELEMENTS // n)
+        for lo in range(0, masks.size, chunk):
+            sl = slice(lo, min(lo + chunk, masks.size))
+            bits = (masks[sl, None] >> np.arange(n)) & 1
+            members = np.nonzero(bits)[1].reshape(-1, k)
+            if k < 8:
+                level_costs[sl] = dp_costs[sl]
+            else:
+                # numpy's pairwise reduction per row — the same operand
+                # sequence as the scalar ``costs[members].sum()``.
+                level_costs[sl] = cost_arr[members].sum(axis=1)
+            level_jqs[sl] = batch_jq(q[members])
+            evaluations += members.shape[0]
+
+        # Fold the level into the running skyline.  Order the combined
+        # candidates by (cost asc, jq desc, mask asc) — exactly the
+        # order the final Pareto filter's stable sort induces over the
+        # mask-ascending enumeration — and keep an entry only when its
+        # jq strictly exceeds every predecessor's: any dropped
+        # candidate has a preceding dominator, so the final filter
+        # (which keeps only strict jq improvements) would drop it too.
+        comb_masks = np.concatenate((surv_masks, masks))
+        comb_costs = np.concatenate((surv_costs, level_costs))
+        comb_jqs = np.concatenate((surv_jqs, level_jqs))
+        order = np.lexsort((comb_masks, -comb_jqs, comb_costs))
+        sorted_jqs = comb_jqs[order]
+        keep = np.empty(order.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = sorted_jqs[1:] > np.maximum.accumulate(sorted_jqs)[:-1]
+        kept = order[keep]
+        surv_masks = comb_masks[kept]
+        surv_costs = comb_costs[kept]
+        surv_jqs = comb_jqs[kept]
+
+        prev_masks, prev_highs, prev_costs = masks, highs, dp_costs
+
+    final = np.argsort(surv_masks)
+    return StreamedFrontier(
+        surv_masks[final],
+        surv_costs[final],
+        surv_jqs[final],
+        evaluations,
+    )

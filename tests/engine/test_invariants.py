@@ -259,6 +259,30 @@ def test_unfunded_starved_campaign_still_conserves():
     assert metrics.total_spend == 0.0
 
 
+def test_wide_frontier_pool_campaign_conserves():
+    """A candidate pool past the old [1, 12] cap (and past the dense
+    lattice at 14): scheduler frontiers build through the streamed
+    lattice sweep, and every per-event and end-of-run conservation law
+    must hold exactly as before."""
+    rng = np.random.default_rng(11)
+    pool = generate_pool(
+        SyntheticPoolConfig(num_workers=18, quality_ceiling=0.95), rng
+    )
+    config = EngineConfig(
+        budget=6.0,
+        capacity=3,
+        batch_size=10,
+        confidence_target=0.95,
+        frontier_pool_size=15,
+        seed=11,
+    )
+    engine = CheckedEngine(pool, config)
+    engine.submit(EngineTask(f"t{i}") for i in range(20))
+    metrics = engine.run()
+    final_laws(engine, metrics)
+    assert metrics.completed == 20
+
+
 def build_facade_campaign(
     seed,
     pool_size,

@@ -19,6 +19,7 @@ The coordination layer's contract, bottom-up:
 import multiprocessing
 import os
 import signal
+import threading
 import time
 
 import numpy as np
@@ -126,9 +127,16 @@ class TestLeaseTables:
         # Renewed past several original TTLs, still alive.
         assert backend.count_leases("w1") == 1
         time.sleep(0.25)
-        # No longer renewed: dead, and renew cannot resurrect it.
-        assert backend.renew_leases("e1", epoch=epoch, ttl=0.2) == 0
+        # Expired but not yet purged by any peer: a late-but-healthy
+        # owner may still renew its own rows (the safety margin).
+        assert backend.renew_leases("e1", epoch=epoch, ttl=0.2) == 1
+        assert backend.count_leases("w1") == 1
+        time.sleep(0.25)
+        # A peer's purge reclaims the seat AND deposes the owner: from
+        # here renewal is fenced, not a resurrection.
         assert backend.count_leases("w1") == 0
+        with pytest.raises(StaleEpochError):
+            backend.renew_leases("e1", epoch=epoch, ttl=0.2)
         backend.close()
 
     def test_stale_epoch_is_fenced(self, tmp_path):
@@ -275,6 +283,129 @@ class TestLeaseCoordinator:
         assert second.acquire("w1", "t2", capacity=4)
         first.close(release=False)
         second.close()
+
+
+# ----------------------------------------------------------------------
+# Wall-clock skew: NTP steps degrade to fencing, never double-seating
+# ----------------------------------------------------------------------
+class TestClockSkew:
+    def test_forward_step_deposes_instead_of_double_seating(self, tmp_path):
+        """A peer whose clock stepped forward sees live leases as
+        expired and reclaims the seats.  The victim engine may be
+        perfectly healthy — the contract is that it gets *fenced*
+        (StaleEpochError on its next write), so exactly one engine
+        operates the seat at any time."""
+        path = tmp_path / "c.db"
+        now = {"t": 1000.0}
+        a = SQLiteBackend(path, clock=lambda: now["t"])
+        b = SQLiteBackend(path, clock=lambda: now["t"] + 100.0)
+        ea = a.register_engine("a")
+        eb = b.register_engine("b")
+        assert a.acquire_lease(
+            "w1", "t1", owner="a", epoch=ea, ttl=30, capacity=1
+        )
+        # b's skewed clock is past a's expiry: purge reclaims the seat
+        # and deposes a in the same transaction.
+        assert b.count_leases("w1") == 0
+        assert b.acquire_lease(
+            "w1", "t2", owner="b", epoch=eb, ttl=30, capacity=1
+        )
+        # a cannot renew or re-seat against its zombie epoch...
+        with pytest.raises(StaleEpochError):
+            a.renew_leases("a", epoch=ea, ttl=30)
+        with pytest.raises(StaleEpochError):
+            a.acquire_lease(
+                "w2", "t1", owner="a", epoch=ea, ttl=30, capacity=1
+            )
+        # ...so exactly one live seat exists on w1.
+        assert [r[2] for r in b.list_leases()] == ["b"]
+        a.close()
+        b.close()
+
+    def test_backward_step_never_shortens_a_lease(self, tmp_path):
+        """Renewal takes MAX(current expiry, now + ttl): a backward
+        clock step cannot pull a live lease's expiry earlier (which
+        would hand the seat to a peer while the owner still works)."""
+        now = {"t": 1000.0}
+        backend = SQLiteBackend(tmp_path / "c.db", clock=lambda: now["t"])
+        epoch = backend.register_engine("e1")
+        assert backend.acquire_lease(
+            "w1", "t1", owner="e1", epoch=epoch, ttl=30, capacity=1
+        )  # expires at 1030
+        now["t"] = 900.0  # backward NTP step on the owner's host
+        assert backend.renew_leases("e1", epoch=epoch, ttl=30) == 1
+        (row,) = backend.list_leases()
+        assert row[4] >= 1030.0  # not shortened to 930
+        now["t"] = 1020.0
+        assert backend.count_leases("w1") == 1  # still held
+        backend.close()
+
+    def test_zombie_shutdown_cannot_release_successor_seats(self, tmp_path):
+        """Releases are epoch-scoped: a deposed incarnation shutting
+        down gracefully must not delete seats its successor (same
+        owner id) re-acquired under a newer epoch."""
+        path = tmp_path / "coord.db"
+        first = LeaseCoordinator(path, ttl=30, owner="engine-1")
+        second = LeaseCoordinator(path, ttl=30, owner="engine-1")
+        assert second.acquire("w1", "t1", capacity=1)
+        first.close()  # zombie's graceful shutdown
+        probe = LeaseCoordinator(path, ttl=30, owner="probe")
+        assert not probe.acquire("w1", "t2", capacity=1)
+        second.close()
+        probe.close()
+
+
+# ----------------------------------------------------------------------
+# Serve-loop renewal cadence: long polls must not outlast the TTL
+# ----------------------------------------------------------------------
+def test_serve_with_long_poll_keeps_leases_renewed(tmp_path):
+    """Regression: lease renewal rides the serve loop's tick, but the
+    idle loop used to sleep the caller's full ``poll`` between ticks —
+    a ``poll`` longer than ``ttl / 3`` silently let a live, idle
+    engine's leases expire so a peer could steal its seats.  The loop
+    now clamps its idle sleeps to the tick cadence."""
+    coord_path = str(tmp_path / "coord.db")
+    campaign = Campaign.open(
+        make_pool(8, seed=3),
+        CampaignConfig(
+            budget=20.0,
+            capacity=2,
+            batch_size=4,
+            confidence_target=0.95,
+            seed=3,
+            ingestion="async",
+            vote_source="external",
+            coordinate_path=coord_path,
+            lease_ttl=0.9,  # renew_every = 0.3s
+        ),
+    )
+    campaign.submit([EngineTask(f"t{i}") for i in range(4)])
+    observer = SQLiteBackend(coord_path)
+    stop = threading.Event()
+    thread = threading.Thread(
+        target=campaign.serve,
+        kwargs={"stop": stop, "poll": 5.0},  # >> ttl
+        daemon=True,
+    )
+    thread.start()
+    try:
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            if observer.list_leases():
+                break
+            time.sleep(0.05)
+        assert observer.list_leases(), "no juries were ever seated"
+        # Idle out well past the TTL; renewals must keep the seats
+        # live the whole time (before the fix the loop slept 5s
+        # without a single renewal and the leases lapsed).
+        time.sleep(1.5)
+        assert observer.list_leases(), "leases expired mid-serve"
+    finally:
+        stop.set()
+        thread.join(timeout=20)
+        observer.close()
+        campaign.close()
+    assert not thread.is_alive()
 
 
 # ----------------------------------------------------------------------

@@ -212,7 +212,20 @@ class TestAdmitMechanics:
                               expected_tasks=0)
         with pytest.raises(ValueError):
             CampaignScheduler(registry, JQCache(), budget=1.0,
-                              expected_tasks=5, frontier_pool_size=13)
+                              expected_tasks=5, frontier_pool_size=0)
+        with pytest.raises(ValueError):
+            CampaignScheduler(registry, JQCache(), budget=1.0,
+                              expected_tasks=5, frontier_pool_size=21)
+        # 13-20 became legal with the streamed frontier: the scheduler
+        # is no longer pinned by the dense lattice's memory wall.
+        from repro.engine.scheduler import MAX_FRONTIER_POOL
+
+        assert MAX_FRONTIER_POOL == 20
+        scheduler = CampaignScheduler(
+            registry, JQCache(), budget=1.0, expected_tasks=5,
+            frontier_pool_size=MAX_FRONTIER_POOL,
+        )
+        assert scheduler.frontier_pool_size == 20
 
 
 class TestSubstituteIndex:

@@ -691,6 +691,73 @@ class TestDaemonLifecycle:
 
 
 # ---------------------------------------------------------------------------
+# Backpressure hints: Retry-After derived from the admit-latency EWMA
+# ---------------------------------------------------------------------------
+
+
+def http_post_headers(url, payload):
+    """POST JSON; returns (status, headers) without raising on 4xx/5xx."""
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            response.read()
+            return response.status, dict(response.headers)
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code, dict(error.headers)
+
+
+class TestRetryAfterHint:
+    def test_cold_engine_floors_at_one_second(self):
+        # Before any admit the EWMA is unset: the hint is the 1s floor
+        # (the historical hardcoded hint — light campaigns keep it).
+        campaign = Campaign.open(make_pool(), make_config())
+        with CampaignServer(campaign, port=0) as server:
+            assert server.retry_after_hint() == 1
+        campaign.close()
+
+    def test_heavy_campaign_scales_the_hint(self):
+        # ewma * (max_pending / batch_size): time to drain one full
+        # intake buffer, floored at 1s and capped at 60s.
+        campaign = Campaign.open(
+            make_pool(),
+            make_config(batch_size=25, ingest_max_pending=100),
+        )
+        with CampaignServer(campaign, port=0) as server:
+            campaign.engine.admit_latency_ewma = 2.0
+            assert server.retry_after_hint() == 8
+            campaign.engine.admit_latency_ewma = 0.001
+            assert server.retry_after_hint() == 1  # floor
+            campaign.engine.admit_latency_ewma = 1e9
+            assert server.retry_after_hint() == 60  # cap
+        campaign.close()
+
+    def test_503_carries_the_derived_hint_both_regimes(self):
+        campaign = Campaign.open(
+            make_pool(), make_config(ingest_max_pending=100)
+        )
+        with serving(campaign=campaign) as srv:
+            srv.server.stop()
+            srv.join()
+            # Cold regime: no admits observed yet → the floor.
+            code, headers = http_post_headers(
+                srv.url + "/admin/checkpoint", {}
+            )
+            assert code == 503
+            assert headers["Retry-After"] == "1"
+            # Heavy regime: a slow admit EWMA must push the hint out —
+            # the hardcoded "1" invited retry storms exactly here.
+            campaign.engine.admit_latency_ewma = 2.0
+            code, headers = http_post_headers(
+                srv.url + "/admin/checkpoint", {}
+            )
+            assert code == 503
+            assert headers["Retry-After"] == "50"  # 2.0s * (100/4)
+
+
+# ---------------------------------------------------------------------------
 # LoopMailbox unit behavior
 # ---------------------------------------------------------------------------
 

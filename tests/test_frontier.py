@@ -37,7 +37,7 @@ class TestExactFrontier:
         assert frontier.best_under(1.9) is None  # cheapest worker costs 2
 
     def test_pool_size_guard(self):
-        pool = WorkerPool(Worker(f"w{i}", 0.7, 1.0) for i in range(20))
+        pool = WorkerPool(Worker(f"w{i}", 0.7, 1.0) for i in range(25))
         with pytest.raises(EnumerationLimitError):
             exact_frontier(pool)
 
@@ -201,3 +201,47 @@ class TestLatticeBoundary:
             pool, JQObjective(), implementation="scalar"
         )
         assert auto.points == scalar.points  # ...fallback still exact
+
+    def test_selector_and_cache_objectives_flip_at_the_same_bound(self):
+        """`JQObjective.all_subsets` (selection/base.py) and the
+        engine's `CachedJQObjective.all_subsets` (engine/cache.py)
+        guard on the *same* constant: both serve the dense lattice at
+        ``ALL_SUBSETS_MAX`` and both decline one past it, so every
+        caller switches to the streamed path at one bound."""
+        from repro.engine.cache import CachedJQObjective, JQCache
+        from repro.quality import ALL_SUBSETS_MAX
+
+        at = np.full(ALL_SUBSETS_MAX, 0.7)
+        past = np.full(ALL_SUBSETS_MAX + 1, 0.7)
+        plain = JQObjective()
+        cached = CachedJQObjective(JQCache())
+        assert plain.all_subsets(at) is not None
+        assert cached.all_subsets(at) is not None
+        assert plain.all_subsets(past) is None
+        assert cached.all_subsets(past) is None
+
+    def test_identical_frontiers_either_side_of_the_bound(self):
+        """On the last dense size (14) and the first streamed size
+        (15), forcing the streamed path produces the identical frontier
+        the auto path does — for the plain objective AND for the
+        engine's cached objective.  (The two families are compared
+        within themselves: the cache canonicalizes quality vectors
+        before evaluating, so its values legitimately differ from the
+        plain objective's by ulps — but each family must be internally
+        path-independent.)  Scalar parity for these same pools is
+        pinned by the two tests above."""
+        from repro.engine.cache import CachedJQObjective, JQCache
+
+        for n in (14, 15):
+            pool = self._pool(n)
+            for make_objective in (
+                JQObjective,
+                lambda: CachedJQObjective(JQCache()),
+            ):
+                auto = exact_frontier(
+                    pool, make_objective(), implementation="auto"
+                )
+                stream = exact_frontier(
+                    pool, make_objective(), implementation="stream"
+                )
+                assert stream.points == auto.points
